@@ -1,0 +1,86 @@
+// Reproduces the paper §5 bounds discussion: differential execution can be
+// ~k× faster than scratch in the best case (k identical views) but only
+// ~2× slower in the worst case (completely disjoint views) — the
+// robustness property that motivates defaulting to differential.
+#include "bench_util.h"
+#include "views/collection.h"
+
+namespace gs::bench {
+namespace {
+
+void Run() {
+  const size_t kEdges = 30000;
+  const size_t kViews = 16;
+  PropertyGraph graph = GenerateUniformGraph(6000, kEdges, 5);
+
+  PrintHeader("§5 bounds: best case (identical views) / worst case "
+              "(disjoint views)");
+  const std::vector<int> widths = {22, 11, 11, 16};
+  PrintRow({"collection", "diff-only", "scratch", "diff vs scratch"},
+           widths);
+
+  analytics::Wcc wcc;
+
+  // Best case: every view identical to the base graph.
+  {
+    std::vector<std::vector<views::EdgeDiff>> batches(kViews);
+    for (EdgeId e = 0; e < kEdges; ++e) batches[0].push_back({e, 1});
+    auto mc = views::CollectionFromDiffBatches("identical", "g",
+                                               std::move(batches));
+    double diff_s = 0, scratch_s = 0;
+    for (auto strategy :
+         {splitting::Strategy::kDiffOnly, splitting::Strategy::kScratch}) {
+      views::ExecutionOptions options;
+      options.strategy = strategy;
+      Timer timer;
+      auto r = views::RunOnCollection(wcc, graph, mc, options);
+      GS_CHECK(r.ok()) << r.status().ToString();
+      (strategy == splitting::Strategy::kDiffOnly ? diff_s : scratch_s) =
+          timer.Seconds();
+    }
+    PrintRow({"identical (best)", Secs(diff_s), Secs(scratch_s),
+              Factor(scratch_s, diff_s) + " faster"},
+             widths);
+  }
+
+  // Worst case: consecutive views share no edges (half the edge set each,
+  // alternating).
+  {
+    std::vector<std::vector<views::EdgeDiff>> batches(kViews);
+    for (size_t v = 0; v < kViews; ++v) {
+      bool even = v % 2 == 0;
+      for (EdgeId e = 0; e < kEdges; ++e) {
+        bool in_even = e < kEdges / 2;
+        bool now = even ? in_even : !in_even;
+        bool before = v == 0 ? false : (!even ? in_even : !in_even);
+        if (now != before) {
+          batches[v].push_back({e, static_cast<int8_t>(now ? 1 : -1)});
+        }
+      }
+    }
+    auto mc = views::CollectionFromDiffBatches("disjoint", "g",
+                                               std::move(batches));
+    double diff_s = 0, scratch_s = 0;
+    for (auto strategy :
+         {splitting::Strategy::kDiffOnly, splitting::Strategy::kScratch}) {
+      views::ExecutionOptions options;
+      options.strategy = strategy;
+      Timer timer;
+      auto r = views::RunOnCollection(wcc, graph, mc, options);
+      GS_CHECK(r.ok()) << r.status().ToString();
+      (strategy == splitting::Strategy::kDiffOnly ? diff_s : scratch_s) =
+          timer.Seconds();
+    }
+    PrintRow({"disjoint (worst)", Secs(diff_s), Secs(scratch_s),
+              Factor(diff_s, scratch_s) + " slower"},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace gs::bench
+
+int main() {
+  gs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Figure 7 (paper §7.2): Cno — completely disjoint sliding
+// window collections. Every consecutive view replaces all edges, the worst
+// case for differential sharing. Expected shape: scratch wins by a bounded
+// factor (paper: up to 2.5x) that does NOT grow with the number of views;
+// adaptive tracks scratch.
+#include "bench_util.h"
+
+namespace gs::bench {
+namespace {
+
+void Run() {
+  const int64_t kEnd = 1000000;
+
+  TemporalGraphOptions topts;
+  topts.num_nodes = 8000;
+  topts.num_edges = 40000;
+  topts.end_time = kEnd;
+  PropertyGraph graph = GenerateTemporalGraph(topts);
+  VertexId source = FirstSource(graph);
+
+  Graphsurge system;
+  GS_CHECK(system.AddGraph("so", std::move(graph)).ok());
+
+  struct WindowConfig {
+    const char* label;
+    int64_t window;
+  };
+  const WindowConfig windows[] = {
+      {"w=1/16", kEnd / 16},
+      {"w=1/8", kEnd / 8},
+      {"w=1/4", kEnd / 4},
+      {"w=1/2", kEnd / 2},
+  };
+  std::vector<std::string> names;
+  for (const WindowConfig& w : windows) {
+    std::string name = "cno_" + std::to_string(&w - windows);
+    GS_CHECK(system.Execute(DisjointWindowsGvdl(name, "so", w.window, kEnd))
+                 .ok());
+    names.push_back(name);
+  }
+
+  PrintHeader("Figure 7: non-overlapping window collections (Cno)");
+  std::printf("graph: %zu nodes, %zu edges (temporal SO analog)\n",
+              topts.num_nodes, topts.num_edges);
+  const std::vector<int> widths = {10, 8, 8, 11, 11, 11, 16};
+  PrintRow({"algo", "window", "views", "diff-only", "scratch", "adaptive",
+            "scratch speedup"},
+           widths);
+
+  struct Algo {
+    const char* name;
+    std::unique_ptr<analytics::Computation> computation;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"WCC", std::make_unique<analytics::Wcc>()});
+  algos.push_back({"BFS", std::make_unique<analytics::Bfs>(source)});
+  algos.push_back({"PR", std::make_unique<analytics::PageRank>(5)});
+
+  for (const Algo& algo : algos) {
+    for (size_t c = 0; c < names.size(); ++c) {
+      auto mc = system.GetCollection(names[c]);
+      GS_CHECK(mc.ok());
+      StrategyTimes times =
+          RunAllStrategies(system, *algo.computation, names[c]);
+      PrintRow({algo.name, windows[c].label,
+                std::to_string((*mc)->num_views()), Secs(times.diff_only),
+                Secs(times.scratch), Secs(times.adaptive),
+                Factor(times.diff_only, times.scratch)},
+               widths);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::bench
+
+int main() {
+  gs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) of the differential engine's
+// primitives and the view-materialization kernels.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/algorithms.h"
+#include "common/random.h"
+#include "differential/differential.h"
+#include "graph/generators.h"
+#include "ordering/optimizer.h"
+#include "views/ebm.h"
+
+namespace gs {
+namespace {
+
+namespace dd = ::gs::differential;
+
+void BM_Consolidate(benchmark::State& state) {
+  Rng rng(1);
+  dd::Batch<int64_t> base(state.range(0));
+  for (auto& u : base) {
+    u.data = rng.Uniform(0, state.range(0) / 2);
+    u.diff = rng.Bernoulli(0.5) ? 1 : -1;
+  }
+  for (auto _ : state) {
+    dd::Batch<int64_t> batch = base;
+    dd::Consolidate(&batch);
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Consolidate)->Arg(1024)->Arg(65536);
+
+void BM_TraceInsertAccumulate(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    dd::Trace<uint64_t, int64_t> trace;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      trace.Insert(rng.Index(256), i, dd::Time(0), 1);
+    }
+    dd::Batch<int64_t> out;
+    trace.Accumulate(0, dd::Time(1), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceInsertAccumulate)->Arg(4096);
+
+void BM_JoinThroughput(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    dd::Dataflow df;
+    dd::Input<std::pair<uint64_t, int64_t>> left(&df);
+    dd::Input<std::pair<uint64_t, int64_t>> right(&df);
+    auto joined = dd::Join(
+        left.stream(), right.stream(),
+        [](const uint64_t& k, const int64_t& a, const int64_t& b) {
+          return std::make_pair(k, a + b);
+        });
+    dd::Capture(joined);
+    for (int64_t i = 0; i < n; ++i) {
+      left.Send({static_cast<uint64_t>(i % 1024), i}, 1);
+      right.Send({static_cast<uint64_t>(i % 1024), i}, 1);
+    }
+    benchmark::DoNotOptimize(df.Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_JoinThroughput)->Arg(8192);
+
+void BM_ReduceMinThroughput(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  for (auto _ : state) {
+    dd::Dataflow df;
+    dd::Input<std::pair<uint64_t, int64_t>> in(&df);
+    dd::Capture(dd::ReduceMin(in.stream()));
+    for (int64_t i = 0; i < n; ++i) {
+      in.Send({rng.Index(1024), i}, 1);
+    }
+    benchmark::DoNotOptimize(df.Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceMinThroughput)->Arg(8192);
+
+void BM_BfsFixpoint(benchmark::State& state) {
+  PropertyGraph g = GenerateUniformGraph(2000, state.range(0), 7);
+  analytics::Bfs bfs(g.edge(0).src);
+  for (auto _ : state) {
+    dd::Dataflow df;
+    dd::Input<WeightedEdge> edges(&df);
+    dd::Capture(bfs.GraphAnalytics(&df, edges.stream()));
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      edges.Send(g.ResolveWeighted(e, -1), 1);
+    }
+    benchmark::DoNotOptimize(df.Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BfsFixpoint)->Arg(10000);
+
+void BM_IncrementalBfsStep(benchmark::State& state) {
+  PropertyGraph g = GenerateUniformGraph(2000, 10000, 7);
+  analytics::Bfs bfs(g.edge(0).src);
+  dd::Dataflow df;
+  dd::Input<WeightedEdge> edges(&df);
+  dd::Capture(bfs.GraphAnalytics(&df, edges.stream()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    edges.Send(g.ResolveWeighted(e, -1), 1);
+  }
+  benchmark::DoNotOptimize(df.Step().ok());
+  Rng rng(9);
+  for (auto _ : state) {
+    // One random edge swap per version.
+    EdgeId victim = rng.Index(g.num_edges());
+    edges.Send(g.ResolveWeighted(victim, -1), -1);
+    benchmark::DoNotOptimize(df.Step().ok());
+    edges.Send(g.ResolveWeighted(victim, -1), 1);
+    benchmark::DoNotOptimize(df.Step().ok());
+  }
+}
+BENCHMARK(BM_IncrementalBfsStep)->Iterations(200);
+
+void BM_EbmHammingDistance(benchmark::State& state) {
+  Rng rng(4);
+  views::EdgeBooleanMatrix ebm(state.range(0), 8);
+  for (EdgeId e = 0; e < static_cast<EdgeId>(state.range(0)); ++e) {
+    for (size_t v = 0; v < 8; ++v) ebm.Set(e, v, rng.Bernoulli(0.3));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebm.HammingDistance(i % 8, (i + 3) % 8));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EbmHammingDistance)->Arg(1 << 20);
+
+void BM_ChristofidesOrdering(benchmark::State& state) {
+  Rng rng(5);
+  views::EdgeBooleanMatrix ebm(20000, state.range(0));
+  for (EdgeId e = 0; e < 20000; ++e) {
+    for (int64_t v = 0; v < state.range(0); ++v) {
+      ebm.Set(e, v, rng.Bernoulli(0.3));
+    }
+  }
+  for (auto _ : state) {
+    auto result = ordering::OrderCollection(ebm, nullptr);
+    benchmark::DoNotOptimize(result.difference_count);
+  }
+}
+BENCHMARK(BM_ChristofidesOrdering)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace gs
+
+BENCHMARK_MAIN();

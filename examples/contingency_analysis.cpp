@@ -1,0 +1,96 @@
+// Contingency / perturbation analysis (paper Example 2): build one view
+// per failure scenario — here, every 3-combination of the 5 largest
+// communities removed from a social graph — and measure connectivity under
+// each scenario. Because no natural view order exists, the collection
+// ordering optimizer (paper §4) is the difference between a fast and a
+// slow analysis; this example shows the diff counts with and without it.
+//
+// Build & run:  ./build/examples/contingency_analysis
+#include <cstdio>
+#include <set>
+
+#include "api/graphsurge.h"
+#include "algorithms/algorithms.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+
+int main() {
+  gs::CommunityGraphOptions gen;
+  gen.num_nodes = 4000;
+  gen.num_communities = 12;
+  gen.seed = 3;
+  gs::CommunityGraph cg = gs::GenerateCommunityGraph(gen);
+  const gs::PropertyGraph& graph = cg.graph;
+
+  gs::Graphsurge system;
+  {
+    gs::PropertyGraph copy = cg.graph;
+    GS_CHECK(system.AddGraph("grid", std::move(copy)).ok());
+  }
+
+  // One view per removal scenario: drop every edge touching any of the
+  // chosen communities (membership is a bitmask node property).
+  auto mask_col = *graph.node_properties().ColumnIndex("communities");
+  const gs::Column* masks = &graph.node_properties().column(mask_col);
+  std::vector<std::function<bool(gs::EdgeId)>> scenarios;
+  std::vector<std::string> names;
+  const size_t kTop = 5, kRemove = 3;
+  for (size_t a = 0; a < kTop; ++a) {
+    for (size_t b = a + 1; b < kTop; ++b) {
+      for (size_t c = b + 1; c < kTop; ++c) {
+        uint64_t removed = (1ULL << a) | (1ULL << b) | (1ULL << c);
+        names.push_back("rm_" + std::to_string(a) + std::to_string(b) +
+                        std::to_string(c));
+        scenarios.push_back([&graph, masks, removed](gs::EdgeId e) {
+          uint64_t m =
+              static_cast<uint64_t>(masks->GetInt(graph.edge(e).src)) |
+              static_cast<uint64_t>(masks->GetInt(graph.edge(e).dst));
+          return (m & removed) == 0;
+        });
+      }
+    }
+  }
+
+  // Materialize twice: definition order vs optimizer order.
+  gs::views::MaterializeOptions keep_order;
+  GS_CHECK(system.CreateCollection("scenarios_unordered", "grid", names,
+                                   scenarios, &keep_order)
+               .ok());
+  gs::views::MaterializeOptions optimize;
+  optimize.use_ordering = true;
+  GS_CHECK(system.CreateCollection("scenarios_ordered", "grid", names,
+                                   scenarios, &optimize)
+               .ok());
+
+  const auto* unordered = *system.GetCollection("scenarios_unordered");
+  const auto* ordered = *system.GetCollection("scenarios_ordered");
+  std::printf("%zu failure scenarios over %zu edges\n", names.size(),
+              graph.num_edges());
+  std::printf("definition order: %llu edge diffs\n",
+              static_cast<unsigned long long>(unordered->total_diffs));
+  std::printf("optimized order:  %llu edge diffs (%.1fx fewer, ordering "
+              "took %.3fs)\n",
+              static_cast<unsigned long long>(ordered->total_diffs),
+              static_cast<double>(unordered->total_diffs) /
+                  static_cast<double>(ordered->total_diffs),
+              ordered->ordering_seconds);
+
+  // Connectivity per scenario, computed differentially on the good order.
+  gs::analytics::Wcc wcc;
+  gs::views::ExecutionOptions options;
+  options.capture_results = true;
+  gs::Timer timer;
+  auto run = system.RunComputation(wcc, "scenarios_ordered", options);
+  GS_CHECK(run.ok()) << run.status().ToString();
+  std::printf("\nWCC across all scenarios in %.3fs:\n", timer.Seconds());
+  for (size_t t = 0; t < run->results.size(); ++t) {
+    std::set<int64_t> components;
+    for (const auto& [v, label] : run->results[t]) components.insert(label);
+    std::printf("  %-10s %6zu surviving edges, %5zu reachable vertices, "
+                "%4zu components\n",
+                ordered->view_names[t].c_str(),
+                static_cast<size_t>(ordered->view_sizes[t]),
+                run->results[t].size(), components.size());
+  }
+  return 0;
+}

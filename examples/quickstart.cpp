@@ -1,0 +1,72 @@
+// Quickstart: load the paper's running-example phone call graph, define a
+// filtered view and a view collection in GVDL, and run connected
+// components across all views with differential sharing.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "api/graphsurge.h"
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+
+int main() {
+  gs::Graphsurge system;
+
+  // The Figure 1 call graph: customers with city/profession, calls with
+  // duration/year. (Normally you would LoadGraphCsv.)
+  gs::Status status = system.AddGraph("Calls", gs::MakeCallGraphExample());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Listing 1 (adapted): a single filtered view, materialized as a graph.
+  status = system.Execute(
+      "create view LA-Long-Calls on Calls\n"
+      "edges where src.city = 'LA' and dst.city = 'LA' and duration > 10");
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto view = system.GetGraph("LA-Long-Calls");
+  std::printf("LA-Long-Calls has %zu of %zu calls\n",
+              (*view)->num_edges(), (**system.GetGraph("Calls")).num_edges());
+
+  // Listing 3 (adapted): a view collection of duration thresholds.
+  status = system.Execute(
+      "create view collection call-analysis on Calls\n"
+      "[D5: duration <= 5], [D10: duration <= 10], [D20: duration <= 20],\n"
+      "[D34: duration <= 34]");
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Run WCC differentially across all four views.
+  gs::analytics::Wcc wcc;
+  gs::views::ExecutionOptions options;
+  options.capture_results = true;
+  auto result = system.RunComputation(wcc, "call-analysis", options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const auto* collection = *system.GetCollection("call-analysis");
+  for (size_t t = 0; t < result->results.size(); ++t) {
+    // Count distinct components.
+    std::set<int64_t> components;
+    for (const auto& [v, label] : result->results[t]) {
+      components.insert(label);
+    }
+    std::printf("view %-4s: %2zu edges, %zu vertices in %zu components "
+                "(%s, %llu output diffs)\n",
+                collection->view_names[t].c_str(),
+                static_cast<size_t>(collection->view_sizes[t]),
+                result->results[t].size(), components.size(),
+                result->per_view[t].ran_scratch ? "scratch" : "differential",
+                static_cast<unsigned long long>(
+                    result->per_view[t].output_diffs));
+  }
+  std::printf("total runtime: %.3fs\n", result->total_seconds);
+  return 0;
+}

@@ -1,0 +1,279 @@
+#include "agg/aggregate_view.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "gvdl/predicate.h"
+
+namespace gs::agg {
+
+namespace {
+
+using gvdl::AggregateSpec;
+
+// Running aggregate state for one (group, spec) cell.
+struct Accumulator {
+  int64_t count = 0;       // rows seen (for count(*) and avg)
+  int64_t non_null = 0;    // non-null property values (for count(prop))
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  bool has_value = false;
+  PropertyValue min_value;
+  PropertyValue max_value;
+
+  void Add(const PropertyValue& v) {
+    ++count;
+    if (v.is_null()) return;
+    ++non_null;
+    if (auto num = v.AsNumeric()) {
+      double_sum += *num;
+      if (v.type() == PropertyType::kInt) int_sum += v.AsInt();
+    }
+    if (!has_value) {
+      min_value = v;
+      max_value = v;
+      has_value = true;
+    } else {
+      auto cmp_min = v.Compare(min_value);
+      if (cmp_min && *cmp_min < 0) min_value = v;
+      auto cmp_max = v.Compare(max_value);
+      if (cmp_max && *cmp_max > 0) max_value = v;
+    }
+  }
+
+  PropertyValue Result(AggregateSpec::Func func, PropertyType prop_type,
+                       bool star) const {
+    switch (func) {
+      case AggregateSpec::Func::kCount:
+        return PropertyValue(star ? count : non_null);
+      case AggregateSpec::Func::kSum:
+        if (prop_type == PropertyType::kInt) return PropertyValue(int_sum);
+        return PropertyValue(double_sum);
+      case AggregateSpec::Func::kMin:
+        return has_value ? min_value : PropertyValue::Null();
+      case AggregateSpec::Func::kMax:
+        return has_value ? max_value : PropertyValue::Null();
+      case AggregateSpec::Func::kAvg:
+        if (non_null == 0) return PropertyValue::Null();
+        return PropertyValue(double_sum / static_cast<double>(non_null));
+    }
+    return PropertyValue::Null();
+  }
+};
+
+// Resolves the declared output column type of an aggregate.
+StatusOr<PropertyType> AggregateOutputType(const AggregateSpec& spec,
+                                           const PropertyTable& table) {
+  switch (spec.func) {
+    case AggregateSpec::Func::kCount:
+      return PropertyType::kInt;
+    case AggregateSpec::Func::kAvg:
+      return PropertyType::kDouble;
+    default: {
+      GS_ASSIGN_OR_RETURN(size_t col, table.ColumnIndex(spec.property));
+      return table.column(col).type();
+    }
+  }
+}
+
+Status CheckAggregable(const AggregateSpec& spec, const PropertyTable& table) {
+  if (spec.property.empty()) {
+    if (spec.func != AggregateSpec::Func::kCount) {
+      return Status::InvalidArgument("aggregate requires a property");
+    }
+    return Status::Ok();
+  }
+  GS_ASSIGN_OR_RETURN(size_t col, table.ColumnIndex(spec.property));
+  PropertyType t = table.column(col).type();
+  if ((spec.func == AggregateSpec::Func::kSum ||
+       spec.func == AggregateSpec::Func::kAvg) &&
+      t != PropertyType::kInt && t != PropertyType::kDouble) {
+    return Status::InvalidArgument("sum/avg require a numeric property: " +
+                                   spec.property);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<AggregateView> ComputeAggregateView(const PropertyGraph& graph,
+                                             const gvdl::AggregateViewDef& def,
+                                             ThreadPool* pool) {
+  for (const AggregateSpec& spec : def.node_aggregates) {
+    GS_RETURN_IF_ERROR(CheckAggregable(spec, graph.node_properties()));
+  }
+  for (const AggregateSpec& spec : def.edge_aggregates) {
+    GS_RETURN_IF_ERROR(CheckAggregable(spec, graph.edge_properties()));
+  }
+
+  AggregateView out;
+  constexpr int64_t kUngrouped = -1;
+  std::vector<int64_t> group_of(graph.num_nodes(), kUngrouped);
+  std::vector<std::vector<PropertyValue>> group_keys;  // property grouping
+
+  if (!def.group_by_properties.empty()) {
+    // Group by the value combination of the listed node properties.
+    std::vector<size_t> cols;
+    for (const std::string& prop : def.group_by_properties) {
+      GS_ASSIGN_OR_RETURN(size_t c, graph.node_properties().ColumnIndex(prop));
+      cols.push_back(c);
+    }
+    std::map<std::string, int64_t> key_to_group;  // serialized key
+    for (VertexId v = 0; v < graph.num_nodes(); ++v) {
+      std::vector<PropertyValue> key;
+      std::string serialized;
+      for (size_t c : cols) {
+        PropertyValue val = graph.node_properties().Get(v, c);
+        serialized += val.ToString();
+        serialized.push_back('\x1f');
+        key.push_back(std::move(val));
+      }
+      auto [it, inserted] = key_to_group.try_emplace(
+          serialized, static_cast<int64_t>(group_keys.size()));
+      if (inserted) {
+        group_keys.push_back(std::move(key));
+        std::string label;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (i) label += ", ";
+          label += def.group_by_properties[i] + "=" +
+                   group_keys.back()[i].ToString();
+        }
+        out.group_labels.push_back(std::move(label));
+      }
+      group_of[v] = it->second;
+    }
+  } else {
+    // Predicate-defined groups: first matching predicate wins.
+    std::vector<gvdl::CompiledNodePredicate> compiled;
+    for (const gvdl::ExprPtr& p : def.group_by_predicates) {
+      GS_ASSIGN_OR_RETURN(gvdl::CompiledNodePredicate c,
+                          gvdl::CompiledNodePredicate::Compile(p, graph));
+      compiled.push_back(std::move(c));
+      out.group_labels.push_back(p->ToString());
+    }
+    for (VertexId v = 0; v < graph.num_nodes(); ++v) {
+      for (size_t g = 0; g < compiled.size(); ++g) {
+        if (compiled[g].Evaluate(v)) {
+          group_of[v] = static_cast<int64_t>(g);
+          break;
+        }
+      }
+      if (group_of[v] == kUngrouped) ++out.ungrouped_nodes;
+    }
+  }
+
+  size_t num_groups = out.group_labels.size();
+
+  // --- Super-nodes ---------------------------------------------------------
+  PropertyGraph& sg = out.graph;
+  sg.AddNodes(num_groups);
+  if (!def.group_by_properties.empty()) {
+    for (size_t i = 0; i < def.group_by_properties.size(); ++i) {
+      GS_ASSIGN_OR_RETURN(
+          size_t c,
+          graph.node_properties().ColumnIndex(def.group_by_properties[i]));
+      GS_RETURN_IF_ERROR(sg.node_properties().AddColumn(
+          def.group_by_properties[i],
+          graph.node_properties().column(c).type()));
+    }
+  } else {
+    GS_RETURN_IF_ERROR(
+        sg.node_properties().AddColumn("group", PropertyType::kString));
+  }
+  for (const AggregateSpec& spec : def.node_aggregates) {
+    GS_ASSIGN_OR_RETURN(PropertyType t,
+                        AggregateOutputType(spec, graph.node_properties()));
+    GS_RETURN_IF_ERROR(sg.node_properties().AddColumn(spec.output_name, t));
+  }
+
+  // Node aggregate accumulation.
+  std::vector<std::vector<Accumulator>> node_acc(
+      num_groups, std::vector<Accumulator>(def.node_aggregates.size()));
+  for (VertexId v = 0; v < graph.num_nodes(); ++v) {
+    if (group_of[v] == kUngrouped) continue;
+    auto& accs = node_acc[group_of[v]];
+    for (size_t a = 0; a < def.node_aggregates.size(); ++a) {
+      const AggregateSpec& spec = def.node_aggregates[a];
+      if (spec.property.empty()) {
+        accs[a].Add(PropertyValue(int64_t{1}));
+      } else {
+        GS_ASSIGN_OR_RETURN(PropertyValue val,
+                            graph.node_properties().GetByName(v, spec.property));
+        accs[a].Add(val);
+      }
+    }
+  }
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<PropertyValue> row;
+    if (!def.group_by_properties.empty()) {
+      for (const PropertyValue& key : group_keys[g]) row.push_back(key);
+    } else {
+      row.push_back(PropertyValue(out.group_labels[g]));
+    }
+    for (size_t a = 0; a < def.node_aggregates.size(); ++a) {
+      const AggregateSpec& spec = def.node_aggregates[a];
+      PropertyType prop_type = PropertyType::kInt;
+      if (!spec.property.empty()) {
+        GS_ASSIGN_OR_RETURN(size_t c,
+                            graph.node_properties().ColumnIndex(spec.property));
+        prop_type = graph.node_properties().column(c).type();
+      }
+      row.push_back(node_acc[g][a].Result(spec.func, prop_type,
+                                          spec.property.empty()));
+    }
+    GS_RETURN_IF_ERROR(sg.node_properties().AppendRow(row));
+  }
+
+  // --- Super-edges ---------------------------------------------------------
+  for (const AggregateSpec& spec : def.edge_aggregates) {
+    GS_ASSIGN_OR_RETURN(PropertyType t,
+                        AggregateOutputType(spec, graph.edge_properties()));
+    GS_RETURN_IF_ERROR(sg.edge_properties().AddColumn(spec.output_name, t));
+  }
+  std::map<std::pair<int64_t, int64_t>, std::vector<Accumulator>> edge_acc;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    int64_t g1 = group_of[graph.edge(e).src];
+    int64_t g2 = group_of[graph.edge(e).dst];
+    if (g1 == kUngrouped || g2 == kUngrouped) continue;
+    auto [it, inserted] = edge_acc.try_emplace(
+        std::make_pair(g1, g2),
+        std::vector<Accumulator>(std::max<size_t>(
+            def.edge_aggregates.size(), 1)));
+    for (size_t a = 0; a < def.edge_aggregates.size(); ++a) {
+      const AggregateSpec& spec = def.edge_aggregates[a];
+      if (spec.property.empty()) {
+        it->second[a].Add(PropertyValue(int64_t{1}));
+      } else {
+        GS_ASSIGN_OR_RETURN(PropertyValue val,
+                            graph.edge_properties().GetByName(e, spec.property));
+        it->second[a].Add(val);
+      }
+    }
+    if (def.edge_aggregates.empty()) it->second[0].count++;
+  }
+  for (const auto& [groups, accs] : edge_acc) {
+    GS_RETURN_IF_ERROR(
+        sg.AddEdge(static_cast<VertexId>(groups.first),
+                   static_cast<VertexId>(groups.second))
+            .status());
+    if (!def.edge_aggregates.empty()) {
+      std::vector<PropertyValue> row;
+      for (size_t a = 0; a < def.edge_aggregates.size(); ++a) {
+        const AggregateSpec& spec = def.edge_aggregates[a];
+        PropertyType prop_type = PropertyType::kInt;
+        if (!spec.property.empty()) {
+          GS_ASSIGN_OR_RETURN(
+              size_t c, graph.edge_properties().ColumnIndex(spec.property));
+          prop_type = graph.edge_properties().column(c).type();
+        }
+        row.push_back(
+            accs[a].Result(spec.func, prop_type, spec.property.empty()));
+      }
+      GS_RETURN_IF_ERROR(sg.edge_properties().AppendRow(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace gs::agg

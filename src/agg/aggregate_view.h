@@ -1,0 +1,37 @@
+// Aggregate (Graph OLAP) views, paper §6: group nodes into super-nodes —
+// by property values or by explicit predicates — and aggregate edges
+// between groups into super-edges, with count/sum/min/max/avg aggregate
+// properties on both.
+#ifndef GRAPHSURGE_AGG_AGGREGATE_VIEW_H_
+#define GRAPHSURGE_AGG_AGGREGATE_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "gvdl/ast.h"
+
+namespace gs::agg {
+
+/// The materialized summary graph of an aggregate view. Super-nodes carry
+/// the group-by key columns plus one column per node aggregate; super-edges
+/// carry one column per edge aggregate. `group_labels[i]` is a printable
+/// description of super-node i.
+struct AggregateView {
+  PropertyGraph graph;
+  std::vector<std::string> group_labels;
+  /// Nodes of the input graph that matched no group (predicate grouping
+  /// only; such nodes and their edges are excluded, as in Graph OLAP).
+  size_t ungrouped_nodes = 0;
+};
+
+/// Evaluates an aggregate view definition over `graph`.
+StatusOr<AggregateView> ComputeAggregateView(const PropertyGraph& graph,
+                                             const gvdl::AggregateViewDef& def,
+                                             ThreadPool* pool);
+
+}  // namespace gs::agg
+
+#endif  // GRAPHSURGE_AGG_AGGREGATE_VIEW_H_

@@ -1,0 +1,231 @@
+#include "algorithms/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algorithms/algorithms.h"
+
+namespace gs::analytics {
+
+namespace {
+
+// Dense renumbering of the vertices incident to edges.
+struct VertexIndex {
+  std::unordered_map<uint64_t, size_t> to_dense;
+  std::vector<uint64_t> to_id;
+
+  explicit VertexIndex(const std::vector<WeightedEdge>& edges) {
+    for (const WeightedEdge& e : edges) {
+      Add(e.src);
+      Add(e.dst);
+    }
+  }
+  void Add(uint64_t v) {
+    if (to_dense.emplace(v, to_id.size()).second) to_id.push_back(v);
+  }
+  size_t size() const { return to_id.size(); }
+  size_t operator[](uint64_t v) const { return to_dense.at(v); }
+};
+
+struct UnionFind {
+  std::vector<size_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    for (size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+ResultMap WccReference(const std::vector<WeightedEdge>& edges) {
+  VertexIndex index(edges);
+  UnionFind uf(index.size());
+  for (const WeightedEdge& e : edges) uf.Union(index[e.src], index[e.dst]);
+  // Component label = min original id.
+  std::vector<uint64_t> min_id(index.size(), UINT64_MAX);
+  for (size_t i = 0; i < index.size(); ++i) {
+    size_t root = uf.Find(i);
+    min_id[root] = std::min(min_id[root], index.to_id[i]);
+  }
+  ResultMap result;
+  for (size_t i = 0; i < index.size(); ++i) {
+    result[index.to_id[i]] =
+        static_cast<int64_t>(min_id[uf.Find(i)]);
+  }
+  return result;
+}
+
+ResultMap BfsReference(const std::vector<WeightedEdge>& edges,
+                       VertexId source) {
+  std::unordered_map<uint64_t, std::vector<uint64_t>> adj;
+  bool source_has_out = false;
+  for (const WeightedEdge& e : edges) {
+    adj[e.src].push_back(e.dst);
+    if (e.src == source) source_has_out = true;
+  }
+  ResultMap result;
+  if (!source_has_out) return result;
+  std::deque<uint64_t> queue = {source};
+  result[source] = 0;
+  while (!queue.empty()) {
+    uint64_t v = queue.front();
+    queue.pop_front();
+    auto it = adj.find(v);
+    if (it == adj.end()) continue;
+    for (uint64_t w : it->second) {
+      if (!result.count(w)) {
+        result[w] = result[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+ResultMap SsspReference(const std::vector<WeightedEdge>& edges,
+                        VertexId source) {
+  std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, int64_t>>> adj;
+  bool source_has_out = false;
+  for (const WeightedEdge& e : edges) {
+    adj[e.src].emplace_back(e.dst, e.weight);
+    if (e.src == source) source_has_out = true;
+  }
+  ResultMap dist;
+  if (!source_has_out) return dist;
+  using Entry = std::pair<int64_t, uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    auto found = dist.find(v);
+    if (found != dist.end() && found->second <= d) continue;
+    dist[v] = d;
+    auto it = adj.find(v);
+    if (it == adj.end()) continue;
+    for (auto [w, c] : it->second) {
+      auto fw = dist.find(w);
+      if (fw == dist.end() || fw->second > d + c) pq.push({d + c, w});
+    }
+  }
+  return dist;
+}
+
+ResultMap PageRankReference(const std::vector<WeightedEdge>& edges,
+                            uint32_t iterations) {
+  VertexIndex index(edges);
+  std::vector<int64_t> outdeg(index.size(), 0);
+  for (const WeightedEdge& e : edges) outdeg[index[e.src]]++;
+
+  std::vector<int64_t> rank(index.size(), PageRank::Base());
+  std::vector<int64_t> next(index.size());
+  for (uint32_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), PageRank::Base());
+    for (const WeightedEdge& e : edges) {
+      size_t u = index[e.src];
+      next[index[e.dst]] += PageRank::Damp(rank[u]) / outdeg[u];
+    }
+    std::swap(rank, next);
+  }
+  ResultMap result;
+  for (size_t i = 0; i < index.size(); ++i) {
+    result[index.to_id[i]] = rank[i];
+  }
+  return result;
+}
+
+ResultMap SccReference(const std::vector<WeightedEdge>& edges) {
+  VertexIndex index(edges);
+  size_t n = index.size();
+  std::vector<std::vector<size_t>> adj(n);
+  for (const WeightedEdge& e : edges) {
+    adj[index[e.src]].push_back(index[e.dst]);
+  }
+
+  // Iterative Tarjan.
+  constexpr size_t kUnvisited = SIZE_MAX;
+  std::vector<size_t> low(n, 0), disc(n, kUnvisited), comp(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  size_t counter = 0, num_comps = 0;
+
+  struct Frame {
+    size_t v;
+    size_t edge_index;
+  };
+  for (size_t start = 0; start < n; ++start) {
+    if (disc[start] != kUnvisited) continue;
+    std::vector<Frame> frames = {{start, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      size_t v = f.v;
+      if (f.edge_index == 0) {
+        disc[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (f.edge_index < adj[v].size()) {
+        size_t w = adj[v][f.edge_index++];
+        if (disc[w] == kUnvisited) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], disc[w]);
+      }
+      if (descended) continue;
+      if (low[v] == disc[v]) {
+        for (;;) {
+          size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = num_comps;
+          if (w == v) break;
+        }
+        ++num_comps;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+
+  // Label each SCC by its max original id.
+  std::vector<uint64_t> max_id(num_comps, 0);
+  for (size_t i = 0; i < n; ++i) {
+    max_id[comp[i]] = std::max(max_id[comp[i]], index.to_id[i]);
+  }
+  ResultMap result;
+  for (size_t i = 0; i < n; ++i) {
+    result[index.to_id[i]] = static_cast<int64_t>(max_id[comp[i]]);
+  }
+  return result;
+}
+
+ResultMap MpspReference(
+    const std::vector<WeightedEdge>& edges,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  ResultMap result;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ResultMap dists = SsspReference(edges, pairs[i].first);
+    for (const auto& [v, d] : dists) {
+      result[Mpsp::PackKey(v, i)] = d;
+    }
+  }
+  return result;
+}
+
+}  // namespace gs::analytics

@@ -1,0 +1,52 @@
+// Sequential single-shot reference implementations (union-find, BFS,
+// Dijkstra, Tarjan, power iteration with the same fixed-point arithmetic as
+// the differential PageRank). These serve as oracles for the differential
+// algorithms in tests and as an independent check of the "scratch"
+// execution strategy.
+#ifndef GRAPHSURGE_ALGORITHMS_REFERENCE_H_
+#define GRAPHSURGE_ALGORITHMS_REFERENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gs::analytics {
+
+/// Result map: key → value, matching the differential VertexValue records.
+using ResultMap = std::map<uint64_t, int64_t>;
+
+/// Weakly connected components; label = min vertex id in the component.
+/// Only vertices incident to at least one edge appear.
+ResultMap WccReference(const std::vector<WeightedEdge>& edges);
+
+/// BFS hop counts from `source`. Matches the differential semantics: the
+/// root exists only if `source` has an outgoing edge; unreachable vertices
+/// are absent.
+ResultMap BfsReference(const std::vector<WeightedEdge>& edges,
+                       VertexId source);
+
+/// Single-source shortest paths over non-negative weights (Dijkstra),
+/// same reachability semantics as BfsReference.
+ResultMap SsspReference(const std::vector<WeightedEdge>& edges,
+                        VertexId source);
+
+/// PageRank after `iterations` rounds using the identical integer
+/// fixed-point update as analytics::PageRank.
+ResultMap PageRankReference(const std::vector<WeightedEdge>& edges,
+                            uint32_t iterations);
+
+/// Strongly connected components (iterative Tarjan); label = max vertex id
+/// in the SCC (matching the coloring algorithm's root labels). Only
+/// vertices incident to an edge appear.
+ResultMap SccReference(const std::vector<WeightedEdge>& edges);
+
+/// Multi-pair shortest paths; keys are Mpsp::PackKey(vertex, pair_index)
+/// for every vertex reachable from pair i's source.
+ResultMap MpspReference(const std::vector<WeightedEdge>& edges,
+                        const std::vector<std::pair<VertexId, VertexId>>& pairs);
+
+}  // namespace gs::analytics
+
+#endif  // GRAPHSURGE_ALGORITHMS_REFERENCE_H_

@@ -1,0 +1,151 @@
+#include "api/graphsurge.h"
+
+namespace gs {
+
+Graphsurge::Graphsurge(GraphsurgeOptions options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          options.num_workers == 0 ? 1 : options.num_workers)) {}
+
+Status Graphsurge::CheckNameFree(const std::string& name) const {
+  if (graphs_.count(name) || collections_.count(name) ||
+      aggregate_views_.count(name)) {
+    return Status::AlreadyExists("name '" + name + "' is already in use");
+  }
+  return Status::Ok();
+}
+
+Status Graphsurge::LoadGraphCsv(const std::string& name,
+                                const std::string& nodes_path,
+                                const std::string& edges_path) {
+  GS_RETURN_IF_ERROR(CheckNameFree(name));
+  GS_ASSIGN_OR_RETURN(PropertyGraph graph,
+                      LoadGraphFromCsv(nodes_path, edges_path));
+  graphs_.emplace(name, std::move(graph));
+  return Status::Ok();
+}
+
+Status Graphsurge::AddGraph(const std::string& name, PropertyGraph graph) {
+  GS_RETURN_IF_ERROR(CheckNameFree(name));
+  GS_RETURN_IF_ERROR(graph.Validate());
+  graphs_.emplace(name, std::move(graph));
+  return Status::Ok();
+}
+
+StatusOr<const PropertyGraph*> Graphsurge::GetGraph(
+    const std::string& name) const {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no graph or view named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Graphsurge::Execute(const std::string& gvdl) {
+  GS_ASSIGN_OR_RETURN(std::vector<gvdl::Statement> statements,
+                      gvdl::ParseScript(gvdl));
+  for (const gvdl::Statement& statement : statements) {
+    if (const auto* fv = std::get_if<gvdl::FilteredViewDef>(&statement)) {
+      GS_RETURN_IF_ERROR(CheckNameFree(fv->name));
+      GS_ASSIGN_OR_RETURN(const PropertyGraph* base, GetGraph(fv->on));
+      GS_ASSIGN_OR_RETURN(
+          PropertyGraph view,
+          views::MaterializeFilteredView(*base, fv->predicate, pool_.get()));
+      graphs_.emplace(fv->name, std::move(view));
+    } else if (const auto* vc =
+                   std::get_if<gvdl::ViewCollectionDef>(&statement)) {
+      GS_RETURN_IF_ERROR(CheckNameFree(vc->name));
+      GS_ASSIGN_OR_RETURN(const PropertyGraph* base, GetGraph(vc->on));
+      views::MaterializeOptions mopts;
+      mopts.use_ordering = options_.order_collections;
+      mopts.pool = pool_.get();
+      GS_ASSIGN_OR_RETURN(views::MaterializedCollection mc,
+                          views::MaterializeCollection(*base, *vc, mopts));
+      collections_.emplace(vc->name, std::move(mc));
+    } else if (const auto* av =
+                   std::get_if<gvdl::AggregateViewDef>(&statement)) {
+      GS_RETURN_IF_ERROR(CheckNameFree(av->name));
+      GS_ASSIGN_OR_RETURN(const PropertyGraph* base, GetGraph(av->on));
+      GS_ASSIGN_OR_RETURN(agg::AggregateView result,
+                          agg::ComputeAggregateView(*base, *av, pool_.get()));
+      aggregate_views_.emplace(av->name, std::move(result));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<const views::MaterializedCollection*> Graphsurge::GetCollection(
+    const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no view collection named '" + name + "'");
+  }
+  return &it->second;
+}
+
+StatusOr<const agg::AggregateView*> Graphsurge::GetAggregateView(
+    const std::string& name) const {
+  auto it = aggregate_views_.find(name);
+  if (it == aggregate_views_.end()) {
+    return Status::NotFound("no aggregate view named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Graphsurge::CreateCollection(
+    const std::string& name, const std::string& base_graph,
+    const std::vector<std::string>& view_names,
+    const std::vector<std::function<bool(EdgeId)>>& predicates,
+    const views::MaterializeOptions* materialize_options) {
+  GS_RETURN_IF_ERROR(CheckNameFree(name));
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* base, GetGraph(base_graph));
+  views::MaterializeOptions mopts;
+  if (materialize_options != nullptr) {
+    mopts = *materialize_options;
+  } else {
+    mopts.use_ordering = options_.order_collections;
+  }
+  if (mopts.pool == nullptr) mopts.pool = pool_.get();
+  GS_ASSIGN_OR_RETURN(
+      views::MaterializedCollection mc,
+      views::MaterializeCollectionWith(*base, name, view_names, predicates,
+                                       mopts));
+  mc.base_graph = base_graph;
+  collections_.emplace(name, std::move(mc));
+  return Status::Ok();
+}
+
+StatusOr<views::ExecutionResult> Graphsurge::RunComputation(
+    const analytics::Computation& computation,
+    const std::string& collection_name,
+    views::ExecutionOptions options) const {
+  GS_ASSIGN_OR_RETURN(const views::MaterializedCollection* collection,
+                      GetCollection(collection_name));
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* base,
+                      GetGraph(collection->base_graph));
+  if (options.dataflow.num_workers == 0) {
+    options.dataflow.num_workers = options_.num_workers;
+  }
+  return views::RunOnCollection(computation, *base, *collection, options);
+}
+
+StatusOr<analytics::ResultMap> Graphsurge::RunOnView(
+    const analytics::Computation& computation, const std::string& name,
+    views::ExecutionOptions options) const {
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* graph, GetGraph(name));
+  return views::RunOnGraph(computation, *graph, options);
+}
+
+std::vector<std::string> Graphsurge::GraphNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : graphs_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Graphsurge::CollectionNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : collections_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gs

@@ -1,0 +1,107 @@
+// The Graphsurge system facade (paper Figure 4): graph store, view &
+// collection store, GVDL entry point, and the analytics computation
+// executor with the ordering and adaptive splitting optimizers.
+//
+// Quickstart:
+//   gs::Graphsurge system;
+//   system.LoadGraphCsv("Calls", "nodes.csv", "edges.csv");
+//   system.Execute("create view collection C on Calls "
+//                  "[v1: year <= 2015], [v2: year <= 2019]");
+//   gs::analytics::Wcc wcc;
+//   auto result = system.RunComputation(wcc, "C", options);
+#ifndef GRAPHSURGE_API_GRAPHSURGE_H_
+#define GRAPHSURGE_API_GRAPHSURGE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "agg/aggregate_view.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/csv.h"
+#include "graph/graph.h"
+#include "gvdl/parser.h"
+#include "views/collection.h"
+#include "views/executor.h"
+
+namespace gs {
+
+struct GraphsurgeOptions {
+  /// Worker parallelism for view materialization and the engine's sharded
+  /// work accounting (paper: TD/DD workers).
+  size_t num_workers = 1;
+  /// Apply the collection ordering optimizer when materializing
+  /// collections (paper §4). Off by default, as in the paper's
+  /// user-given-order workloads.
+  bool order_collections = false;
+};
+
+/// The top-level system. Owns loaded graphs, materialized filtered views
+/// (as subgraphs), aggregate views, and view collections. All names share
+/// one namespace, as in the paper's GVDL (`on` may reference any graph or
+/// materialized filtered view).
+class Graphsurge {
+ public:
+  explicit Graphsurge(GraphsurgeOptions options = GraphsurgeOptions());
+
+  // --- Graph store ---------------------------------------------------------
+  Status LoadGraphCsv(const std::string& name, const std::string& nodes_path,
+                      const std::string& edges_path);
+  Status AddGraph(const std::string& name, PropertyGraph graph);
+  StatusOr<const PropertyGraph*> GetGraph(const std::string& name) const;
+
+  // --- GVDL ---------------------------------------------------------------
+  /// Executes one or more GVDL statements: materializes filtered views (as
+  /// subgraphs usable in later `on` clauses), view collections, and
+  /// aggregate views.
+  Status Execute(const std::string& gvdl);
+
+  StatusOr<const views::MaterializedCollection*> GetCollection(
+      const std::string& name) const;
+  StatusOr<const agg::AggregateView*> GetAggregateView(
+      const std::string& name) const;
+
+  /// Programmatic view collection over arbitrary edge predicates (for
+  /// applications whose views are not GVDL-expressible). `use_ordering`
+  /// overrides the system default; pass explicit_order for baselines.
+  Status CreateCollection(const std::string& name,
+                          const std::string& base_graph,
+                          const std::vector<std::string>& view_names,
+                          const std::vector<std::function<bool(EdgeId)>>&
+                              predicates,
+                          const views::MaterializeOptions* materialize_options
+                          = nullptr);
+
+  // --- Analytics -----------------------------------------------------------
+  /// Runs a computation over every view of a collection.
+  StatusOr<views::ExecutionResult> RunComputation(
+      const analytics::Computation& computation,
+      const std::string& collection_name,
+      views::ExecutionOptions options = views::ExecutionOptions()) const;
+
+  /// Runs a computation on a single graph or materialized view.
+  StatusOr<analytics::ResultMap> RunOnView(
+      const analytics::Computation& computation, const std::string& name,
+      views::ExecutionOptions options = views::ExecutionOptions()) const;
+
+  ThreadPool* pool() const { return pool_.get(); }
+  const GraphsurgeOptions& options() const { return options_; }
+
+  /// Names of stored graphs/views (diagnostics, examples).
+  std::vector<std::string> GraphNames() const;
+  std::vector<std::string> CollectionNames() const;
+
+ private:
+  Status CheckNameFree(const std::string& name) const;
+
+  GraphsurgeOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::map<std::string, PropertyGraph> graphs_;
+  std::map<std::string, views::MaterializedCollection> collections_;
+  std::map<std::string, agg::AggregateView> aggregate_views_;
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_API_GRAPHSURGE_H_

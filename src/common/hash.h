@@ -1,0 +1,63 @@
+// Hashing helpers: a strong 64-bit mixer and std::hash adapters for the
+// composite record types that flow through the differential engine.
+#ifndef GRAPHSURGE_COMMON_HASH_H_
+#define GRAPHSURGE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace gs {
+
+/// SplitMix64 finalizer: cheap and well-distributed; used to decorrelate
+/// std::hash's identity hashing of integers before sharding by key.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash value into a running seed (boost::hash_combine style,
+/// with a 64-bit constant).
+inline void HashCombine(uint64_t* seed, uint64_t v) {
+  *seed ^= Mix64(v) + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+template <typename T>
+uint64_t HashValue(const T& v) {
+  return Mix64(std::hash<T>{}(v));
+}
+
+template <typename A, typename B>
+uint64_t HashValue(const std::pair<A, B>& p) {
+  uint64_t seed = HashValue(p.first);
+  HashCombine(&seed, HashValue(p.second));
+  return seed;
+}
+
+template <typename... Ts>
+uint64_t HashValue(const std::tuple<Ts...>& t) {
+  uint64_t seed = 0x8c0e2f1a5b3d9e77ULL;
+  std::apply(
+      [&seed](const auto&... elems) {
+        (HashCombine(&seed, HashValue(elems)), ...);
+      },
+      t);
+  return seed;
+}
+
+/// Hash functor usable as the Hash template parameter of unordered
+/// containers for any type supported by HashValue above.
+struct Hasher {
+  template <typename T>
+  size_t operator()(const T& v) const {
+    return static_cast<size_t>(HashValue(v));
+  }
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_COMMON_HASH_H_

@@ -1,0 +1,55 @@
+// Minimal leveled logging with compile-out-able debug level.
+#ifndef GRAPHSURGE_COMMON_LOGGING_H_
+#define GRAPHSURGE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. `fatal` aborts the process
+/// after emitting (used by GS_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gs
+
+#define GS_LOG(level)                                             \
+  ::gs::internal::LogMessage(::gs::LogLevel::k##level, __FILE__, \
+                             __LINE__)
+
+// Invariant check that is active in all build types. Prefer this over assert
+// for engine invariants whose violation would silently corrupt results.
+#define GS_CHECK(cond)                                                        \
+  if (!(cond))                                                                \
+  ::gs::internal::LogMessage(::gs::LogLevel::kError, __FILE__, __LINE__,      \
+                             /*fatal=*/true)                                  \
+      << "Check failed: " #cond " "
+
+#endif  // GRAPHSURGE_COMMON_LOGGING_H_

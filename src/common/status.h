@@ -1,0 +1,137 @@
+// Status and StatusOr: exception-free error handling, following the Google
+// style used across this codebase (see DESIGN.md §7).
+#ifndef GRAPHSURGE_COMMON_STATUS_H_
+#define GRAPHSURGE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gs {
+
+/// Canonical error space, deliberately small.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kParseError,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result carrying a code and message. Cheap to move;
+/// OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Access to the value when holding an error aborts in
+/// debug builds (assert); callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors up the stack: `GS_RETURN_IF_ERROR(DoThing());`
+#define GS_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::gs::Status _gs_status = (expr);             \
+    if (!_gs_status.ok()) return _gs_status;      \
+  } while (0)
+
+// Assign-or-return for StatusOr: `GS_ASSIGN_OR_RETURN(auto v, Make());`
+#define GS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+#define GS_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define GS_ASSIGN_OR_RETURN_NAME(a, b) GS_ASSIGN_OR_RETURN_CAT(a, b)
+#define GS_ASSIGN_OR_RETURN(lhs, expr) \
+  GS_ASSIGN_OR_RETURN_IMPL(GS_ASSIGN_OR_RETURN_NAME(_gs_or, __LINE__), lhs, expr)
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_COMMON_STATUS_H_

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gs {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForShards(n, [&fn](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForShards(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t shards = std::min(num_threads(), n);
+  if (shards <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  size_t chunk = (n + shards - 1) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t begin = s * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    Submit([&fn, s, begin, end] { fn(s, begin, end); });
+  }
+  Wait();
+}
+
+}  // namespace gs

@@ -1,0 +1,59 @@
+// A small fixed-size thread pool with a ParallelFor helper. Used by the
+// embarrassingly parallel view-materialization steps (EBM, difference
+// streams, Hamming distances) and by the engine's sharded operators.
+#ifndef GRAPHSURGE_COMMON_THREAD_POOL_H_
+#define GRAPHSURGE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gs {
+
+/// Fixed-size worker pool. With num_threads == 1 (or 0) all work runs inline
+/// on the calling thread, which keeps single-core runs overhead-free.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  /// Enqueues a task; returns immediately. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), partitioned into num_threads() contiguous
+  /// chunks. Blocks until done. fn must be safe to call concurrently for
+  /// distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(shard, begin, end) over num_threads() contiguous index ranges
+  /// covering [0, n). Blocks until done.
+  void ParallelForShards(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,36 @@
+// Wall-clock timing utilities used by the adaptive optimizer and benches.
+#ifndef GRAPHSURGE_COMMON_TIMER_H_
+#define GRAPHSURGE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gs {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  int64_t Micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_COMMON_TIMER_H_

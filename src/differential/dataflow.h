@@ -1,0 +1,325 @@
+// Dataflow construction and execution: operators, publishers, streams, and
+// the per-version driver loop. See DESIGN.md §3 for the execution model.
+//
+// Usage sketch (Bellman-Ford-like):
+//
+//   Dataflow df;
+//   auto edges = df.NewInput<WeightedEdge>();
+//   auto roots = df.NewInput<std::pair<VertexId, int64_t>>();
+//   auto dists = Iterate<std::pair<VertexId, int64_t>>(
+//       roots.stream(), [&](LoopScope& scope, auto inner) {
+//         auto e = scope.Enter(edges.stream());
+//         ...
+//       });
+//   auto capture = Capture(dists);
+//   edges.Send(...); roots.Send(...);
+//   df.Step();   // version 0 to fixpoint
+//   edges.Send(...);  // differences only
+//   df.Step();   // version 1 shares computation
+#ifndef GRAPHSURGE_DIFFERENTIAL_DATAFLOW_H_
+#define GRAPHSURGE_DIFFERENTIAL_DATAFLOW_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "differential/scheduler.h"
+#include "differential/time.h"
+#include "differential/update.h"
+
+namespace gs::differential {
+
+class Dataflow;
+
+/// Execution parameters.
+struct DataflowOptions {
+  /// Shard count for keyed operators (join/reduce); 1 = serial. Mirrors
+  /// Timely worker parallelism in-process.
+  size_t num_workers = 1;
+  /// Safety cap on events processed within one version (divergence guard).
+  uint64_t max_events_per_version = 1ull << 34;
+  /// Default cap on loop iterations (Iterate may override per-scope).
+  uint32_t max_iterations = 1u << 20;
+};
+
+/// Aggregate counters. `updates_published` is the engine's measure of work
+/// performed; the scalability bench derives modeled critical-path time from
+/// the per-shard breakdown kept by keyed operators.
+struct DataflowStats {
+  uint64_t updates_published = 0;
+  uint64_t join_matches = 0;
+  uint64_t reduce_evaluations = 0;
+  uint64_t batches_published = 0;
+  /// Work attributed to each key shard (hash(key) % num_workers) by keyed
+  /// operators. The scalability bench derives the modeled critical-path
+  /// time of a W-worker run as max(shard_work) / mean(shard_work).
+  std::vector<uint64_t> shard_work;
+
+  void AddShardWork(uint64_t key_hash, uint64_t amount) {
+    if (!shard_work.empty()) {
+      shard_work[key_hash % shard_work.size()] += amount;
+    }
+  }
+};
+
+/// Base class of all operators; concrete operators are created through
+/// Dataflow::AddOperator and owned by the Dataflow.
+///
+/// Delivery model: linear (stateless) operators run synchronously inside
+/// Publisher::Publish. Stateful operators (join, reduce, scope egress)
+/// instead buffer incoming batches per timestamp in InputPorts and call
+/// RequestRun(t); the scheduler then invokes RunAt(t) exactly once per
+/// pending (operator, time), which drains *all* buffered input at t
+/// atomically. This per-timestamp atomicity mirrors DD's frontier-batched
+/// operator execution and is essential: processing a retraction and its
+/// matching re-assertion separately would send transient correction pairs
+/// around feedback loops forever.
+class OperatorBase {
+ public:
+  OperatorBase(Dataflow* dataflow, std::string name);
+  virtual ~OperatorBase() = default;
+
+  uint32_t order() const { return order_; }
+  const std::string& name() const { return name_; }
+
+  /// Hook called when Step() begins (inputs flush their buffers here).
+  virtual void OnStepBegin(uint32_t version) {}
+  /// Hook called after a version reaches quiescence (traces compact here).
+  virtual void OnVersionSealed(uint32_t version) {}
+
+ protected:
+  /// Schedules RunAt(t) unless one is already pending for t.
+  void RequestRun(const Time& time);
+
+  /// Stateful operators override this to drain their ports at `time`.
+  virtual void RunAt(const Time& time) {}
+
+  Dataflow* dataflow_;
+
+ private:
+  uint32_t order_ = 0;
+  std::string name_;
+  std::set<Time, TimeLexLess> run_pending_;
+};
+
+/// A per-timestamp input buffer for stateful operators.
+template <typename D>
+class InputPort {
+ public:
+  void Append(const Time& time, const Batch<D>& batch) {
+    Batch<D>& pending = buffers_[time];
+    pending.insert(pending.end(), batch.begin(), batch.end());
+  }
+
+  /// Removes and returns the (consolidated) buffered batch at `time`.
+  Batch<D> Take(const Time& time) {
+    auto it = buffers_.find(time);
+    if (it == buffers_.end()) return {};
+    Batch<D> batch = std::move(it->second);
+    buffers_.erase(it);
+    Consolidate(&batch);
+    return batch;
+  }
+
+ private:
+  std::map<Time, Batch<D>, TimeLexLess> buffers_;
+};
+
+/// Fan-out point owned by a producing operator. Publishing consolidates the
+/// batch and schedules one delivery event per subscriber.
+template <typename D>
+class Publisher {
+ public:
+  using Callback = std::function<void(const Time&, const Batch<D>&)>;
+
+  void Subscribe(uint32_t op_order, Callback callback) {
+    subscribers_.push_back(
+        std::make_unique<Subscriber>(Subscriber{op_order, std::move(callback)}));
+  }
+
+  void Publish(Dataflow* dataflow, const Time& time, Batch<D>&& batch);
+
+ private:
+  struct Subscriber {
+    uint32_t op_order;
+    Callback callback;
+  };
+  // unique_ptr for address stability: scheduled events hold pointers to the
+  // callback while later Subscribe calls may grow the vector.
+  std::vector<std::unique_ptr<Subscriber>> subscribers_;
+};
+
+/// A lightweight handle to an operator's output. Copyable; valid as long as
+/// the Dataflow lives. Fluent transformation methods are defined in
+/// operators.h / join.h / reduce.h / iterate.h (include differential.h).
+template <typename D>
+class Stream {
+ public:
+  Stream() = default;
+  Stream(Dataflow* dataflow, Publisher<D>* publisher)
+      : dataflow_(dataflow), publisher_(publisher) {}
+
+  Dataflow* dataflow() const { return dataflow_; }
+  Publisher<D>* publisher() const { return publisher_; }
+  bool valid() const { return publisher_ != nullptr; }
+
+  // Fluent API (definitions in operators.h and friends).
+  template <typename Fn>
+  auto Map(Fn fn) const;  // Stream<result_of Fn(D)>
+  template <typename Fn>
+  Stream<D> Filter(Fn fn) const;
+  template <typename Fn>
+  auto FlatMap(Fn fn) const;  // Fn(D, std::vector<Out>*)
+  Stream<D> Concat(Stream<D> other) const;
+  Stream<D> Negate() const;
+  Stream<D> InspectBatches(
+      std::function<void(const Time&, const Batch<D>&)> fn) const;
+
+ private:
+  Dataflow* dataflow_ = nullptr;
+  Publisher<D>* publisher_ = nullptr;
+};
+
+/// The dataflow graph plus its execution state.
+class Dataflow {
+ public:
+  explicit Dataflow(DataflowOptions options = DataflowOptions())
+      : options_(options) {
+    stats_.shard_work.assign(options_.num_workers, 0);
+  }
+
+  Dataflow(const Dataflow&) = delete;
+  Dataflow& operator=(const Dataflow&) = delete;
+
+  const DataflowOptions& options() const { return options_; }
+  Scheduler& scheduler() { return scheduler_; }
+  DataflowStats& stats() { return stats_; }
+  const DataflowStats& stats() const { return stats_; }
+
+  /// Constructs and takes ownership of an operator.
+  template <typename Op, typename... Args>
+  Op* AddOperator(Args&&... args) {
+    auto op = std::make_unique<Op>(this, std::forward<Args>(args)...);
+    Op* raw = op.get();
+    operators_.push_back(std::move(op));
+    return raw;
+  }
+
+  uint32_t RegisterOperator(OperatorBase* op) {
+    registered_.push_back(op);
+    return static_cast<uint32_t>(registered_.size() - 1);
+  }
+
+  /// The version the next Step() will process.
+  uint32_t current_version() const { return version_; }
+
+  /// Flushes all input buffers at the current version, runs the scheduler
+  /// to quiescence (the differential fixpoint), seals the version, and
+  /// advances. Returns an error if the event cap is exceeded.
+  Status Step() {
+    for (OperatorBase* op : registered_) op->OnStepBegin(version_);
+    uint64_t start_events = scheduler_.events_processed();
+    while (scheduler_.RunOne()) {
+      if (scheduler_.events_processed() - start_events >
+          options_.max_events_per_version) {
+        return Status::Internal(
+            "event cap exceeded at version " + std::to_string(version_) +
+            " — computation may not converge");
+      }
+    }
+    for (OperatorBase* op : registered_) op->OnVersionSealed(version_);
+    ++version_;
+    return Status::Ok();
+  }
+
+  size_t num_operators() const { return registered_.size(); }
+
+ private:
+  DataflowOptions options_;
+  Scheduler scheduler_;
+  DataflowStats stats_;
+  std::vector<std::unique_ptr<OperatorBase>> operators_;
+  std::vector<OperatorBase*> registered_;
+  uint32_t version_ = 0;
+};
+
+inline OperatorBase::OperatorBase(Dataflow* dataflow, std::string name)
+    : dataflow_(dataflow), name_(std::move(name)) {
+  order_ = dataflow->RegisterOperator(this);
+}
+
+inline void OperatorBase::RequestRun(const Time& time) {
+  if (!run_pending_.insert(time).second) return;
+  dataflow_->scheduler().Schedule(time, order_, [this, time] {
+    run_pending_.erase(time);
+    RunAt(time);
+  });
+}
+
+template <typename D>
+void Publisher<D>::Publish(Dataflow* dataflow, const Time& time,
+                           Batch<D>&& batch) {
+  Consolidate(&batch);
+  if (batch.empty() || subscribers_.empty()) return;
+  dataflow->stats().updates_published += batch.size();
+  dataflow->stats().batches_published += 1;
+  // Synchronous fan-out: linear subscribers process (and re-publish)
+  // immediately; stateful subscribers buffer into an InputPort and schedule
+  // a RunAt through the scheduler.
+  for (const auto& sub : subscribers_) {
+    sub->callback(time, batch);
+  }
+}
+
+/// An input: buffers updates between Steps and publishes them as one batch
+/// at the version being stepped.
+template <typename D>
+class InputOp : public OperatorBase {
+ public:
+  explicit InputOp(Dataflow* dataflow) : OperatorBase(dataflow, "input") {}
+
+  /// Buffers an update for the next Step().
+  void Send(D data, Diff diff) {
+    buffer_.push_back(Update<D>{std::move(data), diff});
+  }
+  void SendBatch(Batch<D> batch) {
+    buffer_.insert(buffer_.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  }
+
+  void OnStepBegin(uint32_t version) override {
+    output_.Publish(dataflow_, Time(version), std::move(buffer_));
+    buffer_.clear();
+  }
+
+  Stream<D> stream() { return Stream<D>(dataflow_, &output_); }
+
+ private:
+  Publisher<D> output_;
+  Batch<D> buffer_;
+};
+
+/// Convenience holder pairing a Dataflow with a new input operator.
+template <typename D>
+class Input {
+ public:
+  explicit Input(Dataflow* dataflow)
+      : op_(dataflow->AddOperator<InputOp<D>>()) {}
+
+  void Send(D data, Diff diff = 1) { op_->Send(std::move(data), diff); }
+  void SendBatch(Batch<D> batch) { op_->SendBatch(std::move(batch)); }
+  Stream<D> stream() const { return op_->stream(); }
+
+ private:
+  InputOp<D>* op_;
+};
+
+}  // namespace gs::differential
+
+#endif  // GRAPHSURGE_DIFFERENTIAL_DATAFLOW_H_

@@ -1,0 +1,20 @@
+// Umbrella header for the differential computation engine.
+//
+// The engine implements differential computation (Abadi–McSherry–Plotkin;
+// McSherry et al., CIDR'13) specialized to totally ordered version
+// sequences — the exact structure of Graphsurge view collections. See
+// DESIGN.md §3 for the execution model and the correctness argument.
+#ifndef GRAPHSURGE_DIFFERENTIAL_DIFFERENTIAL_H_
+#define GRAPHSURGE_DIFFERENTIAL_DIFFERENTIAL_H_
+
+#include "differential/dataflow.h"   // IWYU pragma: export
+#include "differential/iterate.h"    // IWYU pragma: export
+#include "differential/join.h"       // IWYU pragma: export
+#include "differential/operators.h"  // IWYU pragma: export
+#include "differential/reduce.h"     // IWYU pragma: export
+#include "differential/scheduler.h"  // IWYU pragma: export
+#include "differential/time.h"       // IWYU pragma: export
+#include "differential/trace.h"      // IWYU pragma: export
+#include "differential/update.h"     // IWYU pragma: export
+
+#endif  // GRAPHSURGE_DIFFERENTIAL_DIFFERENTIAL_H_

@@ -1,0 +1,218 @@
+// Differential group-by-key reduction.
+//
+// For each key, the operator maintains the full timestamped input history
+// and the output history it has emitted. When diffs for a key arrive at
+// time t it re-evaluates the user function at every "interesting" time —
+// the lub-closure of {t} over the key's input history — and emits output
+// corrections `f(input@u) - output@u`. This is DD's reduce restricted to
+// totally ordered versions; the closure argument for correctness under
+// arbitrary processing order is spelled out in DESIGN.md §3.1.
+#ifndef GRAPHSURGE_DIFFERENTIAL_REDUCE_H_
+#define GRAPHSURGE_DIFFERENTIAL_REDUCE_H_
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "differential/dataflow.h"
+#include "differential/trace.h"
+
+namespace gs::differential {
+
+/// Reduce with user function
+///   void fn(const K& key, const Batch<V>& input, Batch<Out>* output)
+/// where `input` is the key's consolidated value multiset (counts normally
+/// positive; transiently negative counts are possible mid-fixpoint and must
+/// be tolerated) and `output` receives the desired output multiset.
+/// Keys whose input multiset is empty produce no output (DD convention).
+template <typename K, typename V, typename Out, typename Fn>
+class ReduceOp : public OperatorBase {
+ public:
+  ReduceOp(Dataflow* dataflow, Stream<std::pair<K, V>> in, Fn fn)
+      : OperatorBase(dataflow, "reduce"), fn_(std::move(fn)) {
+    in.publisher()->Subscribe(
+        order(), [this](const Time& t, const Batch<std::pair<K, V>>& b) {
+          port_.Append(t, b);
+          RequestRun(t);
+        });
+  }
+
+  Stream<std::pair<K, Out>> stream() {
+    return Stream<std::pair<K, Out>>(dataflow_, &output_);
+  }
+
+  void OnVersionSealed(uint32_t version) override {
+    input_.CompactTo(version);
+    output_trace_.CompactTo(version);
+  }
+
+ private:
+  // Processing model: a key touched at time t is (re-)evaluated at t only.
+  // "Interesting" future times — lubs of t with the key's history — are
+  // *scheduled* as pending visits rather than evaluated eagerly; when that
+  // time is reached the visit coalesces with any diffs that arrive there
+  // anyway. This deferral is what keeps differential re-execution
+  // proportional to the change volume (the eager alternative evaluates
+  // O(#iterations²) times per key per version).
+  void RunAt(const Time& time) override {
+    Batch<std::pair<K, V>> batch = port_.Take(time);
+    std::vector<K> keys;
+    auto pending = pending_keys_.find(time);
+    if (pending != pending_keys_.end()) {
+      keys.assign(pending->second.begin(), pending->second.end());
+      pending_keys_.erase(pending);
+    }
+    keys.reserve(keys.size() + batch.size());
+    for (const auto& u : batch) {
+      input_.Insert(u.data.first, u.data.second, time, u.diff);
+      keys.push_back(u.data.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    if (keys.empty()) return;
+
+    Batch<std::pair<K, Out>> out;
+    for (const K& key : keys) {
+      EvaluateKeyAt(key, time, &out);
+    }
+    output_.Publish(dataflow_, time, std::move(out));
+  }
+
+  // Registers a future re-evaluation of `key` at `u`.
+  void ScheduleKeyVisit(const Time& u, const K& key) {
+    pending_keys_[u].insert(key);
+    RequestRun(u);  // deduplicated by OperatorBase
+  }
+
+  // Evaluates `key` at exactly `time` and schedules its future interesting
+  // times.
+  void EvaluateKeyAt(const K& key, const Time& time,
+                     Batch<std::pair<K, Out>>* out) {
+    const auto* history = input_.Get(key);
+    if (history == nullptr) return;
+
+    for (const auto& entry : *history) {
+      Time lub = time.Lub(entry.time);
+      if (!(lub == time)) ScheduleKeyVisit(lub, key);
+    }
+
+    dataflow_->stats().reduce_evaluations++;
+    // Member scratch buffers: EvaluateKeyAt runs millions of times; per-call
+    // vector allocations dominate otherwise.
+    Batch<V>& in_u = scratch_in_;
+    in_u.clear();
+    input_.Accumulate(key, time, &in_u);
+
+    Batch<Out>& desired = scratch_desired_;
+    desired.clear();
+    if (!in_u.empty()) {
+      fn_(key, in_u, &desired);
+      Consolidate(&desired);
+    }
+
+    Batch<Out>& current = scratch_current_;
+    current.clear();
+    output_trace_.Accumulate(key, time, &current);
+
+    // delta = desired - current (both consolidated & sorted).
+    Batch<Out>& delta = scratch_delta_;
+    delta.clear();
+    size_t i = 0, j = 0;
+    while (i < desired.size() || j < current.size()) {
+      if (j >= current.size() ||
+          (i < desired.size() && desired[i].data < current[j].data)) {
+        delta.push_back(desired[i++]);
+      } else if (i >= desired.size() || current[j].data < desired[i].data) {
+        delta.push_back(Update<Out>{current[j].data, -current[j].diff});
+        ++j;
+      } else {
+        Diff d = desired[i].diff - current[j].diff;
+        if (d != 0) delta.push_back(Update<Out>{desired[i].data, d});
+        ++i;
+        ++j;
+      }
+    }
+    if (delta.empty()) return;
+    dataflow_->stats().AddShardWork(HashValue(key), in_u.size() + delta.size());
+    for (const Update<Out>& d : delta) {
+      output_trace_.Insert(key, d.data, time, d.diff);
+      out->push_back(Update<std::pair<K, Out>>{{key, d.data}, d.diff});
+    }
+  }
+
+  Fn fn_;
+  InputPort<std::pair<K, V>> port_;
+  std::map<Time, std::set<K>, TimeLexLess> pending_keys_;
+  Trace<K, V> input_;
+  Trace<K, Out> output_trace_;
+  Publisher<std::pair<K, Out>> output_;
+  Batch<V> scratch_in_;
+  Batch<Out> scratch_desired_;
+  Batch<Out> scratch_current_;
+  Batch<Out> scratch_delta_;
+};
+
+/// Groups a keyed stream and applies `fn` per key (see ReduceOp).
+template <typename Out, typename K, typename V, typename Fn>
+Stream<std::pair<K, Out>> Reduce(Stream<std::pair<K, V>> in, Fn fn) {
+  auto* op = in.dataflow()->template AddOperator<ReduceOp<K, V, Out, Fn>>(
+      in, std::move(fn));
+  return op->stream();
+}
+
+/// Keeps, per key, the minimum value with multiplicity one (e.g. shortest
+/// distance, smallest component label). Values with non-positive net counts
+/// are ignored.
+template <typename K, typename V>
+Stream<std::pair<K, V>> ReduceMin(Stream<std::pair<K, V>> in) {
+  return Reduce<V>(in, [](const K&, const Batch<V>& input, Batch<V>* output) {
+    const V* best = nullptr;
+    for (const Update<V>& u : input) {
+      if (u.diff > 0 && (best == nullptr || u.data < *best)) best = &u.data;
+    }
+    if (best != nullptr) output->push_back(Update<V>{*best, 1});
+  });
+}
+
+/// Keeps, per key, the maximum value with multiplicity one.
+template <typename K, typename V>
+Stream<std::pair<K, V>> ReduceMax(Stream<std::pair<K, V>> in) {
+  return Reduce<V>(in, [](const K&, const Batch<V>& input, Batch<V>* output) {
+    const V* best = nullptr;
+    for (const Update<V>& u : input) {
+      if (u.diff > 0 && (best == nullptr || *best < u.data)) best = &u.data;
+    }
+    if (best != nullptr) output->push_back(Update<V>{*best, 1});
+  });
+}
+
+/// Per-key count of records (with multiplicity).
+template <typename K, typename V>
+Stream<std::pair<K, int64_t>> Count(Stream<std::pair<K, V>> in) {
+  return Reduce<int64_t>(
+      in, [](const K&, const Batch<V>& input, Batch<int64_t>* output) {
+        Diff total = 0;
+        for (const Update<V>& u : input) total += u.diff;
+        if (total != 0) output->push_back(Update<int64_t>{total, 1});
+      });
+}
+
+/// Set-semantics projection: every record present with positive count
+/// appears exactly once.
+template <typename D>
+Stream<D> Distinct(Stream<D> in) {
+  auto keyed = in.Map([](const D& d) { return std::make_pair(d, true); });
+  auto reduced = Reduce<bool>(
+      keyed, [](const D&, const Batch<bool>& input, Batch<bool>* output) {
+        Diff total = 0;
+        for (const Update<bool>& u : input) total += u.diff;
+        if (total > 0) output->push_back(Update<bool>{true, 1});
+      });
+  return reduced.Map([](const std::pair<D, bool>& p) { return p.first; });
+}
+
+}  // namespace gs::differential
+
+#endif  // GRAPHSURGE_DIFFERENTIAL_REDUCE_H_

@@ -1,0 +1,76 @@
+// The event scheduler: a priority queue over (lexicographic time, operator
+// order, sequence) keys. Lexicographic time order is a linear extension of
+// the product partial order, so on acyclic dataflow paths every diff at a
+// time s ≤ t is applied before work at t runs. Across feedback edges strict
+// ordering is impossible; engine correctness does not depend on it because
+// stateful operators emit corrections for late-arriving diffs (DESIGN.md
+// §3.1) — the ordering here is an efficiency heuristic.
+#ifndef GRAPHSURGE_DIFFERENTIAL_SCHEDULER_H_
+#define GRAPHSURGE_DIFFERENTIAL_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "differential/time.h"
+
+namespace gs::differential {
+
+/// Total order key for scheduled events.
+struct EventKey {
+  Time time;
+  uint32_t op_order = 0;  // creation order of the receiving operator
+  uint64_t seq = 0;       // global tie-breaker (FIFO)
+
+  bool operator>(const EventKey& other) const {
+    if (!(time == other.time)) return other.time.LexLess(time);
+    if (op_order != other.op_order) return op_order > other.op_order;
+    return seq > other.seq;
+  }
+};
+
+/// Min-heap event loop.
+class Scheduler {
+ public:
+  void Schedule(const Time& time, uint32_t op_order,
+                std::function<void()> action) {
+    queue_.push(Event{EventKey{time, op_order, next_seq_++},
+                      std::move(action)});
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Pops and runs the minimum event. Returns false if empty.
+  bool RunOne() {
+    if (queue_.empty()) return false;
+    // Move the action out before popping so re-entrant Schedule calls from
+    // inside the action cannot invalidate it.
+    std::function<void()> action = std::move(
+        const_cast<Event&>(queue_.top()).action);
+    queue_.pop();
+    ++events_processed_;
+    action();
+    return true;
+  }
+
+  /// Key of the next pending event; only valid when !empty().
+  const EventKey& PeekKey() const { return queue_.top().key; }
+
+ private:
+  struct Event {
+    EventKey key;
+    std::function<void()> action;
+    bool operator>(const Event& other) const { return key > other.key; }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace gs::differential
+
+#endif  // GRAPHSURGE_DIFFERENTIAL_SCHEDULER_H_

@@ -1,0 +1,139 @@
+// Keyed traces (DD "arrangements"): per-key histories of timestamped value
+// updates. Join and Reduce are built on traces; traces compact once a
+// version is sealed (no future batch can carry an earlier version).
+#ifndef GRAPHSURGE_DIFFERENTIAL_TRACE_H_
+#define GRAPHSURGE_DIFFERENTIAL_TRACE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "differential/time.h"
+#include "differential/update.h"
+
+namespace gs::differential {
+
+/// Per-key history of (value, time, diff) entries.
+template <typename K, typename V>
+class Trace {
+ public:
+  struct Entry {
+    V value;
+    Time time;
+    Diff diff;
+  };
+  using History = std::vector<Entry>;
+
+  void Insert(const K& key, const V& value, const Time& time, Diff diff) {
+    if (diff == 0) return;
+    History& h = map_[key];
+    h.push_back(Entry{value, time, diff});
+    total_entries_++;
+    dirty_.push_back(key);
+    // Lazy per-key compaction keeps hot keys bounded between seals.
+    if (h.size() >= 64 && h.size() % 64 == 0) {
+      size_t before = h.size();
+      CompactHistory(&h, sealed_version_);
+      total_entries_ -= before - h.size();
+    }
+  }
+
+  /// Returns the key's history, or nullptr.
+  const History* Get(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Accumulates the key's value multiset at `time` (sum of diffs over all
+  /// entries with entry.time ≤ time in the product order). Appends net
+  /// non-zero (value, count) pairs to `out` (consolidated).
+  void Accumulate(const K& key, const Time& time, Batch<V>* out) const {
+    const History* h = Get(key);
+    if (h == nullptr) return;
+    size_t base = out->size();
+    for (const Entry& e : *h) {
+      if (e.time.LessEq(time)) out->push_back(Update<V>{e.value, e.diff});
+    }
+    if (base == 0) {
+      Consolidate(out);
+    } else if (out->size() - base > 1) {
+      // Consolidate just the appended region.
+      Batch<V> region(out->begin() + base, out->end());
+      Consolidate(&region);
+      out->resize(base);
+      out->insert(out->end(), region.begin(), region.end());
+    } else if (out->size() - base == 1 && out->back().diff == 0) {
+      out->pop_back();
+    }
+  }
+
+  /// Compacts the histories of keys touched since the last compaction:
+  /// entries with version < `sealed_version` are rewritten to
+  /// `sealed_version` (legal because all future query and lub times have
+  /// version ≥ sealed_version and the product-order relation to any such
+  /// time is unchanged), then merged. Converged iterative computations
+  /// collapse to near-minimal size. Restricting the sweep to dirty keys
+  /// keeps per-version maintenance proportional to the update volume —
+  /// untouched keys' histories cannot have changed.
+  void CompactTo(uint32_t sealed_version) {
+    sealed_version_ = sealed_version;
+    std::sort(dirty_.begin(), dirty_.end());
+    dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+    for (const K& key : dirty_) {
+      auto it = map_.find(key);
+      if (it == map_.end()) continue;
+      size_t before = it->second.size();
+      CompactHistory(&it->second, sealed_version);
+      total_entries_ -= before - it->second.size();
+      if (it->second.empty()) map_.erase(it);
+    }
+    dirty_.clear();
+  }
+
+  size_t num_keys() const { return map_.size(); }
+  size_t total_entries() const { return total_entries_; }
+
+  /// Iteration support (tests, capture).
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  // Rewrites entries older than the sealed frontier to it, then sorts by
+  // (value, lex time) and merges equal (value, time) entries.
+  static void CompactHistory(History* h, uint32_t sealed_version) {
+    for (Entry& e : *h) {
+      if (e.time.version < sealed_version) e.time.version = sealed_version;
+    }
+    std::sort(h->begin(), h->end(), [](const Entry& a, const Entry& b) {
+      if (a.value != b.value) return a.value < b.value;
+      return a.time.LexLess(b.time);
+    });
+    size_t out = 0;
+    for (size_t i = 0; i < h->size();) {
+      size_t j = i;
+      Diff total = 0;
+      while (j < h->size() && (*h)[j].value == (*h)[i].value &&
+             (*h)[j].time == (*h)[i].time) {
+        total += (*h)[j].diff;
+        ++j;
+      }
+      if (total != 0) {
+        (*h)[out] = (*h)[i];
+        (*h)[out].diff = total;
+        ++out;
+      }
+      i = j;
+    }
+    h->resize(out);
+  }
+
+  std::unordered_map<K, History, Hasher> map_;
+  std::vector<K> dirty_;  // keys inserted since the last CompactTo
+  size_t total_entries_ = 0;
+  uint32_t sealed_version_ = 0;
+};
+
+}  // namespace gs::differential
+
+#endif  // GRAPHSURGE_DIFFERENTIAL_TRACE_H_

@@ -1,0 +1,232 @@
+#include "graph/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace gs {
+namespace csv_internal {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace csv_internal
+
+namespace {
+
+using csv_internal::SplitCsvLine;
+
+struct HeaderSpec {
+  std::vector<std::string> names;
+  std::vector<PropertyType> types;
+};
+
+// Parses "name:type" columns after `skip` leading id columns.
+StatusOr<HeaderSpec> ParseHeader(const std::string& line, size_t skip,
+                                 const char* file_kind) {
+  HeaderSpec spec;
+  std::vector<std::string> fields = SplitCsvLine(line);
+  if (fields.size() < skip) {
+    return Status::ParseError(std::string(file_kind) +
+                              " header has too few columns");
+  }
+  for (size_t i = skip; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    size_t colon = f.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("property column '" + f +
+                                "' missing ':type' suffix");
+    }
+    spec.names.push_back(f.substr(0, colon));
+    GS_ASSIGN_OR_RETURN(PropertyType t, ParsePropertyType(f.substr(colon + 1)));
+    spec.types.push_back(t);
+  }
+  return spec;
+}
+
+StatusOr<uint64_t> ParseU64(const std::string& text) {
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("bad id: '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+StatusOr<PropertyGraph> LoadGraphFromCsv(const std::string& nodes_path,
+                                         const std::string& edges_path) {
+  PropertyGraph graph;
+  std::unordered_map<uint64_t, VertexId> id_map;
+
+  {
+    std::ifstream in(nodes_path);
+    if (!in) return Status::IoError("cannot open " + nodes_path);
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::ParseError(nodes_path + " is empty");
+    }
+    GS_ASSIGN_OR_RETURN(HeaderSpec spec, ParseHeader(line, 1, "nodes"));
+    for (size_t i = 0; i < spec.names.size(); ++i) {
+      GS_RETURN_IF_ERROR(
+          graph.node_properties().AddColumn(spec.names[i], spec.types[i]));
+    }
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      std::vector<std::string> fields = SplitCsvLine(line);
+      if (fields.size() != spec.names.size() + 1) {
+        return Status::ParseError(nodes_path + ":" + std::to_string(lineno) +
+                                  ": wrong field count");
+      }
+      GS_ASSIGN_OR_RETURN(uint64_t ext_id, ParseU64(fields[0]));
+      if (id_map.count(ext_id)) {
+        return Status::ParseError(nodes_path + ":" + std::to_string(lineno) +
+                                  ": duplicate node id");
+      }
+      id_map[ext_id] = graph.AddNodes(1);
+      std::vector<PropertyValue> row;
+      row.reserve(spec.names.size());
+      for (size_t i = 0; i < spec.names.size(); ++i) {
+        GS_ASSIGN_OR_RETURN(PropertyValue v,
+                            PropertyValue::Parse(fields[i + 1], spec.types[i]));
+        row.push_back(std::move(v));
+      }
+      GS_RETURN_IF_ERROR(graph.node_properties().AppendRow(row));
+    }
+  }
+
+  {
+    std::ifstream in(edges_path);
+    if (!in) return Status::IoError("cannot open " + edges_path);
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::ParseError(edges_path + " is empty");
+    }
+    GS_ASSIGN_OR_RETURN(HeaderSpec spec, ParseHeader(line, 2, "edges"));
+    for (size_t i = 0; i < spec.names.size(); ++i) {
+      GS_RETURN_IF_ERROR(
+          graph.edge_properties().AddColumn(spec.names[i], spec.types[i]));
+    }
+    size_t lineno = 1;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      std::vector<std::string> fields = SplitCsvLine(line);
+      if (fields.size() != spec.names.size() + 2) {
+        return Status::ParseError(edges_path + ":" + std::to_string(lineno) +
+                                  ": wrong field count");
+      }
+      GS_ASSIGN_OR_RETURN(uint64_t src_ext, ParseU64(fields[0]));
+      GS_ASSIGN_OR_RETURN(uint64_t dst_ext, ParseU64(fields[1]));
+      auto src_it = id_map.find(src_ext);
+      auto dst_it = id_map.find(dst_ext);
+      if (src_it == id_map.end() || dst_it == id_map.end()) {
+        return Status::ParseError(edges_path + ":" + std::to_string(lineno) +
+                                  ": edge references unknown node");
+      }
+      auto edge_id = graph.AddEdge(src_it->second, dst_it->second);
+      GS_RETURN_IF_ERROR(edge_id.status());
+      std::vector<PropertyValue> row;
+      row.reserve(spec.names.size());
+      for (size_t i = 0; i < spec.names.size(); ++i) {
+        GS_ASSIGN_OR_RETURN(PropertyValue v,
+                            PropertyValue::Parse(fields[i + 2], spec.types[i]));
+        row.push_back(std::move(v));
+      }
+      GS_RETURN_IF_ERROR(graph.edge_properties().AppendRow(row));
+    }
+  }
+
+  GS_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+namespace {
+std::string EscapeCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+Status WriteGraphToCsv(const PropertyGraph& graph,
+                       const std::string& nodes_path,
+                       const std::string& edges_path) {
+  {
+    std::ofstream out(nodes_path);
+    if (!out) return Status::IoError("cannot write " + nodes_path);
+    const PropertyTable& t = graph.node_properties();
+    out << "id";
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      out << "," << t.column_name(c) << ":"
+          << PropertyTypeName(t.column(c).type());
+    }
+    out << "\n";
+    for (size_t r = 0; r < graph.num_nodes(); ++r) {
+      out << r;
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        PropertyValue v = t.Get(r, c);
+        out << "," << (v.is_null() ? "" : EscapeCsv(v.ToString()));
+      }
+      out << "\n";
+    }
+  }
+  {
+    std::ofstream out(edges_path);
+    if (!out) return Status::IoError("cannot write " + edges_path);
+    const PropertyTable& t = graph.edge_properties();
+    out << "src,dst";
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      out << "," << t.column_name(c) << ":"
+          << PropertyTypeName(t.column(c).type());
+    }
+    out << "\n";
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      out << graph.edge(e).src << "," << graph.edge(e).dst;
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        PropertyValue v = t.Get(e, c);
+        out << "," << (v.is_null() ? "" : EscapeCsv(v.ToString()));
+      }
+      out << "\n";
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gs

@@ -1,0 +1,36 @@
+// CSV import/export. Users import base graphs into Graphsurge through CSV
+// files containing nodes and edges with their properties (paper §3).
+//
+// Format:
+//   nodes.csv:  header `id,<name>:<type>,...`; one row per node.
+//   edges.csv:  header `src,dst,<name>:<type>,...`; one row per edge.
+// Types: int, double, string, bool. External ids may be arbitrary u64; they
+// are densely renumbered on load (the paper assigns unique 64-bit ids).
+#ifndef GRAPHSURGE_GRAPH_CSV_H_
+#define GRAPHSURGE_GRAPH_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gs {
+
+/// Loads a property graph from node and edge CSV files.
+StatusOr<PropertyGraph> LoadGraphFromCsv(const std::string& nodes_path,
+                                         const std::string& edges_path);
+
+/// Writes a property graph to node and edge CSV files (round-trip format).
+Status WriteGraphToCsv(const PropertyGraph& graph,
+                       const std::string& nodes_path,
+                       const std::string& edges_path);
+
+namespace csv_internal {
+/// Splits one CSV line on commas, honoring double-quoted fields with
+/// embedded commas and doubled quotes. Exposed for unit tests.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+}  // namespace csv_internal
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_GRAPH_CSV_H_

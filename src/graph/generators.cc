@@ -1,0 +1,334 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gs {
+
+namespace {
+
+// Appends an edge and its property row; endpoints are assumed valid.
+void PushEdge(PropertyGraph* g, VertexId src, VertexId dst,
+              std::vector<PropertyValue> props) {
+  auto id = g->AddEdge(src, dst);
+  GS_CHECK(id.ok()) << id.status().ToString();
+  if (g->edge_properties().num_columns() > 0) {
+    Status s = g->edge_properties().AppendRow(props);
+    GS_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+}  // namespace
+
+PropertyGraph GenerateTemporalGraph(const TemporalGraphOptions& options) {
+  PropertyGraph g;
+  g.AddNodes(options.num_nodes);
+  GS_CHECK(g.edge_properties()
+               .AddColumn("timestamp", PropertyType::kInt)
+               .ok());
+  GS_CHECK(g.edge_properties().AddColumn("weight", PropertyType::kInt).ok());
+  Rng rng(options.seed);
+  const double span =
+      static_cast<double>(options.end_time - options.start_time);
+  for (size_t i = 0; i < options.num_edges; ++i) {
+    // Edge i gets a timestamp skewed toward the end of the range: with
+    // fraction f = (i+1)/m, t = start + span * f^(1/growth). Timestamps are
+    // monotone in i, matching an append-only interaction log.
+    double f = static_cast<double>(i + 1) /
+               static_cast<double>(options.num_edges);
+    int64_t ts = options.start_time +
+                 static_cast<int64_t>(span * std::pow(f, 1.0 / options.growth));
+    VertexId src, dst;
+    if (rng.Bernoulli(options.preferential)) {
+      src = rng.PowerLaw(options.num_nodes, 1.1);
+      dst = rng.PowerLaw(options.num_nodes, 1.1);
+    } else {
+      src = rng.Index(options.num_nodes);
+      dst = rng.Index(options.num_nodes);
+    }
+    if (src == dst) dst = (dst + 1) % options.num_nodes;
+    PushEdge(&g, src, dst,
+             {PropertyValue(ts), PropertyValue(rng.Uniform(1, 100))});
+  }
+  return g;
+}
+
+PropertyGraph GenerateCitationGraph(const CitationGraphOptions& options) {
+  PropertyGraph g;
+  GS_CHECK(g.node_properties().AddColumn("year", PropertyType::kInt).ok());
+  GS_CHECK(
+      g.node_properties().AddColumn("coauthors", PropertyType::kInt).ok());
+  GS_CHECK(g.edge_properties().AddColumn("weight", PropertyType::kInt).ok());
+  Rng rng(options.seed);
+
+  // Create per-year cohorts of papers.
+  std::vector<std::pair<size_t, size_t>> year_range;  // [first, last) ids
+  double count = static_cast<double>(options.papers_first_year);
+  for (int year = options.first_year; year <= options.last_year; ++year) {
+    size_t n = static_cast<size_t>(count);
+    VertexId first = g.AddNodes(n);
+    year_range.emplace_back(first, first + n);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t coauthors =
+          1 + static_cast<int64_t>(rng.PowerLaw(
+                  static_cast<uint64_t>(options.max_coauthors),
+                  options.coauthor_alpha));
+      Status s = g.node_properties().AppendRow(
+          {PropertyValue(static_cast<int64_t>(year)),
+           PropertyValue(coauthors)});
+      GS_CHECK(s.ok());
+    }
+    count *= options.yearly_growth;
+  }
+
+  // Citations: each paper cites avg_citations earlier (or same-year) papers,
+  // preferring recent years and popular (low-id within cohort) papers.
+  size_t num_years = year_range.size();
+  for (size_t yi = 0; yi < num_years; ++yi) {
+    for (VertexId p = year_range[yi].first; p < year_range[yi].second; ++p) {
+      size_t cites = 1 + rng.Index(2 * options.avg_citations);
+      for (size_t c = 0; c < cites; ++c) {
+        // Sample a cited year: recent years more likely (geometric-ish).
+        size_t back = rng.PowerLaw(yi + 1, 1.5);
+        size_t cited_year = yi - back;
+        auto [lo, hi] = year_range[cited_year];
+        if (hi <= lo) continue;
+        VertexId q = lo + rng.PowerLaw(hi - lo, options.citation_alpha);
+        if (q == p) continue;
+        PushEdge(&g, p, q, {PropertyValue(rng.Uniform(1, 10))});
+      }
+    }
+  }
+  return g;
+}
+
+CommunityGraph GenerateCommunityGraph(const CommunityGraphOptions& options) {
+  CommunityGraph result;
+  PropertyGraph& g = result.graph;
+  g.AddNodes(options.num_nodes);
+  GS_CHECK(
+      g.node_properties().AddColumn("communities", PropertyType::kInt).ok());
+  GS_CHECK(g.edge_properties().AddColumn("weight", PropertyType::kInt).ok());
+  Rng rng(options.seed);
+
+  size_t k = options.num_communities;
+  GS_CHECK(k <= 64) << "community bitmask limited to 64 communities";
+
+  // Power-law community sizes over the member population.
+  size_t member_nodes = static_cast<size_t>(
+      static_cast<double>(options.num_nodes) *
+      (1.0 - options.background_fraction));
+  std::vector<double> raw(k);
+  double total = 0;
+  for (size_t c = 0; c < k; ++c) {
+    raw[c] = std::pow(static_cast<double>(c + 1), -options.community_size_alpha);
+    total += raw[c];
+  }
+  double slots = static_cast<double>(member_nodes) * options.avg_memberships;
+
+  std::vector<uint64_t> membership(options.num_nodes, 0);
+  result.communities.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    size_t size = std::max<size_t>(
+        4, static_cast<size_t>(slots * raw[c] / total));
+    size = std::min(size, member_nodes);
+    // Sample members from the member population [0, member_nodes).
+    std::vector<uint64_t> members = rng.SampleDistinct(member_nodes, size);
+    for (uint64_t m : members) {
+      membership[m] |= (1ULL << c);
+      result.communities[c].push_back(m);
+    }
+  }
+  // Communities sorted by descending size (generation already skews this
+  // way, but overlap sampling can perturb it).
+  std::stable_sort(result.communities.begin(), result.communities.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() > b.size();
+                   });
+  // Rebuild the bitmask to match the sorted community indices.
+  std::fill(membership.begin(), membership.end(), 0);
+  for (size_t c = 0; c < k; ++c) {
+    for (VertexId m : result.communities[c]) membership[m] |= (1ULL << c);
+  }
+  for (size_t v = 0; v < options.num_nodes; ++v) {
+    Status s = g.node_properties().AppendRow(
+        {PropertyValue(static_cast<int64_t>(membership[v]))});
+    GS_CHECK(s.ok());
+  }
+
+  // Intra-community edges.
+  for (size_t c = 0; c < k; ++c) {
+    const auto& members = result.communities[c];
+    if (members.size() < 2) continue;
+    size_t edges = static_cast<size_t>(
+        static_cast<double>(members.size()) * options.intra_degree);
+    for (size_t e = 0; e < edges; ++e) {
+      VertexId a = members[rng.Index(members.size())];
+      VertexId b = members[rng.Index(members.size())];
+      if (a == b) continue;
+      PushEdge(&g, a, b, {PropertyValue(rng.Uniform(1, 10))});
+    }
+  }
+  // Background random edges over all nodes.
+  size_t bg_edges = static_cast<size_t>(
+      static_cast<double>(options.num_nodes) * options.background_degree);
+  for (size_t e = 0; e < bg_edges; ++e) {
+    VertexId a = rng.Index(options.num_nodes);
+    VertexId b = rng.Index(options.num_nodes);
+    if (a == b) continue;
+    PushEdge(&g, a, b, {PropertyValue(rng.Uniform(1, 10))});
+  }
+  return result;
+}
+
+PropertyGraph GenerateSocialNetwork(const SocialNetworkOptions& options) {
+  PropertyGraph g;
+  g.AddNodes(options.num_nodes);
+  GS_CHECK(g.node_properties().AddColumn("city", PropertyType::kInt).ok());
+  GS_CHECK(g.node_properties().AddColumn("state", PropertyType::kInt).ok());
+  GS_CHECK(g.node_properties().AddColumn("country", PropertyType::kInt).ok());
+  GS_CHECK(g.edge_properties().AddColumn("affinity", PropertyType::kInt).ok());
+  GS_CHECK(g.edge_properties().AddColumn("weight", PropertyType::kInt).ok());
+  Rng rng(options.seed);
+
+  int num_states = options.num_countries * options.states_per_country;
+  int num_cities = num_states * options.cities_per_state;
+  std::vector<int> node_city(options.num_nodes);
+  // City index determines state = city / cities_per_state and country =
+  // state / states_per_country.
+  for (size_t v = 0; v < options.num_nodes; ++v) {
+    int city = static_cast<int>(
+        rng.PowerLaw(static_cast<uint64_t>(num_cities), 1.05));
+    node_city[v] = city;
+    int state = city / options.cities_per_state;
+    int country = state / options.states_per_country;
+    Status s = g.node_properties().AppendRow(
+        {PropertyValue(static_cast<int64_t>(city)),
+         PropertyValue(static_cast<int64_t>(state)),
+         PropertyValue(static_cast<int64_t>(country))});
+    GS_CHECK(s.ok());
+  }
+
+  // Group nodes by city for locality sampling.
+  std::vector<std::vector<VertexId>> by_city(num_cities);
+  for (size_t v = 0; v < options.num_nodes; ++v) {
+    by_city[node_city[v]].push_back(v);
+  }
+  std::vector<std::vector<VertexId>> by_state(num_states);
+  for (size_t v = 0; v < options.num_nodes; ++v) {
+    by_state[node_city[v] / options.cities_per_state].push_back(v);
+  }
+
+  for (size_t e = 0; e < options.num_edges; ++e) {
+    VertexId src = rng.Index(options.num_nodes);
+    VertexId dst;
+    double roll = rng.UniformReal();
+    if (roll < options.city_locality &&
+        by_city[node_city[src]].size() > 1) {
+      const auto& pool = by_city[node_city[src]];
+      dst = pool[rng.Index(pool.size())];
+    } else if (roll < options.city_locality + options.state_locality &&
+               by_state[node_city[src] / options.cities_per_state].size() >
+                   1) {
+      const auto& pool = by_state[node_city[src] / options.cities_per_state];
+      dst = pool[rng.Index(pool.size())];
+    } else {
+      dst = rng.Index(options.num_nodes);
+    }
+    if (src == dst) dst = (dst + 1) % options.num_nodes;
+    // Affinity skews high for local edges.
+    int64_t affinity;
+    if (node_city[src] == node_city[dst]) {
+      affinity = rng.Bernoulli(0.6) ? 2 : 1;
+    } else {
+      affinity = rng.Bernoulli(0.6) ? 0 : rng.Uniform(0, 2);
+    }
+    PushEdge(&g, src, dst,
+             {PropertyValue(affinity), PropertyValue(rng.Uniform(1, 100))});
+  }
+  return g;
+}
+
+PropertyGraph GeneratePowerLawGraph(size_t num_nodes, size_t num_edges,
+                                    double alpha, uint64_t seed,
+                                    int64_t max_weight) {
+  PropertyGraph g;
+  g.AddNodes(num_nodes);
+  GS_CHECK(g.edge_properties().AddColumn("weight", PropertyType::kInt).ok());
+  Rng rng(seed);
+  for (size_t e = 0; e < num_edges; ++e) {
+    VertexId src = rng.PowerLaw(num_nodes, alpha);
+    VertexId dst = rng.PowerLaw(num_nodes, alpha);
+    if (src == dst) dst = (dst + 1) % num_nodes;
+    PushEdge(&g, src, dst, {PropertyValue(rng.Uniform(1, max_weight))});
+  }
+  return g;
+}
+
+PropertyGraph GenerateUniformGraph(size_t num_nodes, size_t num_edges,
+                                   uint64_t seed, int64_t max_weight) {
+  PropertyGraph g;
+  g.AddNodes(num_nodes);
+  GS_CHECK(g.edge_properties().AddColumn("weight", PropertyType::kInt).ok());
+  Rng rng(seed);
+  for (size_t e = 0; e < num_edges; ++e) {
+    VertexId src = rng.Index(num_nodes);
+    VertexId dst = rng.Index(num_nodes);
+    if (src == dst) dst = (dst + 1) % num_nodes;
+    PushEdge(&g, src, dst, {PropertyValue(rng.Uniform(1, max_weight))});
+  }
+  return g;
+}
+
+PropertyGraph MakeCallGraphExample() {
+  // Figure 1 of the paper: 8 customers with (city, profession), 15 calls
+  // with {duration, year}. The figure's edge endpoints are not fully legible
+  // in the text; this is a faithful reconstruction using the printed
+  // property pairs over a plausible topology.
+  PropertyGraph g;
+  GS_CHECK(g.node_properties().AddColumn("city", PropertyType::kString).ok());
+  GS_CHECK(g.node_properties()
+               .AddColumn("profession", PropertyType::kString)
+               .ok());
+  GS_CHECK(g.edge_properties().AddColumn("duration", PropertyType::kInt).ok());
+  GS_CHECK(g.edge_properties().AddColumn("year", PropertyType::kInt).ok());
+
+  struct NodeSpec {
+    const char* city;
+    const char* profession;
+  };
+  // Index i = paper node id (i + 1).
+  const NodeSpec nodes[8] = {
+      {"LA", "Engineer"}, {"LA", "Doctor"},  {"LA", "Engineer"},
+      {"NY", "Lawyer"},   {"NY", "Doctor"},  {"LA", "Engineer"},
+      {"NY", "Lawyer"},   {"LA", "Lawyer"},
+  };
+  g.AddNodes(8);
+  for (const NodeSpec& n : nodes) {
+    GS_CHECK(g.node_properties()
+                 .AppendRow({PropertyValue(n.city), PropertyValue(n.profession)})
+                 .ok());
+  }
+  struct EdgeSpec {
+    int src, dst, duration, year;
+  };
+  const EdgeSpec edges[15] = {
+      {1, 2, 7, 2015},  {2, 5, 19, 2019}, {5, 4, 13, 2019}, {4, 7, 18, 2019},
+      {7, 8, 6, 2019},  {8, 2, 18, 2019}, {1, 3, 32, 2017}, {3, 6, 1, 2010},
+      {6, 1, 10, 2018}, {2, 6, 3, 2019},  {3, 1, 12, 2017}, {5, 7, 7, 2018},
+      {4, 5, 2, 2013},  {8, 4, 4, 2019},  {6, 3, 34, 2019},
+  };
+  for (const EdgeSpec& e : edges) {
+    PushEdge(&g, static_cast<VertexId>(e.src - 1),
+             static_cast<VertexId>(e.dst - 1),
+             {PropertyValue(static_cast<int64_t>(e.duration)),
+              PropertyValue(static_cast<int64_t>(e.year))});
+  }
+  return g;
+}
+
+}  // namespace gs

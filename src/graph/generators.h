@@ -1,0 +1,114 @@
+// Synthetic dataset generators. These substitute for the paper's external
+// datasets (Stack Overflow, Semantic Scholar citations, LiveJournal,
+// Wiki-topcats, Twitter, Orkut) which are not available offline; each
+// generator preserves the structural property the corresponding experiment
+// depends on (see DESIGN.md §5 for the substitution table).
+#ifndef GRAPHSURGE_GRAPH_GENERATORS_H_
+#define GRAPHSURGE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gs {
+
+/// --- Temporal graph (Stack Overflow substitute) -------------------------
+/// Preferential-attachment digraph whose edges carry a monotonically
+/// increasing `timestamp:int` property in [start_time, end_time]. Edge
+/// volume grows over time (controlled by growth), matching the growth of
+/// real interaction networks so that expanding / sliding window views have
+/// realistic sizes.
+struct TemporalGraphOptions {
+  size_t num_nodes = 10000;
+  size_t num_edges = 100000;
+  int64_t start_time = 0;
+  int64_t end_time = 1000000;
+  /// >1 skews edge timestamps toward the end of the range (network growth).
+  double growth = 2.0;
+  /// Preferential attachment strength for edge endpoints (0 = uniform).
+  double preferential = 0.75;
+  uint64_t seed = 42;
+};
+PropertyGraph GenerateTemporalGraph(const TemporalGraphOptions& options);
+
+/// --- Citation graph (Semantic Scholar / PC substitute) ------------------
+/// Papers carry `year:int` and `coauthors:int` node properties; citation
+/// edges point from newer papers to strictly older (or same-year) papers
+/// with power-law popularity, so year-window views slide realistically.
+struct CitationGraphOptions {
+  int first_year = 1936;
+  int last_year = 2020;
+  size_t papers_first_year = 200;
+  /// Per-year multiplicative growth of the publication count.
+  double yearly_growth = 1.04;
+  int max_coauthors = 30;
+  double coauthor_alpha = 1.4;   // power-law skew of co-author counts
+  double citation_alpha = 1.2;   // popularity skew of cited papers
+  size_t avg_citations = 8;
+  uint64_t seed = 42;
+};
+PropertyGraph GenerateCitationGraph(const CitationGraphOptions& options);
+
+/// --- Community graph (LiveJournal / Wiki-topcats substitute) ------------
+/// Planted-partition graph with overlapping ground-truth communities of
+/// power-law sizes. Membership in the largest 64 communities is also
+/// encoded in a `communities:int` bitmask node property (bit c = member of
+/// community c), which perturbation-analysis view predicates test.
+struct CommunityGraphOptions {
+  size_t num_nodes = 20000;
+  size_t num_communities = 40;
+  double community_size_alpha = 1.1;  // skew of community sizes
+  double avg_memberships = 1.4;       // mean #communities per member node
+  /// Fraction of nodes that belong to no community.
+  double background_fraction = 0.2;
+  /// Average intra-community out-degree of a member node.
+  double intra_degree = 6.0;
+  /// Average background (random) out-degree of every node.
+  double background_degree = 1.0;
+  uint64_t seed = 42;
+};
+struct CommunityGraph {
+  PropertyGraph graph;
+  /// Ground-truth member lists, sorted by descending size.
+  std::vector<std::vector<VertexId>> communities;
+};
+CommunityGraph GenerateCommunityGraph(const CommunityGraphOptions& options);
+
+/// --- Social network with location attributes (Twitter substitute) -------
+/// Vertices carry `city:int`, `state:int`, `country:int` (hierarchical:
+/// city determines state determines country); edges carry `affinity:int`
+/// in {0=low, 1=medium, 2=high}. Used by the Figure 10 scalability bench.
+struct SocialNetworkOptions {
+  size_t num_nodes = 50000;
+  size_t num_edges = 500000;
+  int num_countries = 4;
+  int states_per_country = 5;
+  int cities_per_state = 10;
+  /// Probability an edge stays within the same city / state / country.
+  double city_locality = 0.5;
+  double state_locality = 0.3;
+  double country_locality = 0.15;
+  uint64_t seed = 42;
+};
+PropertyGraph GenerateSocialNetwork(const SocialNetworkOptions& options);
+
+/// --- Plain random graphs (Orkut substitute, tests) ----------------------
+/// Power-law (Zipf endpoint popularity) digraph with a `weight:int` edge
+/// property uniform in [1, max_weight].
+PropertyGraph GeneratePowerLawGraph(size_t num_nodes, size_t num_edges,
+                                    double alpha, uint64_t seed,
+                                    int64_t max_weight = 100);
+
+/// Erdős–Rényi-style uniform digraph (no properties beyond weight).
+PropertyGraph GenerateUniformGraph(size_t num_nodes, size_t num_edges,
+                                   uint64_t seed, int64_t max_weight = 100);
+
+/// --- The paper's running example -----------------------------------------
+/// The 8-node phone call graph of Figure 1: nodes have `city:string` and
+/// `profession:string`; edges have `duration:int` and `year:int`.
+PropertyGraph MakeCallGraphExample();
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_GRAPH_GENERATORS_H_

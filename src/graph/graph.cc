@@ -1,0 +1,62 @@
+#include "graph/graph.h"
+
+namespace gs {
+
+VertexId PropertyGraph::AddNodes(size_t n) {
+  VertexId first = num_nodes_;
+  num_nodes_ += n;
+  return first;
+}
+
+StatusOr<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst) {
+  if (src >= num_nodes_ || dst >= num_nodes_) {
+    return Status::OutOfRange("edge endpoint out of range: " +
+                              std::to_string(src) + "->" +
+                              std::to_string(dst));
+  }
+  edges_.push_back(Edge{src, dst});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+WeightedEdge PropertyGraph::ResolveWeighted(EdgeId id,
+                                            int weight_column) const {
+  const Edge& e = edges_[id];
+  int64_t w = 1;
+  if (weight_column >= 0) {
+    const Column& col = edge_props_.column(static_cast<size_t>(weight_column));
+    if (!col.IsNull(id)) {
+      if (col.type() == PropertyType::kInt) {
+        w = col.GetInt(id);
+      } else if (col.type() == PropertyType::kDouble) {
+        w = static_cast<int64_t>(col.GetDouble(id));
+      }
+    }
+  }
+  return WeightedEdge{e.src, e.dst, w};
+}
+
+int PropertyGraph::FindWeightColumn(const std::string& name) const {
+  auto idx = edge_props_.ColumnIndex(name);
+  if (!idx.ok()) return -1;
+  PropertyType t = edge_props_.column(*idx).type();
+  if (t != PropertyType::kInt && t != PropertyType::kDouble) return -1;
+  return static_cast<int>(*idx);
+}
+
+Status PropertyGraph::Validate() const {
+  if (node_props_.num_columns() > 0 && node_props_.num_rows() != num_nodes_) {
+    return Status::Internal("node property rows != node count");
+  }
+  if (edge_props_.num_columns() > 0 &&
+      edge_props_.num_rows() != edges_.size()) {
+    return Status::Internal("edge property rows != edge count");
+  }
+  for (const Edge& e : edges_) {
+    if (e.src >= num_nodes_ || e.dst >= num_nodes_) {
+      return Status::Internal("edge endpoint out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gs

@@ -1,0 +1,59 @@
+// The property graph: an edge stream plus columnar node/edge property
+// stores (the paper's Graph Store + Node Property Store).
+#ifndef GRAPHSURGE_GRAPH_GRAPH_H_
+#define GRAPHSURGE_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_table.h"
+#include "graph/types.h"
+
+namespace gs {
+
+/// A directed property graph with dense internal vertex IDs [0, num_nodes).
+/// Edges are stored as a stream (insertion order preserved) and referenced
+/// by dense EdgeId; views and difference streams are defined over EdgeIds.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  /// Creates `n` nodes with no properties; returns the first new id.
+  VertexId AddNodes(size_t n);
+
+  /// Appends an edge and returns its EdgeId. Endpoints must exist.
+  StatusOr<EdgeId> AddEdge(VertexId src, VertexId dst);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  PropertyTable& node_properties() { return node_props_; }
+  const PropertyTable& node_properties() const { return node_props_; }
+  PropertyTable& edge_properties() { return edge_props_; }
+  const PropertyTable& edge_properties() const { return edge_props_; }
+
+  /// Resolves an edge to a weighted edge using `weight_column` if present
+  /// (int or double, rounded), otherwise weight 1.
+  WeightedEdge ResolveWeighted(EdgeId id, int weight_column) const;
+
+  /// Returns the edge-property column index to use as weight, or -1.
+  int FindWeightColumn(const std::string& name) const;
+
+  /// Verifies internal consistency (property table row counts match node
+  /// and edge counts, endpoints in range).
+  Status Validate() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  PropertyTable node_props_;
+  PropertyTable edge_props_;
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_GRAPH_GRAPH_H_

@@ -1,0 +1,116 @@
+#include "graph/property.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace gs {
+
+const char* PropertyTypeName(PropertyType type) {
+  switch (type) {
+    case PropertyType::kNull:
+      return "null";
+    case PropertyType::kBool:
+      return "bool";
+    case PropertyType::kInt:
+      return "int";
+    case PropertyType::kDouble:
+      return "double";
+    case PropertyType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+StatusOr<PropertyType> ParsePropertyType(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "int" || lower == "i64" || lower == "integer")
+    return PropertyType::kInt;
+  if (lower == "double" || lower == "float" || lower == "f64")
+    return PropertyType::kDouble;
+  if (lower == "str" || lower == "string") return PropertyType::kString;
+  if (lower == "bool" || lower == "boolean") return PropertyType::kBool;
+  return Status::ParseError("unknown property type: " + name);
+}
+
+std::optional<int> PropertyValue::Compare(const PropertyValue& other) const {
+  if (is_null() || other.is_null()) return std::nullopt;
+  // Numeric cross-type comparison.
+  auto a_num = AsNumeric();
+  auto b_num = other.AsNumeric();
+  if (a_num && b_num) {
+    if (*a_num < *b_num) return -1;
+    if (*a_num > *b_num) return 1;
+    return 0;
+  }
+  if (type() != other.type()) return std::nullopt;
+  switch (type()) {
+    case PropertyType::kBool: {
+      int a = AsBool() ? 1 : 0, b = other.AsBool() ? 1 : 0;
+      return a - b;
+    }
+    case PropertyType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string PropertyValue::ToString() const {
+  switch (type()) {
+    case PropertyType::kNull:
+      return "null";
+    case PropertyType::kBool:
+      return AsBool() ? "true" : "false";
+    case PropertyType::kInt:
+      return std::to_string(AsInt());
+    case PropertyType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case PropertyType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+StatusOr<PropertyValue> PropertyValue::Parse(const std::string& text,
+                                             PropertyType type) {
+  if (text.empty()) return PropertyValue::Null();
+  switch (type) {
+    case PropertyType::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::ParseError("bad int literal: '" + text + "'");
+      }
+      return PropertyValue(v);
+    }
+    case PropertyType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError("bad double literal: '" + text + "'");
+      }
+      return PropertyValue(v);
+    }
+    case PropertyType::kBool: {
+      if (text == "true" || text == "1") return PropertyValue(true);
+      if (text == "false" || text == "0") return PropertyValue(false);
+      return Status::ParseError("bad bool literal: '" + text + "'");
+    }
+    case PropertyType::kString:
+      return PropertyValue(text);
+    case PropertyType::kNull:
+      return PropertyValue::Null();
+  }
+  return Status::Internal("unreachable property type");
+}
+
+}  // namespace gs

@@ -1,0 +1,87 @@
+// PropertyValue: the dynamically typed value attached to nodes and edges.
+// The paper supports string, integer, and boolean properties; we add double
+// (DESIGN.md §8).
+#ifndef GRAPHSURGE_GRAPH_PROPERTY_H_
+#define GRAPHSURGE_GRAPH_PROPERTY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace gs {
+
+enum class PropertyType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Human-readable type name ("int", "string", ...), matching the names used
+/// in CSV headers.
+const char* PropertyTypeName(PropertyType type);
+
+/// Parses a type name as used in CSV headers ("int", "i64", "double",
+/// "float", "str", "string", "bool").
+StatusOr<PropertyType> ParsePropertyType(const std::string& name);
+
+/// A null-able dynamically typed scalar.
+class PropertyValue {
+ public:
+  PropertyValue() : value_(std::monostate{}) {}
+  explicit PropertyValue(bool b) : value_(b) {}
+  explicit PropertyValue(int64_t i) : value_(i) {}
+  explicit PropertyValue(double d) : value_(d) {}
+  explicit PropertyValue(std::string s) : value_(std::move(s)) {}
+  explicit PropertyValue(const char* s) : value_(std::string(s)) {}
+
+  static PropertyValue Null() { return PropertyValue(); }
+
+  PropertyType type() const {
+    return static_cast<PropertyType>(value_.index());
+  }
+  bool is_null() const { return type() == PropertyType::kNull; }
+
+  bool AsBool() const { return std::get<bool>(value_); }
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+
+  /// Numeric view: int and double both convert; others are nullopt.
+  std::optional<double> AsNumeric() const {
+    if (type() == PropertyType::kInt) return static_cast<double>(AsInt());
+    if (type() == PropertyType::kDouble) return AsDouble();
+    return std::nullopt;
+  }
+
+  /// Three-way comparison for predicate evaluation. Numeric types compare
+  /// across int/double. Returns nullopt for incomparable type pairs (e.g.
+  /// string vs int, or either side null) — GVDL predicates treat those
+  /// comparisons as false.
+  std::optional<int> Compare(const PropertyValue& other) const;
+
+  /// Strict equality: same type (modulo int/double numeric equality) and
+  /// same value.
+  bool operator==(const PropertyValue& other) const {
+    auto c = Compare(other);
+    return c.has_value() && *c == 0;
+  }
+
+  std::string ToString() const;
+
+  /// Parses a CSV cell according to the declared column type. Empty cells
+  /// become null.
+  static StatusOr<PropertyValue> Parse(const std::string& text,
+                                       PropertyType type);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> value_;
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_GRAPH_PROPERTY_H_

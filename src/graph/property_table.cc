@@ -1,0 +1,97 @@
+#include "graph/property_table.h"
+
+namespace gs {
+
+void Column::Append(const PropertyValue& v) {
+  bool is_valid = !v.is_null();
+  valid_.push_back(is_valid ? 1 : 0);
+  switch (type_) {
+    case PropertyType::kInt:
+      ints_.push_back(is_valid ? v.AsInt() : 0);
+      break;
+    case PropertyType::kDouble:
+      doubles_.push_back(is_valid ? v.AsDouble() : 0.0);
+      break;
+    case PropertyType::kBool:
+      bools_.push_back(is_valid && v.AsBool() ? 1 : 0);
+      break;
+    case PropertyType::kString:
+      strings_.push_back(is_valid ? v.AsString() : std::string());
+      break;
+    case PropertyType::kNull:
+      break;
+  }
+}
+
+PropertyValue Column::Get(size_t row) const {
+  if (!valid_[row]) return PropertyValue::Null();
+  switch (type_) {
+    case PropertyType::kInt:
+      return PropertyValue(ints_[row]);
+    case PropertyType::kDouble:
+      return PropertyValue(doubles_[row]);
+    case PropertyType::kBool:
+      return PropertyValue(bools_[row] != 0);
+    case PropertyType::kString:
+      return PropertyValue(strings_[row]);
+    case PropertyType::kNull:
+      return PropertyValue::Null();
+  }
+  return PropertyValue::Null();
+}
+
+Status PropertyTable::AddColumn(const std::string& name, PropertyType type) {
+  if (num_rows_ != 0) {
+    return Status::FailedPrecondition(
+        "cannot add column '" + name + "' after rows were appended");
+  }
+  if (index_.count(name)) {
+    return Status::AlreadyExists("duplicate column '" + name + "'");
+  }
+  index_[name] = columns_.size();
+  names_.push_back(name);
+  columns_.emplace_back(type);
+  return Status::Ok();
+}
+
+Status PropertyTable::AppendRow(const std::vector<PropertyValue>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, table has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const PropertyValue& v = values[i];
+    if (!v.is_null() && v.type() != columns_[i].type()) {
+      // Allow int literals into double columns.
+      if (columns_[i].type() == PropertyType::kDouble &&
+          v.type() == PropertyType::kInt) {
+        columns_[i].Append(PropertyValue(static_cast<double>(v.AsInt())));
+        continue;
+      }
+      return Status::InvalidArgument(
+          "type mismatch in column '" + names_[i] + "': expected " +
+          PropertyTypeName(columns_[i].type()) + ", got " +
+          PropertyTypeName(v.type()));
+    }
+    columns_[i].Append(v);
+  }
+  ++num_rows_;
+  return Status::Ok();
+}
+
+StatusOr<size_t> PropertyTable::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<PropertyValue> PropertyTable::GetByName(
+    size_t row, const std::string& name) const {
+  GS_ASSIGN_OR_RETURN(size_t col, ColumnIndex(name));
+  return Get(row, col);
+}
+
+}  // namespace gs

@@ -1,0 +1,80 @@
+// Columnar property storage: one PropertyTable for nodes and one for edges
+// per graph (the paper's Node Property Store / edge stream properties).
+#ifndef GRAPHSURGE_GRAPH_PROPERTY_TABLE_H_
+#define GRAPHSURGE_GRAPH_PROPERTY_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property.h"
+
+namespace gs {
+
+/// A single typed, null-able column.
+class Column {
+ public:
+  explicit Column(PropertyType type) : type_(type) {}
+
+  PropertyType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  void Append(const PropertyValue& v);
+  PropertyValue Get(size_t row) const;
+  bool IsNull(size_t row) const { return !valid_[row]; }
+
+  /// Typed fast paths; undefined if type mismatches or value is null —
+  /// callers (the compiled predicate evaluator) check the schema first.
+  int64_t GetInt(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  bool GetBool(size_t row) const { return bools_[row] != 0; }
+  const std::string& GetString(size_t row) const { return strings_[row]; }
+
+ private:
+  PropertyType type_;
+  std::vector<uint8_t> valid_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+};
+
+/// A named collection of equal-length columns.
+class PropertyTable {
+ public:
+  /// Declares a column. Must be called before any rows are appended.
+  Status AddColumn(const std::string& name, PropertyType type);
+
+  /// Appends one row; `values` must match the declared column count and
+  /// types (nulls always allowed).
+  Status AppendRow(const std::vector<PropertyValue>& values);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  bool HasColumn(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+  /// Returns the column index for `name`, or an error if absent.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::string& column_name(size_t i) const { return names_[i]; }
+
+  PropertyValue Get(size_t row, size_t col) const {
+    return columns_[col].Get(row);
+  }
+  StatusOr<PropertyValue> GetByName(size_t row, const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_GRAPH_PROPERTY_TABLE_H_

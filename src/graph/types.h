@@ -1,0 +1,61 @@
+// Fundamental graph value types shared across the system.
+#ifndef GRAPHSURGE_GRAPH_TYPES_H_
+#define GRAPHSURGE_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "common/hash.h"
+
+namespace gs {
+
+/// Node identifier. The paper assigns 64-bit IDs on load; we do the same.
+using VertexId = uint64_t;
+
+/// Index of an edge within a base graph's edge stream. Views and difference
+/// streams reference edges by EdgeId and resolve endpoints through the graph.
+using EdgeId = uint64_t;
+
+/// A directed edge endpoint pair, the record type most analytics consume.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A directed weighted edge (Bellman-Ford / MPSP workloads).
+struct WeightedEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  int64_t weight = 1;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+  friend auto operator<=>(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+}  // namespace gs
+
+namespace std {
+template <>
+struct hash<gs::Edge> {
+  size_t operator()(const gs::Edge& e) const {
+    uint64_t seed = gs::Mix64(e.src);
+    gs::HashCombine(&seed, e.dst);
+    return seed;
+  }
+};
+template <>
+struct hash<gs::WeightedEdge> {
+  size_t operator()(const gs::WeightedEdge& e) const {
+    uint64_t seed = gs::Mix64(e.src);
+    gs::HashCombine(&seed, e.dst);
+    gs::HashCombine(&seed, static_cast<uint64_t>(e.weight));
+    return seed;
+  }
+};
+}  // namespace std
+
+#endif  // GRAPHSURGE_GRAPH_TYPES_H_

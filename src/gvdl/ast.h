@@ -1,0 +1,132 @@
+// Abstract syntax of GVDL, the Graph View Definition Language (paper §3.1,
+// §3.2.1, §6): filtered views, view collections, and aggregate views.
+#ifndef GRAPHSURGE_GVDL_AST_H_
+#define GRAPHSURGE_GVDL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/property.h"
+
+namespace gs::gvdl {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// One side of a comparison: a property reference (`src.city`, `dst.city`,
+/// bare edge property `duration`) or a literal.
+struct Operand {
+  enum class Kind { kSrcProperty, kDstProperty, kEdgeProperty, kLiteral };
+  Kind kind = Kind::kLiteral;
+  std::string property;   // for property kinds
+  PropertyValue literal;  // for kLiteral
+
+  static Operand Src(std::string name) {
+    return {Kind::kSrcProperty, std::move(name), PropertyValue()};
+  }
+  static Operand Dst(std::string name) {
+    return {Kind::kDstProperty, std::move(name), PropertyValue()};
+  }
+  static Operand Edge(std::string name) {
+    return {Kind::kEdgeProperty, std::move(name), PropertyValue()};
+  }
+  static Operand Literal(PropertyValue v) {
+    return {Kind::kLiteral, {}, std::move(v)};
+  }
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Predicate expression tree: comparisons combined with and/or/not.
+struct Expr {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+  Kind kind;
+
+  // kCompare:
+  CompareOp op = CompareOp::kEq;
+  Operand lhs;
+  Operand rhs;
+
+  // kAnd / kOr / kNot:
+  std::vector<ExprPtr> children;
+
+  static ExprPtr Compare(Operand lhs, CompareOp op, Operand rhs) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kCompare;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+  static ExprPtr And(std::vector<ExprPtr> children) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kAnd;
+    e->children = std::move(children);
+    return e;
+  }
+  static ExprPtr Or(std::vector<ExprPtr> children) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kOr;
+    e->children = std::move(children);
+    return e;
+  }
+  static ExprPtr Not(ExprPtr child) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kNot;
+    e->children = {std::move(child)};
+    return e;
+  }
+
+  std::string ToString() const;
+};
+
+/// `create view <name> on <graph> edges where <predicate>` (Listing 1).
+struct FilteredViewDef {
+  std::string name;
+  std::string on;  // base graph or a previously materialized view
+  ExprPtr predicate;
+};
+
+/// `create view collection <name> on <graph> [v1: p1], [v2: p2], ...`
+/// (Listing 3).
+struct ViewCollectionDef {
+  struct Member {
+    std::string name;
+    ExprPtr predicate;
+  };
+  std::string name;
+  std::string on;
+  std::vector<Member> views;
+};
+
+/// Aggregation function over grouped nodes or edges.
+struct AggregateSpec {
+  enum class Func { kCount, kSum, kMin, kMax, kAvg };
+  std::string output_name;  // defaults to "<func>_<property>" / "count"
+  Func func = Func::kCount;
+  std::string property;  // empty for count(*)
+};
+
+/// `create view <name> on <graph> nodes group by ... aggregate ...
+///  [edges aggregate ...]` (Listing 4).
+struct AggregateViewDef {
+  std::string name;
+  std::string on;
+  /// Either a list of node properties to group by, or a list of predicates
+  /// where each predicate defines one super-node.
+  std::vector<std::string> group_by_properties;
+  std::vector<ExprPtr> group_by_predicates;  // used when properties empty
+  std::vector<AggregateSpec> node_aggregates;
+  std::vector<AggregateSpec> edge_aggregates;
+};
+
+using Statement =
+    std::variant<FilteredViewDef, ViewCollectionDef, AggregateViewDef>;
+
+}  // namespace gs::gvdl
+
+#endif  // GRAPHSURGE_GVDL_AST_H_

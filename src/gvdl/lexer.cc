@@ -1,0 +1,224 @@
+#include "gvdl/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <set>
+
+namespace gs::gvdl {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "create", "view",  "collection", "on",  "edges", "nodes",
+      "where",  "group", "by",         "aggregate",    "and",
+      "or",     "not",   "true",       "false"};
+  return kKeywords;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+Status ErrorAt(size_t line, size_t column, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line) + ":" +
+                            std::to_string(column) + ": " + message);
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  return Keywords().count(Lower(word)) > 0;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t line = 1, column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto advance = [&](size_t count = 1) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokenType type, std::string text, size_t tl, size_t tc) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.line = tl;
+    t.column = tc;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    size_t tl = line, tc = column;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n) {
+        char d = source[i];
+        bool word_char = std::isalnum(static_cast<unsigned char>(d)) ||
+                         d == '_';
+        // Interior hyphen followed by an identifier character.
+        bool hyphen = d == '-' && i + 1 < n &&
+                      (std::isalnum(static_cast<unsigned char>(source[i + 1])) ||
+                       source[i + 1] == '_');
+        if (!word_char && !hyphen) break;
+        advance();
+      }
+      std::string word = source.substr(start, i - start);
+      std::string lower = Lower(word);
+      if (Keywords().count(lower)) {
+        push(TokenType::kKeyword, lower, tl, tc);
+      } else {
+        push(TokenType::kIdentifier, word, tl, tc);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance();
+      }
+      if (i + 1 < n && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_float = true;
+        advance();
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          advance();
+        }
+      }
+      std::string text = source.substr(start, i - start);
+      Token t;
+      t.text = text;
+      t.line = tl;
+      t.column = tc;
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        t.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInt;
+        auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(),
+                            t.int_value);
+        if (ec != std::errc()) {
+          return ErrorAt(tl, tc, "integer literal out of range: " + text);
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      advance();
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == quote) {
+          closed = true;
+          advance();
+          break;
+        }
+        if (source[i] == '\n') break;
+        value.push_back(source[i]);
+        advance();
+      }
+      if (!closed) return ErrorAt(tl, tc, "unterminated string literal");
+      push(TokenType::kString, value, tl, tc);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, "(", tl, tc);
+        advance();
+        continue;
+      case ')':
+        push(TokenType::kRParen, ")", tl, tc);
+        advance();
+        continue;
+      case '[':
+        push(TokenType::kLBracket, "[", tl, tc);
+        advance();
+        continue;
+      case ']':
+        push(TokenType::kRBracket, "]", tl, tc);
+        advance();
+        continue;
+      case ',':
+        push(TokenType::kComma, ",", tl, tc);
+        advance();
+        continue;
+      case ':':
+        push(TokenType::kColon, ":", tl, tc);
+        advance();
+        continue;
+      case '.':
+        push(TokenType::kDot, ".", tl, tc);
+        advance();
+        continue;
+      case '*':
+        push(TokenType::kStar, "*", tl, tc);
+        advance();
+        continue;
+      case '=':
+        push(TokenType::kOperator, "=", tl, tc);
+        advance();
+        continue;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenType::kOperator, "!=", tl, tc);
+          advance(2);
+          continue;
+        }
+        return ErrorAt(tl, tc, "unexpected '!'");
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenType::kOperator, "<=", tl, tc);
+          advance(2);
+        } else if (i + 1 < n && source[i + 1] == '>') {
+          push(TokenType::kOperator, "!=", tl, tc);
+          advance(2);
+        } else {
+          push(TokenType::kOperator, "<", tl, tc);
+          advance();
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenType::kOperator, ">=", tl, tc);
+          advance(2);
+        } else {
+          push(TokenType::kOperator, ">", tl, tc);
+          advance();
+        }
+        continue;
+      default:
+        return ErrorAt(tl, tc,
+                       std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenType::kEnd, "", line, column);
+  return tokens;
+}
+
+}  // namespace gs::gvdl

@@ -1,0 +1,51 @@
+// GVDL tokenizer. Keywords are case-insensitive; identifiers may contain
+// interior hyphens (view names like `CA-Long-Calls` and `D1-Y2010` in the
+// paper); string literals use single or double quotes.
+#ifndef GRAPHSURGE_GVDL_LEXER_H_
+#define GRAPHSURGE_GVDL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gs::gvdl {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,  // create, view, collection, on, edges, nodes, where, group,
+             // by, aggregate, and, or, not, true, false
+  kInt,
+  kFloat,
+  kString,
+  kOperator,  // = != < <= > >=
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kDot,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // normalized (keywords lowercased)
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t line = 1;
+  size_t column = 1;
+};
+
+/// Tokenizes a full GVDL source string. Returns ParseError with position
+/// info on invalid input. The final token is always kEnd.
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+/// True if `word` (lowercased) is a reserved GVDL keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace gs::gvdl
+
+#endif  // GRAPHSURGE_GVDL_LEXER_H_

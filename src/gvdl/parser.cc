@@ -1,0 +1,408 @@
+#include "gvdl/parser.h"
+
+#include "gvdl/lexer.h"
+
+namespace gs::gvdl {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string OperandToString(const Operand& o) {
+  switch (o.kind) {
+    case Operand::Kind::kSrcProperty:
+      return "src." + o.property;
+    case Operand::Kind::kDstProperty:
+      return "dst." + o.property;
+    case Operand::Kind::kEdgeProperty:
+      return o.property;
+    case Operand::Kind::kLiteral:
+      if (o.literal.type() == PropertyType::kString) {
+        return "'" + o.literal.AsString() + "'";
+      }
+      return o.literal.ToString();
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return OperandToString(lhs) + " " + CompareOpName(op) + " " +
+             OperandToString(rhs);
+    case Kind::kNot:
+      return "not (" + children[0]->ToString() + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += sep;
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement() {
+    GS_RETURN_IF_ERROR(ExpectKeyword("create"));
+    GS_RETURN_IF_ERROR(ExpectKeyword("view"));
+    if (PeekKeyword("collection")) {
+      ++pos_;
+      return ParseCollection();
+    }
+    GS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("view name"));
+    GS_RETURN_IF_ERROR(ExpectKeyword("on"));
+    GS_ASSIGN_OR_RETURN(std::string on, ExpectIdentifier("graph name"));
+    if (PeekKeyword("edges")) {
+      ++pos_;
+      GS_RETURN_IF_ERROR(ExpectKeyword("where"));
+      GS_ASSIGN_OR_RETURN(ExprPtr pred, ParseOr());
+      FilteredViewDef def;
+      def.name = std::move(name);
+      def.on = std::move(on);
+      def.predicate = std::move(pred);
+      return Statement(std::move(def));
+    }
+    if (PeekKeyword("nodes")) {
+      ++pos_;
+      return ParseAggregate(std::move(name), std::move(on));
+    }
+    return ErrorHere("expected 'edges where' or 'nodes group by'");
+  }
+
+  StatusOr<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      GS_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  StatusOr<ExprPtr> ParseBarePredicate() {
+    GS_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (!AtEnd()) return ErrorHere("unexpected trailing input");
+    return e;
+  }
+
+  bool AtEnd() const { return tokens_[pos_].type == TokenType::kEnd; }
+  bool AtStatementBoundary() const {
+    return AtEnd() || PeekKeyword("create");
+  }
+
+ private:
+  StatusOr<Statement> ParseCollection() {
+    GS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("collection name"));
+    GS_RETURN_IF_ERROR(ExpectKeyword("on"));
+    GS_ASSIGN_OR_RETURN(std::string on, ExpectIdentifier("graph name"));
+    ViewCollectionDef def;
+    def.name = std::move(name);
+    def.on = std::move(on);
+    for (;;) {
+      if (Peek().type == TokenType::kComma) ++pos_;
+      if (Peek().type != TokenType::kLBracket) break;
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(std::string view_name, ExpectIdentifier("view name"));
+      GS_RETURN_IF_ERROR(Expect(TokenType::kColon, ":"));
+      GS_ASSIGN_OR_RETURN(ExprPtr pred, ParseOr());
+      GS_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "]"));
+      def.views.push_back({std::move(view_name), std::move(pred)});
+    }
+    if (def.views.empty()) {
+      return ErrorHere("view collection must define at least one view");
+    }
+    return Statement(std::move(def));
+  }
+
+  StatusOr<Statement> ParseAggregate(std::string name, std::string on) {
+    GS_RETURN_IF_ERROR(ExpectKeyword("group"));
+    GS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    AggregateViewDef def;
+    def.name = std::move(name);
+    def.on = std::move(on);
+    if (Peek().type == TokenType::kLBracket) {
+      // Predicate-defined super-nodes.
+      ++pos_;
+      for (;;) {
+        GS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+        GS_ASSIGN_OR_RETURN(ExprPtr pred, ParseOr());
+        GS_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+        def.group_by_predicates.push_back(std::move(pred));
+        if (Peek().type == TokenType::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      GS_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "]"));
+    } else {
+      // Property list.
+      for (;;) {
+        GS_ASSIGN_OR_RETURN(std::string prop,
+                            ExpectIdentifier("group-by property"));
+        def.group_by_properties.push_back(std::move(prop));
+        if (Peek().type == TokenType::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    if (PeekKeyword("aggregate")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(def.node_aggregates, ParseAggList());
+    }
+    if (PeekKeyword("edges")) {
+      ++pos_;
+      GS_RETURN_IF_ERROR(ExpectKeyword("aggregate"));
+      GS_ASSIGN_OR_RETURN(def.edge_aggregates, ParseAggList());
+    }
+    return Statement(std::move(def));
+  }
+
+  StatusOr<std::vector<AggregateSpec>> ParseAggList() {
+    std::vector<AggregateSpec> specs;
+    for (;;) {
+      AggregateSpec spec;
+      GS_ASSIGN_OR_RETURN(std::string first,
+                          ExpectIdentifier("aggregate function"));
+      if (Peek().type == TokenType::kColon) {
+        ++pos_;
+        spec.output_name = first;
+        GS_ASSIGN_OR_RETURN(first, ExpectIdentifier("aggregate function"));
+      }
+      if (first == "count") {
+        spec.func = AggregateSpec::Func::kCount;
+      } else if (first == "sum") {
+        spec.func = AggregateSpec::Func::kSum;
+      } else if (first == "min") {
+        spec.func = AggregateSpec::Func::kMin;
+      } else if (first == "max") {
+        spec.func = AggregateSpec::Func::kMax;
+      } else if (first == "avg") {
+        spec.func = AggregateSpec::Func::kAvg;
+      } else {
+        return ErrorHere("unknown aggregate function '" + first + "'");
+      }
+      GS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+      if (Peek().type == TokenType::kStar) {
+        ++pos_;
+        if (spec.func != AggregateSpec::Func::kCount) {
+          return ErrorHere("'*' is only valid with count()");
+        }
+      } else {
+        GS_ASSIGN_OR_RETURN(spec.property,
+                            ExpectIdentifier("aggregate property"));
+        if (spec.func == AggregateSpec::Func::kCount) {
+          // count(prop) counts non-null values of prop.
+        }
+      }
+      GS_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+      if (spec.output_name.empty()) {
+        spec.output_name =
+            spec.property.empty() ? "count" : first + "_" + spec.property;
+      }
+      specs.push_back(std::move(spec));
+      if (Peek().type == TokenType::kComma &&
+          tokens_[pos_ + 1].type == TokenType::kIdentifier) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return specs;
+  }
+
+  StatusOr<ExprPtr> ParseOr() {
+    GS_ASSIGN_OR_RETURN(ExprPtr first, ParseAnd());
+    std::vector<ExprPtr> children = {std::move(first)};
+    while (PeekKeyword("or")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(ExprPtr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return children[0];
+    return Expr::Or(std::move(children));
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    GS_ASSIGN_OR_RETURN(ExprPtr first, ParseUnary());
+    std::vector<ExprPtr> children = {std::move(first)};
+    while (PeekKeyword("and")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(ExprPtr next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return children[0];
+    return Expr::And(std::move(children));
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (PeekKeyword("not")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      return Expr::Not(std::move(child));
+    }
+    if (Peek().type == TokenType::kLParen) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      GS_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    GS_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    if (Peek().type != TokenType::kOperator) {
+      return ErrorHere("expected comparison operator");
+    }
+    std::string op_text = Peek().text;
+    ++pos_;
+    CompareOp op;
+    if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_text == "!=") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else {
+      op = CompareOp::kGe;
+    }
+    GS_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    return Expr::Compare(std::move(lhs), op, std::move(rhs));
+  }
+
+  StatusOr<Operand> ParseOperand() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt:
+        ++pos_;
+        return Operand::Literal(PropertyValue(t.int_value));
+      case TokenType::kFloat:
+        ++pos_;
+        return Operand::Literal(PropertyValue(t.float_value));
+      case TokenType::kString:
+        ++pos_;
+        return Operand::Literal(PropertyValue(t.text));
+      case TokenType::kKeyword:
+        if (t.text == "true" || t.text == "false") {
+          ++pos_;
+          return Operand::Literal(PropertyValue(t.text == "true"));
+        }
+        return ErrorHere("unexpected keyword '" + t.text + "' in predicate");
+      case TokenType::kIdentifier: {
+        std::string name = t.text;
+        ++pos_;
+        if ((name == "src" || name == "dst") &&
+            Peek().type == TokenType::kDot) {
+          ++pos_;
+          GS_ASSIGN_OR_RETURN(std::string prop,
+                              ExpectIdentifier("property name"));
+          return name == "src" ? Operand::Src(std::move(prop))
+                               : Operand::Dst(std::move(prop));
+        }
+        return Operand::Edge(std::move(name));
+      }
+      default:
+        return ErrorHere("expected operand");
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return ErrorHere(std::string("expected '") + kw + "'");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) {
+      return ErrorHere(std::string("expected '") + what + "'");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere(std::string("expected ") + what);
+    }
+    std::string text = Peek().text;
+    ++pos_;
+    return text;
+  }
+
+  Status ErrorHere(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError("line " + std::to_string(t.line) + ":" +
+                              std::to_string(t.column) + ": " + message +
+                              (t.text.empty() ? "" : " (got '" + t.text + "')"));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> Parse(const std::string& source) {
+  GS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  GS_ASSIGN_OR_RETURN(Statement s, parser.ParseStatement());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("unexpected trailing input after statement");
+  }
+  return s;
+}
+
+StatusOr<std::vector<Statement>> ParseScript(const std::string& source) {
+  GS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+StatusOr<ExprPtr> ParsePredicate(const std::string& source) {
+  GS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseBarePredicate();
+}
+
+}  // namespace gs::gvdl

@@ -1,0 +1,44 @@
+// Recursive-descent parser for GVDL statements.
+//
+// Grammar (keywords case-insensitive):
+//   statement   := filtered | collection | aggregate
+//   filtered    := 'create' 'view' name 'on' name 'edges' 'where' pred
+//   collection  := 'create' 'view' 'collection' name 'on' name member
+//                  (','? member)*
+//   member      := '[' name ':' pred ']'
+//   aggregate   := 'create' 'view' name 'on' name 'nodes' 'group' 'by'
+//                  groupspec ('aggregate' agglist)?
+//                  ('edges' 'aggregate' agglist)?
+//   groupspec   := proplist | '[' '(' pred ')' (',' '(' pred ')')* ']'
+//   agglist     := agg (',' agg)*
+//   agg         := (name ':')? func '(' (prop | '*') ')'
+//   pred        := orexpr;  orexpr := andexpr ('or' andexpr)*
+//   andexpr     := unary ('and' unary)*
+//   unary       := 'not' unary | '(' pred ')' | comparison
+//   comparison  := operand ('='|'!='|'<'|'<='|'>'|'>=') operand
+//   operand     := 'src' '.' prop | 'dst' '.' prop | prop | literal
+#ifndef GRAPHSURGE_GVDL_PARSER_H_
+#define GRAPHSURGE_GVDL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gvdl/ast.h"
+
+namespace gs::gvdl {
+
+/// Parses a single GVDL statement.
+StatusOr<Statement> Parse(const std::string& source);
+
+/// Parses a semicolon- or newline-separated script of statements.
+/// (Statements start with `create`, which doubles as the separator.)
+StatusOr<std::vector<Statement>> ParseScript(const std::string& source);
+
+/// Parses a bare predicate expression (used by programmatic view
+/// construction and tests).
+StatusOr<ExprPtr> ParsePredicate(const std::string& source);
+
+}  // namespace gs::gvdl
+
+#endif  // GRAPHSURGE_GVDL_PARSER_H_

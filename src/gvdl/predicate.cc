@@ -1,0 +1,199 @@
+#include "gvdl/predicate.h"
+
+#include <optional>
+
+namespace gs::gvdl {
+
+namespace {
+
+// How a compiled operand produces a value for a row: either from a column
+// of the node/edge tables or from a constant.
+struct ValueSource {
+  enum class Kind { kSrcColumn, kDstColumn, kEdgeColumn, kConstant };
+  Kind kind = Kind::kConstant;
+  const Column* column = nullptr;
+  PropertyValue constant;
+
+  PropertyType type() const {
+    return kind == Kind::kConstant ? constant.type() : column->type();
+  }
+};
+
+// Resolves an operand against the graph's tables. `allow_edge_refs` is
+// false for node predicates.
+StatusOr<ValueSource> ResolveOperand(const Operand& operand,
+                                     const PropertyGraph& graph,
+                                     bool allow_edge_refs) {
+  ValueSource source;
+  switch (operand.kind) {
+    case Operand::Kind::kLiteral:
+      source.kind = ValueSource::Kind::kConstant;
+      source.constant = operand.literal;
+      return source;
+    case Operand::Kind::kSrcProperty:
+    case Operand::Kind::kDstProperty: {
+      if (!allow_edge_refs) {
+        return Status::InvalidArgument(
+            "src./dst. references are not allowed in node predicates");
+      }
+      GS_ASSIGN_OR_RETURN(size_t col,
+                          graph.node_properties().ColumnIndex(operand.property));
+      source.kind = operand.kind == Operand::Kind::kSrcProperty
+                        ? ValueSource::Kind::kSrcColumn
+                        : ValueSource::Kind::kDstColumn;
+      source.column = &graph.node_properties().column(col);
+      return source;
+    }
+    case Operand::Kind::kEdgeProperty: {
+      if (allow_edge_refs) {
+        GS_ASSIGN_OR_RETURN(
+            size_t col, graph.edge_properties().ColumnIndex(operand.property));
+        source.kind = ValueSource::Kind::kEdgeColumn;
+        source.column = &graph.edge_properties().column(col);
+        return source;
+      }
+      // In node predicates a bare identifier is a node property.
+      GS_ASSIGN_OR_RETURN(size_t col,
+                          graph.node_properties().ColumnIndex(operand.property));
+      source.kind = ValueSource::Kind::kSrcColumn;  // row = the node itself
+      source.column = &graph.node_properties().column(col);
+      return source;
+    }
+  }
+  return Status::Internal("unreachable operand kind");
+}
+
+// Checks static comparability of the two sides.
+Status CheckComparable(const ValueSource& lhs, const ValueSource& rhs) {
+  auto numeric = [](PropertyType t) {
+    return t == PropertyType::kInt || t == PropertyType::kDouble;
+  };
+  PropertyType a = lhs.type(), b = rhs.type();
+  if (a == PropertyType::kNull || b == PropertyType::kNull) {
+    return Status::Ok();  // null literals compare false at runtime
+  }
+  if (numeric(a) && numeric(b)) return Status::Ok();
+  if (a == b) return Status::Ok();
+  return Status::InvalidArgument(
+      std::string("cannot compare ") + PropertyTypeName(a) + " with " +
+      PropertyTypeName(b));
+}
+
+bool ApplyOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+// Builds an evaluator for one comparison. `row_of` maps an input row id to
+// the (src_row, dst_row, edge_row) triple used by the sources.
+template <typename RowMapper>
+std::function<bool(uint64_t)> MakeComparison(const ValueSource& lhs,
+                                             CompareOp op,
+                                             const ValueSource& rhs,
+                                             RowMapper row_of) {
+  auto fetch = [](const ValueSource& s, size_t src_row, size_t dst_row,
+                  size_t edge_row) -> PropertyValue {
+    switch (s.kind) {
+      case ValueSource::Kind::kConstant:
+        return s.constant;
+      case ValueSource::Kind::kSrcColumn:
+        return s.column->Get(src_row);
+      case ValueSource::Kind::kDstColumn:
+        return s.column->Get(dst_row);
+      case ValueSource::Kind::kEdgeColumn:
+        return s.column->Get(edge_row);
+    }
+    return PropertyValue::Null();
+  };
+  return [lhs, op, rhs, row_of, fetch](uint64_t row) {
+    auto [src_row, dst_row, edge_row] = row_of(row);
+    PropertyValue a = fetch(lhs, src_row, dst_row, edge_row);
+    PropertyValue b = fetch(rhs, src_row, dst_row, edge_row);
+    std::optional<int> cmp = a.Compare(b);
+    return cmp.has_value() && ApplyOp(op, *cmp);
+  };
+}
+
+template <typename RowMapper>
+StatusOr<std::function<bool(uint64_t)>> CompileExpr(
+    const ExprPtr& expr, const PropertyGraph& graph, bool allow_edge_refs,
+    RowMapper row_of) {
+  if (expr == nullptr) return Status::InvalidArgument("null predicate");
+  switch (expr->kind) {
+    case Expr::Kind::kCompare: {
+      GS_ASSIGN_OR_RETURN(ValueSource lhs,
+                          ResolveOperand(expr->lhs, graph, allow_edge_refs));
+      GS_ASSIGN_OR_RETURN(ValueSource rhs,
+                          ResolveOperand(expr->rhs, graph, allow_edge_refs));
+      GS_RETURN_IF_ERROR(CheckComparable(lhs, rhs));
+      return MakeComparison(lhs, expr->op, rhs, row_of);
+    }
+    case Expr::Kind::kNot: {
+      GS_ASSIGN_OR_RETURN(auto child,
+                          CompileExpr(expr->children[0], graph,
+                                      allow_edge_refs, row_of));
+      return std::function<bool(uint64_t)>(
+          [child](uint64_t row) { return !child(row); });
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      std::vector<std::function<bool(uint64_t)>> children;
+      children.reserve(expr->children.size());
+      for (const ExprPtr& c : expr->children) {
+        GS_ASSIGN_OR_RETURN(auto child,
+                            CompileExpr(c, graph, allow_edge_refs, row_of));
+        children.push_back(std::move(child));
+      }
+      bool is_and = expr->kind == Expr::Kind::kAnd;
+      return std::function<bool(uint64_t)>([children, is_and](uint64_t row) {
+        for (const auto& c : children) {
+          if (c(row) != is_and) return !is_and;
+        }
+        return is_and;
+      });
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace
+
+StatusOr<CompiledEdgePredicate> CompiledEdgePredicate::Compile(
+    const ExprPtr& expr, const PropertyGraph& graph) {
+  const PropertyGraph* g = &graph;
+  auto row_of = [g](uint64_t edge) {
+    const Edge& e = g->edge(edge);
+    return std::make_tuple(static_cast<size_t>(e.src),
+                           static_cast<size_t>(e.dst),
+                           static_cast<size_t>(edge));
+  };
+  GS_ASSIGN_OR_RETURN(auto fn, CompileExpr(expr, graph,
+                                           /*allow_edge_refs=*/true, row_of));
+  return CompiledEdgePredicate(std::move(fn));
+}
+
+StatusOr<CompiledNodePredicate> CompiledNodePredicate::Compile(
+    const ExprPtr& expr, const PropertyGraph& graph) {
+  auto row_of = [](uint64_t node) {
+    size_t row = static_cast<size_t>(node);
+    return std::make_tuple(row, row, row);
+  };
+  GS_ASSIGN_OR_RETURN(auto fn, CompileExpr(expr, graph,
+                                           /*allow_edge_refs=*/false, row_of));
+  return CompiledNodePredicate(std::move(fn));
+}
+
+}  // namespace gs::gvdl

@@ -1,0 +1,52 @@
+// Compilation of GVDL predicate expressions against a concrete property
+// graph: property names are resolved to column indices once, then the
+// predicate is evaluated per edge (the hot path of EBM computation) and,
+// for aggregate views, per node.
+#ifndef GRAPHSURGE_GVDL_PREDICATE_H_
+#define GRAPHSURGE_GVDL_PREDICATE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "gvdl/ast.h"
+
+namespace gs::gvdl {
+
+/// An edge predicate compiled against one graph. Copyable; holds no
+/// reference to the AST after compilation. Null property values make any
+/// comparison involving them false (SQL-ish semantics, paper-compatible).
+class CompiledEdgePredicate {
+ public:
+  /// Resolves all property references; errors on unknown properties or
+  /// statically incomparable types (e.g. string column vs int literal).
+  static StatusOr<CompiledEdgePredicate> Compile(const ExprPtr& expr,
+                                                 const PropertyGraph& graph);
+
+  bool Evaluate(EdgeId edge) const { return fn_(edge); }
+
+ private:
+  explicit CompiledEdgePredicate(std::function<bool(EdgeId)> fn)
+      : fn_(std::move(fn)) {}
+  std::function<bool(EdgeId)> fn_;
+};
+
+/// A node predicate (only src-less property references allowed) compiled
+/// against one graph; used by aggregate views' predicate-defined groups.
+class CompiledNodePredicate {
+ public:
+  static StatusOr<CompiledNodePredicate> Compile(const ExprPtr& expr,
+                                                 const PropertyGraph& graph);
+
+  bool Evaluate(VertexId node) const { return fn_(node); }
+
+ private:
+  explicit CompiledNodePredicate(std::function<bool(VertexId)> fn)
+      : fn_(std::move(fn)) {}
+  std::function<bool(VertexId)> fn_;
+};
+
+}  // namespace gs::gvdl
+
+#endif  // GRAPHSURGE_GVDL_PREDICATE_H_

@@ -1,0 +1,91 @@
+#include "ordering/optimizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gs::ordering {
+
+DistanceMatrix BuildPaddedDistanceMatrix(const views::EdgeBooleanMatrix& ebm,
+                                         ThreadPool* pool) {
+  size_t k = ebm.num_views();
+  DistanceMatrix d(k + 1);
+  // Column pairs (i, j), i < j, with vertex 0 = the zero column. Distances
+  // from zero are column popcounts; the rest are XOR popcounts. Each (i, j)
+  // cell is independent — parallelize over i.
+  auto fill_row = [&](size_t i) {
+    if (i == 0) {
+      for (size_t j = 1; j <= k; ++j) {
+        d.set(0, j, ebm.ColumnOnes(j - 1));
+      }
+      return;
+    }
+    for (size_t j = i + 1; j <= k; ++j) {
+      d.set(i, j, ebm.HammingDistance(i - 1, j - 1));
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(k + 1, fill_row);
+  } else {
+    for (size_t i = 0; i <= k; ++i) fill_row(i);
+  }
+  return d;
+}
+
+OrderingResult OrderCollection(const views::EdgeBooleanMatrix& ebm,
+                               ThreadPool* pool) {
+  Timer timer;
+  OrderingResult result;
+  size_t k = ebm.num_views();
+  if (k <= 1) {
+    result.order = IdentityOrder(k);
+    result.difference_count = ebm.DifferenceCount(result.order);
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  DistanceMatrix d = BuildPaddedDistanceMatrix(ebm, pool);
+  std::vector<size_t> tour = ChristofidesTour(d);
+
+  // Rotate the closed tour so the zero column comes first, then drop it;
+  // the remaining path is the view order. Hamming is symmetric so both
+  // directions of the path have equal tour cost, but ds() differs only by
+  // which endpoint pays its full size first — evaluate both and keep the
+  // cheaper.
+  auto zero_pos = std::find(tour.begin(), tour.end(), size_t{0});
+  GS_CHECK(zero_pos != tour.end());
+  std::rotate(tour.begin(), zero_pos, tour.end());
+  std::vector<size_t> forward(tour.begin() + 1, tour.end());
+  for (size_t& v : forward) --v;  // clique vertex v+1 ↔ view v
+  std::vector<size_t> backward(forward.rbegin(), forward.rend());
+
+  uint64_t ds_forward = ebm.DifferenceCount(forward);
+  uint64_t ds_backward = ebm.DifferenceCount(backward);
+  if (ds_backward < ds_forward) {
+    result.order = std::move(backward);
+    result.difference_count = ds_backward;
+  } else {
+    result.order = std::move(forward);
+    result.difference_count = ds_forward;
+  }
+  // The tour is a heuristic (greedy matching, DESIGN.md §4.1); never hand
+  // back something worse than the user-given order.
+  std::vector<size_t> identity = IdentityOrder(k);
+  uint64_t ds_identity = ebm.DifferenceCount(identity);
+  if (ds_identity < result.difference_count) {
+    result.order = std::move(identity);
+    result.difference_count = ds_identity;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<size_t> IdentityOrder(size_t num_views) {
+  std::vector<size_t> order(num_views);
+  std::iota(order.begin(), order.end(), size_t{0});
+  return order;
+}
+
+}  // namespace gs::ordering

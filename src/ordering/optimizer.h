@@ -1,0 +1,40 @@
+// The collection ordering optimizer (paper §4, Algorithm 1): pads the EBM
+// with a zero column, builds the (k+1)-clique of pairwise column Hamming
+// distances (in parallel), runs the Christofides-style TSP heuristic, cuts
+// the tour at the zero column, and returns the view order minimizing the
+// total difference-set size ds(B, σ).
+#ifndef GRAPHSURGE_ORDERING_OPTIMIZER_H_
+#define GRAPHSURGE_ORDERING_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ordering/tsp.h"
+#include "views/ebm.h"
+
+namespace gs::ordering {
+
+struct OrderingResult {
+  /// Permutation of view indices (order[i] = original column of position i).
+  std::vector<size_t> order;
+  /// ds(EBM, order) — total difference-set size under this order.
+  uint64_t difference_count = 0;
+  /// Wall time spent ordering (the paper's CCT ordering overhead).
+  double seconds = 0;
+};
+
+/// Builds the padded Hamming-distance clique of an EBM. Exposed for tests
+/// and benches; vertex 0 is the zero column, vertex v+1 is view v.
+DistanceMatrix BuildPaddedDistanceMatrix(const views::EdgeBooleanMatrix& ebm,
+                                         ThreadPool* pool);
+
+/// Runs the full collection ordering optimizer.
+OrderingResult OrderCollection(const views::EdgeBooleanMatrix& ebm,
+                               ThreadPool* pool);
+
+/// The identity (user-given) order, for baselines.
+std::vector<size_t> IdentityOrder(size_t num_views);
+
+}  // namespace gs::ordering
+
+#endif  // GRAPHSURGE_ORDERING_OPTIMIZER_H_

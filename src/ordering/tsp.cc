@@ -1,0 +1,233 @@
+#include "ordering/tsp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gs::ordering {
+
+uint64_t DistanceMatrix::TourCost(const std::vector<size_t>& tour) const {
+  if (tour.size() < 2) return 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < tour.size(); ++i) {
+    total += at(tour[i], tour[(i + 1) % tour.size()]);
+  }
+  return total;
+}
+
+bool DistanceMatrix::SatisfiesTriangleInequality() const {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      for (size_t k = 0; k < n_; ++k) {
+        if (at(i, k) + at(k, j) < at(i, j)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<size_t, size_t>> MinimumSpanningTree(
+    const DistanceMatrix& d) {
+  size_t n = d.size();
+  std::vector<std::pair<size_t, size_t>> edges;
+  if (n < 2) return edges;
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> best(n, kInf);
+  std::vector<size_t> parent(n, 0);
+  std::vector<bool> in_tree(n, false);
+  best[0] = 0;
+  for (size_t round = 0; round < n; ++round) {
+    size_t v = SIZE_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && (v == SIZE_MAX || best[i] < best[v])) v = i;
+    }
+    in_tree[v] = true;
+    if (v != 0) edges.emplace_back(parent[v], v);
+    for (size_t w = 0; w < n; ++w) {
+      if (!in_tree[w] && d.at(v, w) < best[w]) {
+        best[w] = d.at(v, w);
+        parent[w] = v;
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<std::pair<size_t, size_t>> GreedyPerfectMatching(
+    const DistanceMatrix& d, const std::vector<size_t>& vertices) {
+  GS_CHECK(vertices.size() % 2 == 0)
+      << "perfect matching needs an even vertex count";
+  // Sort all candidate pairs by weight and take greedily.
+  struct Pair {
+    uint64_t w;
+    size_t a, b;
+  };
+  std::vector<Pair> candidates;
+  candidates.reserve(vertices.size() * vertices.size() / 2);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      candidates.push_back(
+          {d.at(vertices[i], vertices[j]), vertices[i], vertices[j]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Pair& x, const Pair& y) { return x.w < y.w; });
+  std::vector<bool> used(d.size(), false);
+  std::vector<std::pair<size_t, size_t>> matching;
+  for (const Pair& p : candidates) {
+    if (used[p.a] || used[p.b]) continue;
+    used[p.a] = used[p.b] = true;
+    matching.emplace_back(p.a, p.b);
+  }
+  // 2-swap improvement: for pairs (a,b),(c,e) try (a,c),(b,e) and
+  // (a,e),(b,c); repeat until no improvement.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t i = 0; i < matching.size(); ++i) {
+      for (size_t j = i + 1; j < matching.size(); ++j) {
+        auto [a, b] = matching[i];
+        auto [c, e] = matching[j];
+        uint64_t current = d.at(a, b) + d.at(c, e);
+        uint64_t swap1 = d.at(a, c) + d.at(b, e);
+        uint64_t swap2 = d.at(a, e) + d.at(b, c);
+        if (swap1 < current && swap1 <= swap2) {
+          matching[i] = {a, c};
+          matching[j] = {b, e};
+          improved = true;
+        } else if (swap2 < current) {
+          matching[i] = {a, e};
+          matching[j] = {b, c};
+          improved = true;
+        }
+      }
+    }
+  }
+  return matching;
+}
+
+std::vector<size_t> EulerCircuit(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& edges) {
+  // Adjacency as indices into the edge list, with a used flag per edge.
+  std::vector<std::vector<size_t>> incident(n);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    incident[edges[i].first].push_back(i);
+    incident[edges[i].second].push_back(i);
+  }
+  std::vector<bool> used(edges.size(), false);
+  std::vector<size_t> next_index(n, 0);
+  std::vector<size_t> stack = {edges.empty() ? 0 : edges[0].first};
+  std::vector<size_t> circuit;
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    bool advanced = false;
+    while (next_index[v] < incident[v].size()) {
+      size_t ei = incident[v][next_index[v]++];
+      if (used[ei]) continue;
+      used[ei] = true;
+      size_t w = edges[ei].first == v ? edges[ei].second : edges[ei].first;
+      stack.push_back(w);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      circuit.push_back(v);
+      stack.pop_back();
+    }
+  }
+  std::reverse(circuit.begin(), circuit.end());
+  if (!circuit.empty()) circuit.pop_back();  // drop the repeated start
+  return circuit;
+}
+
+std::vector<size_t> ChristofidesTour(const DistanceMatrix& d) {
+  size_t n = d.size();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+  if (n == 2) return {0, 1};
+
+  auto mst = MinimumSpanningTree(d);
+  std::vector<size_t> degree(n, 0);
+  for (auto [a, b] : mst) {
+    degree[a]++;
+    degree[b]++;
+  }
+  std::vector<size_t> odd;
+  for (size_t v = 0; v < n; ++v) {
+    if (degree[v] % 2 == 1) odd.push_back(v);
+  }
+  auto matching = GreedyPerfectMatching(d, odd);
+
+  std::vector<std::pair<size_t, size_t>> multigraph = mst;
+  multigraph.insert(multigraph.end(), matching.begin(), matching.end());
+  std::vector<size_t> circuit = EulerCircuit(n, multigraph);
+
+  // Shortcut repeated vertices (valid under the triangle inequality).
+  std::vector<bool> seen(n, false);
+  std::vector<size_t> tour;
+  tour.reserve(n);
+  for (size_t v : circuit) {
+    if (!seen[v]) {
+      seen[v] = true;
+      tour.push_back(v);
+    }
+  }
+  GS_CHECK(tour.size() == n) << "Euler circuit did not cover all vertices";
+  return tour;
+}
+
+std::vector<size_t> HeldKarpOptimalTour(const DistanceMatrix& d) {
+  size_t n = d.size();
+  GS_CHECK(n >= 1 && n <= 20) << "Held-Karp limited to small instances";
+  if (n == 1) return {0};
+  size_t full = size_t{1} << (n - 1);  // subsets of vertices 1..n-1
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max() / 4;
+  // dp[mask][j]: min cost path 0 → ... → j+1 visiting exactly mask.
+  std::vector<std::vector<uint64_t>> dp(full,
+                                        std::vector<uint64_t>(n - 1, kInf));
+  std::vector<std::vector<uint8_t>> parent(
+      full, std::vector<uint8_t>(n - 1, 0xFF));
+  for (size_t j = 0; j < n - 1; ++j) {
+    dp[size_t{1} << j][j] = d.at(0, j + 1);
+  }
+  for (size_t mask = 1; mask < full; ++mask) {
+    for (size_t j = 0; j < n - 1; ++j) {
+      if (!(mask & (size_t{1} << j)) || dp[mask][j] >= kInf) continue;
+      for (size_t k = 0; k < n - 1; ++k) {
+        if (mask & (size_t{1} << k)) continue;
+        size_t next = mask | (size_t{1} << k);
+        uint64_t cost = dp[mask][j] + d.at(j + 1, k + 1);
+        if (cost < dp[next][k]) {
+          dp[next][k] = cost;
+          parent[next][k] = static_cast<uint8_t>(j);
+        }
+      }
+    }
+  }
+  uint64_t best = kInf;
+  size_t best_j = 0;
+  for (size_t j = 0; j < n - 1; ++j) {
+    uint64_t cost = dp[full - 1][j] + d.at(j + 1, 0);
+    if (cost < best) {
+      best = cost;
+      best_j = j;
+    }
+  }
+  std::vector<size_t> tour = {0};
+  std::vector<size_t> rev;
+  size_t mask = full - 1, j = best_j;
+  while (j != 0xFF) {
+    rev.push_back(j + 1);
+    uint8_t p = parent[mask][j];
+    mask ^= size_t{1} << j;
+    if (p == 0xFF) break;
+    j = p;
+  }
+  std::reverse(rev.begin(), rev.end());
+  tour.insert(tour.end(), rev.begin(), rev.end());
+  return tour;
+}
+
+}  // namespace gs::ordering

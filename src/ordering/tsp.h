@@ -1,0 +1,69 @@
+// TSP machinery for the collection ordering optimizer (paper §4):
+// Christofides-style tour construction — MST + perfect matching on
+// odd-degree vertices + Euler circuit + shortcutting — over the Hamming
+// distance clique, plus an exact Held–Karp solver used to validate the
+// heuristic on small instances.
+//
+// Note on the approximation bound: Christofides' 1.5 factor requires a
+// minimum-weight perfect matching (blossom algorithm). We use greedy
+// matching followed by a 2-swap improvement pass, which is the standard
+// practical compromise; DESIGN.md §4.1 records this deviation and the
+// tests compare against Held–Karp optima empirically.
+#ifndef GRAPHSURGE_ORDERING_TSP_H_
+#define GRAPHSURGE_ORDERING_TSP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gs::ordering {
+
+/// Dense symmetric distance matrix.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(size_t n) : n_(n), d_(n * n, 0) {}
+
+  size_t size() const { return n_; }
+  uint64_t at(size_t i, size_t j) const { return d_[i * n_ + j]; }
+  void set(size_t i, size_t j, uint64_t v) {
+    d_[i * n_ + j] = v;
+    d_[j * n_ + i] = v;
+  }
+
+  /// Total weight of a closed tour visiting `tour` in order.
+  uint64_t TourCost(const std::vector<size_t>& tour) const;
+
+  /// True if d satisfies the triangle inequality (Hamming distances always
+  /// do; checked in tests and debug builds).
+  bool SatisfiesTriangleInequality() const;
+
+ private:
+  size_t n_;
+  std::vector<uint64_t> d_;
+};
+
+/// Prim's minimum spanning tree; returns edge list (parent, child).
+std::vector<std::pair<size_t, size_t>> MinimumSpanningTree(
+    const DistanceMatrix& d);
+
+/// Greedy minimum-weight perfect matching on `vertices` (even count) with
+/// a 2-swap improvement pass. Returns matched pairs.
+std::vector<std::pair<size_t, size_t>> GreedyPerfectMatching(
+    const DistanceMatrix& d, const std::vector<size_t>& vertices);
+
+/// Hierholzer's algorithm: Euler circuit of a connected multigraph given
+/// as an edge list over [0, n). Every vertex must have even degree.
+std::vector<size_t> EulerCircuit(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& edges);
+
+/// Christofides-style heuristic tour over all vertices of `d`.
+std::vector<size_t> ChristofidesTour(const DistanceMatrix& d);
+
+/// Exact TSP via Held–Karp dynamic programming; n must be ≤ 20 (tests use
+/// ≤ 12). Returns the optimal closed tour starting at vertex 0.
+std::vector<size_t> HeldKarpOptimalTour(const DistanceMatrix& d);
+
+}  // namespace gs::ordering
+
+#endif  // GRAPHSURGE_ORDERING_TSP_H_

@@ -1,0 +1,41 @@
+#include "splitting/adaptive.h"
+
+namespace gs::splitting {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDiffOnly:
+      return "diff-only";
+    case Strategy::kScratch:
+      return "scratch";
+    case Strategy::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+bool AdaptiveSplitter::ShouldRunScratch(size_t view_index, uint64_t view_size,
+                                        uint64_t diff_size) {
+  // Paper bootstrap: GV1 scratch, GV2 differential.
+  if (view_index == 0) return true;
+  if (view_index == 1) return false;
+  double scratch_cost =
+      scratch_model_.Predict(static_cast<double>(view_size));
+  double diff_cost = diff_model_.Predict(static_cast<double>(diff_size));
+  return scratch_cost < diff_cost;
+}
+
+bool AdaptiveSplitter::ChunkShouldRunScratch(
+    const std::vector<uint64_t>& view_sizes,
+    const std::vector<uint64_t>& diff_sizes) {
+  double scratch_cost = 0, diff_cost = 0;
+  for (uint64_t s : view_sizes) {
+    scratch_cost += scratch_model_.Predict(static_cast<double>(s));
+  }
+  for (uint64_t s : diff_sizes) {
+    diff_cost += diff_model_.Predict(static_cast<double>(s));
+  }
+  return scratch_cost < diff_cost;
+}
+
+}  // namespace gs::splitting

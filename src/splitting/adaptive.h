@@ -1,0 +1,66 @@
+// The adaptive collection splitting optimizer (paper §5). It observes
+// (|GV|, scratch seconds) and (|δC|, differential seconds) pairs at
+// runtime, and for each chunk of ℓ views predicts both strategies' costs
+// with two linear models, picking the cheaper. Splitting = running a view
+// from scratch, which seeds a fresh differential computation with the full
+// view (computation is still shared across the view's own loop
+// iterations, per the paper).
+#ifndef GRAPHSURGE_SPLITTING_ADAPTIVE_H_
+#define GRAPHSURGE_SPLITTING_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "splitting/cost_model.h"
+
+namespace gs::splitting {
+
+/// Fixed execution strategies plus the adaptive optimizer.
+enum class Strategy {
+  kDiffOnly,  // paper "diff-only": every view differential
+  kScratch,   // paper "scratch": every view from scratch
+  kAdaptive,  // paper "adaptive": runtime decisions per chunk of ℓ views
+};
+
+const char* StrategyName(Strategy s);
+
+/// Decision state for one collection run.
+class AdaptiveSplitter {
+ public:
+  /// `chunk_size` is ℓ — decisions are made for ℓ views at a time, which
+  /// also keeps DD's indexing fast per the paper (default 10).
+  explicit AdaptiveSplitter(size_t chunk_size = 10)
+      : chunk_size_(chunk_size) {}
+
+  size_t chunk_size() const { return chunk_size_; }
+
+  /// Bootstrapping per the paper: view 1 runs from scratch, view 2
+  /// differentially; afterwards the models decide per chunk.
+  /// `view_index` is 0-based.
+  bool ShouldRunScratch(size_t view_index, uint64_t view_size,
+                        uint64_t diff_size);
+
+  /// Chunk-granular decision: called at the start of each chunk with the
+  /// sizes of all views in it; the same choice applies to the whole chunk.
+  bool ChunkShouldRunScratch(const std::vector<uint64_t>& view_sizes,
+                             const std::vector<uint64_t>& diff_sizes);
+
+  void RecordScratch(uint64_t view_size, double seconds) {
+    scratch_model_.Observe(static_cast<double>(view_size), seconds);
+  }
+  void RecordDifferential(uint64_t diff_size, double seconds) {
+    diff_model_.Observe(static_cast<double>(diff_size), seconds);
+  }
+
+  const OnlineLinearModel& scratch_model() const { return scratch_model_; }
+  const OnlineLinearModel& diff_model() const { return diff_model_; }
+
+ private:
+  size_t chunk_size_;
+  OnlineLinearModel scratch_model_;
+  OnlineLinearModel diff_model_;
+};
+
+}  // namespace gs::splitting
+
+#endif  // GRAPHSURGE_SPLITTING_ADAPTIVE_H_

@@ -1,0 +1,40 @@
+#include "splitting/cost_model.h"
+
+#include <cmath>
+#include <limits>
+
+namespace gs::splitting {
+
+void OnlineLinearModel::Observe(double x, double y) {
+  ++n_;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_xy_ += x * y;
+}
+
+double OnlineLinearModel::slope() const {
+  double denom = static_cast<double>(n_) * sum_xx_ - sum_x_ * sum_x_;
+  if (std::abs(denom) < 1e-12) return 0;
+  return (static_cast<double>(n_) * sum_xy_ - sum_x_ * sum_y_) / denom;
+}
+
+double OnlineLinearModel::intercept() const {
+  if (n_ == 0) return 0;
+  return (sum_y_ - slope() * sum_x_) / static_cast<double>(n_);
+}
+
+double OnlineLinearModel::Predict(double x) const {
+  if (n_ == 0) return std::numeric_limits<double>::infinity();
+  if (n_ == 1) {
+    // Proportional estimate through the single observation.
+    if (sum_x_ <= 0) return sum_y_;
+    return sum_y_ / sum_x_ * x;
+  }
+  double y = intercept() + slope() * x;
+  // Runtimes are non-negative; a descending fit extrapolated far left/right
+  // must not predict a negative cost.
+  return y < 0 ? 0 : y;
+}
+
+}  // namespace gs::splitting

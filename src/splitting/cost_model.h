@@ -1,0 +1,36 @@
+// Online univariate linear cost models used by the adaptive collection
+// splitting optimizer (paper §5): predicted_seconds = a + b * size, fit by
+// least squares over all observations so far.
+#ifndef GRAPHSURGE_SPLITTING_COST_MODEL_H_
+#define GRAPHSURGE_SPLITTING_COST_MODEL_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace gs::splitting {
+
+/// Incremental least-squares fit of y = a + b·x. With a single observation
+/// the model degenerates to the proportional estimate y = (y1/x1)·x; with
+/// none it predicts +infinity so the strategy seeding (scratch first, then
+/// differential) always wins initially.
+class OnlineLinearModel {
+ public:
+  void Observe(double x, double y);
+
+  /// Predicted y at x; infinity when no observations exist.
+  double Predict(double x) const;
+
+  size_t num_observations() const { return n_; }
+
+  /// Fitted coefficients (a, b); only meaningful with ≥ 2 observations.
+  double intercept() const;
+  double slope() const;
+
+ private:
+  size_t n_ = 0;
+  double sum_x_ = 0, sum_y_ = 0, sum_xx_ = 0, sum_xy_ = 0;
+};
+
+}  // namespace gs::splitting
+
+#endif  // GRAPHSURGE_SPLITTING_COST_MODEL_H_

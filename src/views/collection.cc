@@ -1,0 +1,157 @@
+#include "views/collection.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "gvdl/predicate.h"
+#include "ordering/optimizer.h"
+
+namespace gs::views {
+
+namespace {
+
+// Shared tail of materialization: order → diff stream → metadata.
+MaterializedCollection Finalize(const PropertyGraph& graph,
+                                std::string name,
+                                std::vector<std::string> def_names,
+                                const EdgeBooleanMatrix& ebm,
+                                const MaterializeOptions& options,
+                                Timer* timer) {
+  MaterializedCollection mc;
+  mc.name = std::move(name);
+
+  double ordering_seconds = 0;
+  std::vector<size_t> order;
+  if (!options.explicit_order.empty()) {
+    order = options.explicit_order;
+    GS_CHECK(order.size() == ebm.num_views());
+  } else if (options.use_ordering) {
+    ordering::OrderingResult ores =
+        ordering::OrderCollection(ebm, options.pool);
+    order = std::move(ores.order);
+    ordering_seconds = ores.seconds;
+  } else {
+    order = ordering::IdentityOrder(ebm.num_views());
+  }
+
+  mc.order = order;
+  mc.view_names.reserve(order.size());
+  for (size_t idx : order) mc.view_names.push_back(def_names[idx]);
+
+  mc.diffs = EdgeDifferenceStream::FromMatrix(ebm, order, options.pool);
+  mc.view_sizes.reserve(order.size());
+  mc.diff_sizes.reserve(order.size());
+  for (size_t t = 0; t < order.size(); ++t) {
+    mc.view_sizes.push_back(ebm.ColumnOnes(order[t]));
+    mc.diff_sizes.push_back(mc.diffs.DiffSize(t));
+  }
+  mc.total_diffs = mc.diffs.TotalDiffs();
+  mc.ordering_seconds = ordering_seconds;
+  mc.creation_seconds = timer->Seconds();
+  return mc;
+}
+
+}  // namespace
+
+StatusOr<MaterializedCollection> MaterializeCollection(
+    const PropertyGraph& graph, const gvdl::ViewCollectionDef& def,
+    const MaterializeOptions& options) {
+  Timer timer;
+  std::vector<gvdl::ExprPtr> predicates;
+  std::vector<std::string> names;
+  predicates.reserve(def.views.size());
+  for (const auto& member : def.views) {
+    predicates.push_back(member.predicate);
+    names.push_back(member.name);
+  }
+  GS_ASSIGN_OR_RETURN(
+      EdgeBooleanMatrix ebm,
+      EdgeBooleanMatrix::Compute(graph, predicates, options.pool));
+  MaterializedCollection mc =
+      Finalize(graph, def.name, std::move(names), ebm, options, &timer);
+  mc.base_graph = def.on;
+  return mc;
+}
+
+StatusOr<MaterializedCollection> MaterializeCollectionWith(
+    const PropertyGraph& graph, const std::string& name,
+    const std::vector<std::string>& view_names,
+    const std::vector<std::function<bool(EdgeId)>>& predicates,
+    const MaterializeOptions& options) {
+  if (view_names.size() != predicates.size()) {
+    return Status::InvalidArgument("view_names/predicates size mismatch");
+  }
+  if (predicates.empty()) {
+    return Status::InvalidArgument("collection must have at least one view");
+  }
+  Timer timer;
+  EdgeBooleanMatrix ebm =
+      EdgeBooleanMatrix::ComputeWith(graph, predicates, options.pool);
+  return Finalize(graph, name, view_names, ebm, options, &timer);
+}
+
+MaterializedCollection CollectionFromDiffBatches(
+    const std::string& name, const std::string& base_graph,
+    std::vector<std::vector<EdgeDiff>> batches) {
+  MaterializedCollection mc;
+  mc.name = name;
+  mc.base_graph = base_graph;
+
+  uint64_t current_size = 0;
+  for (size_t t = 0; t < batches.size(); ++t) {
+    int64_t delta = 0;
+    for (const EdgeDiff& d : batches[t]) delta += d.diff;
+    current_size = static_cast<uint64_t>(
+        static_cast<int64_t>(current_size) + delta);
+    mc.view_sizes.push_back(current_size);
+    mc.diff_sizes.push_back(batches[t].size());
+    mc.total_diffs += batches[t].size();
+    mc.view_names.push_back("v" + std::to_string(t));
+    mc.order.push_back(t);
+  }
+  mc.diffs = EdgeDifferenceStream::FromBatches(std::move(batches));
+  return mc;
+}
+
+StatusOr<PropertyGraph> MaterializeFilteredView(
+    const PropertyGraph& graph, const gvdl::ExprPtr& predicate,
+    ThreadPool* pool) {
+  GS_ASSIGN_OR_RETURN(gvdl::CompiledEdgePredicate compiled,
+                      gvdl::CompiledEdgePredicate::Compile(predicate, graph));
+  PropertyGraph view;
+  view.AddNodes(graph.num_nodes());
+  // Copy node property schema + rows.
+  const PropertyTable& nt = graph.node_properties();
+  for (size_t c = 0; c < nt.num_columns(); ++c) {
+    GS_RETURN_IF_ERROR(view.node_properties().AddColumn(
+        nt.column_name(c), nt.column(c).type()));
+  }
+  for (size_t r = 0; r < graph.num_nodes(); ++r) {
+    std::vector<PropertyValue> row;
+    row.reserve(nt.num_columns());
+    for (size_t c = 0; c < nt.num_columns(); ++c) row.push_back(nt.Get(r, c));
+    if (nt.num_columns() > 0) {
+      GS_RETURN_IF_ERROR(view.node_properties().AppendRow(row));
+    }
+  }
+  const PropertyTable& et = graph.edge_properties();
+  for (size_t c = 0; c < et.num_columns(); ++c) {
+    GS_RETURN_IF_ERROR(view.edge_properties().AddColumn(
+        et.column_name(c), et.column(c).type()));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (!compiled.Evaluate(e)) continue;
+    GS_RETURN_IF_ERROR(view.AddEdge(graph.edge(e).src, graph.edge(e).dst)
+                           .status());
+    if (et.num_columns() > 0) {
+      std::vector<PropertyValue> row;
+      row.reserve(et.num_columns());
+      for (size_t c = 0; c < et.num_columns(); ++c) row.push_back(et.Get(e, c));
+      GS_RETURN_IF_ERROR(view.edge_properties().AppendRow(row));
+    }
+  }
+  return view;
+}
+
+}  // namespace gs::views

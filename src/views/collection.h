@@ -1,0 +1,80 @@
+// View collection materialization (paper §3.2): EBM computation →
+// collection ordering → edge difference stream, bundled with the metadata
+// the executors and optimizers need (per-view sizes, per-view diff sizes,
+// creation timings).
+#ifndef GRAPHSURGE_VIEWS_COLLECTION_H_
+#define GRAPHSURGE_VIEWS_COLLECTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "gvdl/ast.h"
+#include "views/diff_stream.h"
+#include "views/ebm.h"
+
+namespace gs::views {
+
+struct MaterializeOptions {
+  /// Run the collection ordering optimizer (paper §4). When false, the
+  /// user-given (definition) order is kept — appropriate when predicates
+  /// have a known inclusion structure, per the paper.
+  bool use_ordering = false;
+  /// Explicit order override (e.g. a random baseline order in benches).
+  /// Takes precedence over use_ordering when non-empty.
+  std::vector<size_t> explicit_order;
+  ThreadPool* pool = nullptr;
+};
+
+/// A fully materialized view collection.
+struct MaterializedCollection {
+  std::string name;
+  std::string base_graph;
+  /// Views in execution order; view_names[t] is the definition name of the
+  /// view at position t, order[t] its index in the definition.
+  std::vector<std::string> view_names;
+  std::vector<size_t> order;
+  EdgeDifferenceStream diffs;
+  /// |GV_t| per position and |δC_t| per position.
+  std::vector<uint64_t> view_sizes;
+  std::vector<uint64_t> diff_sizes;
+  uint64_t total_diffs = 0;
+  /// Collection creation time (the paper's CCT) and the ordering share.
+  double creation_seconds = 0;
+  double ordering_seconds = 0;
+
+  size_t num_views() const { return view_names.size(); }
+};
+
+/// Materializes a GVDL-defined collection over `graph`.
+StatusOr<MaterializedCollection> MaterializeCollection(
+    const PropertyGraph& graph, const gvdl::ViewCollectionDef& def,
+    const MaterializeOptions& options);
+
+/// Materializes a programmatically defined collection (arbitrary C++ edge
+/// predicates, e.g. community-removal perturbations).
+StatusOr<MaterializedCollection> MaterializeCollectionWith(
+    const PropertyGraph& graph, const std::string& name,
+    const std::vector<std::string>& view_names,
+    const std::vector<std::function<bool(EdgeId)>>& predicates,
+    const MaterializeOptions& options);
+
+/// Materializes a collection directly from explicit per-view difference
+/// batches (used by Table 2's controlled random-perturbation workloads
+/// where views are not predicate-defined).
+MaterializedCollection CollectionFromDiffBatches(
+    const std::string& name, const std::string& base_graph,
+    std::vector<std::vector<EdgeDiff>> batches);
+
+/// Materializes a single filtered view as a standalone subgraph: same
+/// nodes, filtered edges with their properties. Enables views-over-views.
+StatusOr<PropertyGraph> MaterializeFilteredView(
+    const PropertyGraph& graph, const gvdl::ExprPtr& predicate,
+    ThreadPool* pool);
+
+}  // namespace gs::views
+
+#endif  // GRAPHSURGE_VIEWS_COLLECTION_H_

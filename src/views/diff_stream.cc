@@ -1,0 +1,86 @@
+#include "views/diff_stream.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gs::views {
+
+EdgeDifferenceStream EdgeDifferenceStream::FromMatrix(
+    const EdgeBooleanMatrix& ebm, const std::vector<size_t>& order,
+    ThreadPool* pool) {
+  GS_CHECK(order.size() == ebm.num_views());
+  EdgeDifferenceStream stream;
+  stream.diffs_.resize(order.size());
+
+  size_t shards =
+      pool != nullptr ? std::max<size_t>(1, pool->num_threads()) : 1;
+  std::vector<std::vector<std::vector<EdgeDiff>>> partial(
+      shards, std::vector<std::vector<EdgeDiff>>(order.size()));
+
+  auto scan = [&](size_t shard, size_t begin, size_t end) {
+    auto& local = partial[shard];
+    for (EdgeId e = begin; e < end; ++e) {
+      bool prev = false;
+      for (size_t t = 0; t < order.size(); ++t) {
+        bool now = ebm.Get(e, order[t]);
+        if (now != prev) {
+          local[t].push_back(
+              EdgeDiff{e, static_cast<int8_t>(now ? 1 : -1)});
+        }
+        prev = now;
+      }
+    }
+  };
+  if (shards > 1) {
+    pool->ParallelForShards(ebm.num_edges(), scan);
+  } else {
+    scan(0, 0, ebm.num_edges());
+  }
+
+  // Merge shard outputs preserving edge order (shards cover contiguous
+  // ascending ranges).
+  for (size_t t = 0; t < order.size(); ++t) {
+    size_t total = 0;
+    for (size_t s = 0; s < shards; ++s) total += partial[s][t].size();
+    stream.diffs_[t].reserve(total);
+    for (size_t s = 0; s < shards; ++s) {
+      auto& src = partial[s][t];
+      stream.diffs_[t].insert(stream.diffs_[t].end(), src.begin(), src.end());
+    }
+  }
+  return stream;
+}
+
+EdgeDifferenceStream EdgeDifferenceStream::FromBatches(
+    std::vector<std::vector<EdgeDiff>> batches) {
+  EdgeDifferenceStream stream;
+  stream.diffs_ = std::move(batches);
+  return stream;
+}
+
+uint64_t EdgeDifferenceStream::TotalDiffs() const {
+  uint64_t total = 0;
+  for (const auto& d : diffs_) total += d.size();
+  return total;
+}
+
+std::vector<EdgeId> EdgeDifferenceStream::Reconstruct(size_t view) const {
+  GS_CHECK(view < diffs_.size());
+  std::vector<EdgeId> present;
+  // Accumulate ±1 per edge; edges appear/disappear at most once per view,
+  // so a sorted merge is unnecessary — use a set-like vector keyed by edge.
+  std::unordered_map<EdgeId, int> counts;
+  for (size_t t = 0; t <= view; ++t) {
+    for (const EdgeDiff& d : diffs_[t]) counts[d.edge] += d.diff;
+  }
+  for (const auto& [edge, c] : counts) {
+    GS_CHECK(c == 0 || c == 1) << "difference stream inconsistent";
+    if (c == 1) present.push_back(edge);
+  }
+  std::sort(present.begin(), present.end());
+  return present;
+}
+
+}  // namespace gs::views

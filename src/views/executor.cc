@@ -1,0 +1,191 @@
+#include "views/executor.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gs::views {
+
+namespace {
+
+namespace dd = ::gs::differential;
+using analytics::VertexValue;
+
+// One differential computation instance. A "split" (scratch run) discards
+// the previous instance and seeds a new one with the full view.
+struct Engine {
+  dd::Dataflow dataflow;
+  dd::Input<WeightedEdge> edges;
+  dd::CaptureOp<VertexValue>* capture;
+
+  Engine(const analytics::Computation& computation,
+         const dd::DataflowOptions& options)
+      : dataflow(options), edges(&dataflow) {
+    capture = dd::Capture(
+        computation.GraphAnalytics(&dataflow, edges.stream()));
+  }
+};
+
+}  // namespace
+
+StatusOr<ExecutionResult> RunOnCollection(
+    const analytics::Computation& computation, const PropertyGraph& graph,
+    const MaterializedCollection& collection,
+    const ExecutionOptions& options) {
+  ExecutionResult result;
+  const size_t k = collection.num_views();
+  if (k == 0) return result;
+
+  // Resolve every edge once; views reference edges by id.
+  std::vector<WeightedEdge> resolved(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    resolved[e] = graph.ResolveWeighted(e, options.weight_column);
+  }
+
+  // Current view contents, maintained by applying the difference stream —
+  // needed to seed scratch runs.
+  std::vector<bool> present(graph.num_edges(), false);
+
+  splitting::AdaptiveSplitter splitter(options.chunk_size);
+  std::unique_ptr<Engine> engine;
+
+  // Per-chunk decisions (strategy). For fixed strategies every chunk is
+  // the same; adaptive consults the cost models.
+  auto chunk_scratch_decision = [&](size_t chunk_begin,
+                                    size_t chunk_end) -> bool {
+    switch (options.strategy) {
+      case splitting::Strategy::kDiffOnly:
+        return false;
+      case splitting::Strategy::kScratch:
+        return true;
+      case splitting::Strategy::kAdaptive: {
+        std::vector<uint64_t> view_sizes(
+            collection.view_sizes.begin() + chunk_begin,
+            collection.view_sizes.begin() + chunk_end);
+        std::vector<uint64_t> diff_sizes(
+            collection.diff_sizes.begin() + chunk_begin,
+            collection.diff_sizes.begin() + chunk_end);
+        return splitter.ChunkShouldRunScratch(view_sizes, diff_sizes);
+      }
+    }
+    return false;
+  };
+
+  // Folds a finished engine's work counters into the result (called before
+  // a split discards the instance and once at the end).
+  auto harvest = [&result](Engine* e) {
+    if (e == nullptr) return;
+    const auto& s = e->dataflow.stats();
+    result.engine_stats.updates_published += s.updates_published;
+    result.engine_stats.join_matches += s.join_matches;
+    result.engine_stats.reduce_evaluations += s.reduce_evaluations;
+    result.engine_stats.batches_published += s.batches_published;
+    if (result.engine_stats.shard_work.size() < s.shard_work.size()) {
+      result.engine_stats.shard_work.resize(s.shard_work.size(), 0);
+    }
+    for (size_t i = 0; i < s.shard_work.size(); ++i) {
+      result.engine_stats.shard_work[i] += s.shard_work[i];
+    }
+  };
+
+  Timer total_timer;
+  size_t t = 0;
+  while (t < k) {
+    // Determine the extent of this decision chunk and its strategy.
+    size_t chunk_end;
+    bool scratch;
+    if (options.strategy == splitting::Strategy::kAdaptive && t == 0) {
+      chunk_end = 1;
+      scratch = true;  // bootstrap: GV1 from scratch
+    } else if (options.strategy == splitting::Strategy::kAdaptive && t == 1) {
+      chunk_end = 2;
+      scratch = false;  // bootstrap: GV2 differentially
+    } else {
+      chunk_end = std::min(k, t + options.chunk_size);
+      scratch = chunk_scratch_decision(t, chunk_end);
+    }
+
+    for (; t < chunk_end; ++t) {
+      const std::vector<EdgeDiff>& view_diffs = collection.diffs.ViewDiffs(t);
+      for (const EdgeDiff& d : view_diffs) {
+        present[d.edge] = d.diff > 0;
+      }
+
+      // The very first view on a fresh engine is always a full feed; treat
+      // a diff-strategy first view as a (free) scratch run of its diffs.
+      bool need_new_engine = scratch || engine == nullptr;
+
+      Timer view_timer;
+      ViewRunStats stats;
+      if (need_new_engine) {
+        harvest(engine.get());
+        engine = std::make_unique<Engine>(computation, options.dataflow);
+        uint64_t fed = 0;
+        for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+          if (present[e]) {
+            engine->edges.Send(resolved[e], 1);
+            ++fed;
+          }
+        }
+        GS_RETURN_IF_ERROR(engine->dataflow.Step());
+        stats.ran_scratch = true;
+        stats.input_size = fed;
+      } else {
+        for (const EdgeDiff& d : view_diffs) {
+          engine->edges.Send(resolved[d.edge], d.diff);
+        }
+        GS_RETURN_IF_ERROR(engine->dataflow.Step());
+        stats.ran_scratch = false;
+        stats.input_size = view_diffs.size();
+      }
+      stats.seconds = view_timer.Seconds();
+      uint32_t engine_version = engine->dataflow.current_version() - 1;
+      stats.output_diffs =
+          dd::UpdateMagnitude(engine->capture->VersionDiffs(engine_version));
+
+      if (stats.ran_scratch) {
+        if (t > 0) ++result.num_splits;
+        splitter.RecordScratch(collection.view_sizes[t], stats.seconds);
+      } else {
+        splitter.RecordDifferential(collection.diff_sizes[t], stats.seconds);
+      }
+
+      if (options.capture_results) {
+        analytics::ResultMap m;
+        for (const auto& u : engine->capture->AccumulatedAt(engine_version)) {
+          if (u.diff != 1) {
+            return Status::Internal(
+                "non-unit multiplicity in computation output");
+          }
+          m[u.data.first] = u.data.second;
+        }
+        result.results.push_back(std::move(m));
+      }
+      result.per_view.push_back(stats);
+    }
+  }
+  harvest(engine.get());
+  result.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+StatusOr<analytics::ResultMap> RunOnGraph(
+    const analytics::Computation& computation, const PropertyGraph& graph,
+    const ExecutionOptions& options) {
+  Engine engine(computation, options.dataflow);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    engine.edges.Send(graph.ResolveWeighted(e, options.weight_column), 1);
+  }
+  GS_RETURN_IF_ERROR(engine.dataflow.Step());
+  analytics::ResultMap m;
+  for (const auto& u : engine.capture->AccumulatedAt(0)) {
+    if (u.diff != 1) {
+      return Status::Internal("non-unit multiplicity in computation output");
+    }
+    m[u.data.first] = u.data.second;
+  }
+  return m;
+}
+
+}  // namespace gs::views

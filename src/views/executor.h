@@ -1,0 +1,64 @@
+// The Analytics Computation Executor (paper §3.2.2 + §5): runs a
+// Computation over every view of a materialized collection, sharing work
+// across views differentially, from scratch, or adaptively per the
+// collection splitting optimizer.
+#ifndef GRAPHSURGE_VIEWS_EXECUTOR_H_
+#define GRAPHSURGE_VIEWS_EXECUTOR_H_
+
+#include <vector>
+
+#include "algorithms/computation.h"
+#include "algorithms/reference.h"
+#include "differential/differential.h"
+#include "splitting/adaptive.h"
+#include "views/collection.h"
+
+namespace gs::views {
+
+struct ExecutionOptions {
+  splitting::Strategy strategy = splitting::Strategy::kDiffOnly;
+  /// ℓ: adaptive decisions cover this many views at a time (paper §5).
+  size_t chunk_size = 10;
+  /// Edge property column used as Bellman-Ford/MPSP weight; -1 → weight 1.
+  int weight_column = -1;
+  differential::DataflowOptions dataflow;
+  /// Keep each view's full result (tests and examples; memory-heavy).
+  bool capture_results = false;
+};
+
+struct ViewRunStats {
+  double seconds = 0;
+  bool ran_scratch = false;
+  /// Size of the input fed for this view (|GV| for scratch, |δC| for
+  /// differential) and of the output difference set produced.
+  uint64_t input_size = 0;
+  uint64_t output_diffs = 0;
+};
+
+struct ExecutionResult {
+  double total_seconds = 0;
+  std::vector<ViewRunStats> per_view;
+  /// Number of scratch runs after the first view (the paper's "splits").
+  size_t num_splits = 0;
+  /// Engine work counters summed over all engines used by the run.
+  differential::DataflowStats engine_stats;
+  /// Per-view results (only when ExecutionOptions::capture_results).
+  std::vector<analytics::ResultMap> results;
+};
+
+/// Runs `computation` over all views of `collection` (defined over
+/// `graph`) with the chosen strategy.
+StatusOr<ExecutionResult> RunOnCollection(
+    const analytics::Computation& computation, const PropertyGraph& graph,
+    const MaterializedCollection& collection,
+    const ExecutionOptions& options);
+
+/// Runs `computation` once over a full graph (a single view). Iterative
+/// computations still share work across their own iterations.
+StatusOr<analytics::ResultMap> RunOnGraph(
+    const analytics::Computation& computation, const PropertyGraph& graph,
+    const ExecutionOptions& options = ExecutionOptions());
+
+}  // namespace gs::views
+
+#endif  // GRAPHSURGE_VIEWS_EXECUTOR_H_

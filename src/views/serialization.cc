@@ -1,0 +1,267 @@
+#include "views/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace gs::views {
+
+namespace {
+
+constexpr uint32_t kCollectionMagic = 0x47535643;  // "GSVC"
+constexpr uint32_t kGraphMagic = 0x47535047;       // "GSPG"
+constexpr uint32_t kFormatVersion = 1;
+
+// --- primitive writers/readers ---------------------------------------------
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Status::ParseError("truncated file (u32)");
+  return Status::Ok();
+}
+Status ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Status::ParseError("truncated file (u64)");
+  return Status::Ok();
+}
+Status ReadI64(std::istream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Status::ParseError("truncated file (i64)");
+  return Status::Ok();
+}
+Status ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Status::ParseError("truncated file (f64)");
+  return Status::Ok();
+}
+Status ReadString(std::istream& in, std::string* s) {
+  uint64_t n = 0;
+  GS_RETURN_IF_ERROR(ReadU64(in, &n));
+  if (n > (1ull << 32)) return Status::ParseError("implausible string size");
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  if (!in) return Status::ParseError("truncated file (string)");
+  return Status::Ok();
+}
+
+Status CheckHeader(std::istream& in, uint32_t magic) {
+  uint32_t got_magic = 0, got_version = 0;
+  GS_RETURN_IF_ERROR(ReadU32(in, &got_magic));
+  GS_RETURN_IF_ERROR(ReadU32(in, &got_version));
+  if (got_magic != magic) return Status::ParseError("bad magic");
+  if (got_version != kFormatVersion) {
+    return Status::ParseError("unsupported format version " +
+                              std::to_string(got_version));
+  }
+  return Status::Ok();
+}
+
+void WritePropertyValue(std::ostream& out, const PropertyValue& v) {
+  WriteU32(out, static_cast<uint32_t>(v.type()));
+  switch (v.type()) {
+    case PropertyType::kNull:
+      break;
+    case PropertyType::kBool:
+      WriteU32(out, v.AsBool() ? 1 : 0);
+      break;
+    case PropertyType::kInt:
+      WriteI64(out, v.AsInt());
+      break;
+    case PropertyType::kDouble:
+      WriteF64(out, v.AsDouble());
+      break;
+    case PropertyType::kString:
+      WriteString(out, v.AsString());
+      break;
+  }
+}
+
+StatusOr<PropertyValue> ReadPropertyValue(std::istream& in) {
+  uint32_t type = 0;
+  GS_RETURN_IF_ERROR(ReadU32(in, &type));
+  switch (static_cast<PropertyType>(type)) {
+    case PropertyType::kNull:
+      return PropertyValue::Null();
+    case PropertyType::kBool: {
+      uint32_t b = 0;
+      GS_RETURN_IF_ERROR(ReadU32(in, &b));
+      return PropertyValue(b != 0);
+    }
+    case PropertyType::kInt: {
+      int64_t v = 0;
+      GS_RETURN_IF_ERROR(ReadI64(in, &v));
+      return PropertyValue(v);
+    }
+    case PropertyType::kDouble: {
+      double v = 0;
+      GS_RETURN_IF_ERROR(ReadF64(in, &v));
+      return PropertyValue(v);
+    }
+    case PropertyType::kString: {
+      std::string s;
+      GS_RETURN_IF_ERROR(ReadString(in, &s));
+      return PropertyValue(std::move(s));
+    }
+  }
+  return Status::ParseError("bad property type tag");
+}
+
+void WriteTable(std::ostream& out, const PropertyTable& t) {
+  WriteU64(out, t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    WriteString(out, t.column_name(c));
+    WriteU32(out, static_cast<uint32_t>(t.column(c).type()));
+  }
+  WriteU64(out, t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      WritePropertyValue(out, t.Get(r, c));
+    }
+  }
+}
+
+Status ReadTable(std::istream& in, PropertyTable* t) {
+  uint64_t cols = 0;
+  GS_RETURN_IF_ERROR(ReadU64(in, &cols));
+  for (uint64_t c = 0; c < cols; ++c) {
+    std::string name;
+    uint32_t type = 0;
+    GS_RETURN_IF_ERROR(ReadString(in, &name));
+    GS_RETURN_IF_ERROR(ReadU32(in, &type));
+    GS_RETURN_IF_ERROR(t->AddColumn(name, static_cast<PropertyType>(type)));
+  }
+  uint64_t rows = 0;
+  GS_RETURN_IF_ERROR(ReadU64(in, &rows));
+  for (uint64_t r = 0; r < rows; ++r) {
+    std::vector<PropertyValue> row;
+    row.reserve(cols);
+    for (uint64_t c = 0; c < cols; ++c) {
+      GS_ASSIGN_OR_RETURN(PropertyValue v, ReadPropertyValue(in));
+      row.push_back(std::move(v));
+    }
+    GS_RETURN_IF_ERROR(t->AppendRow(row));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveCollection(const MaterializedCollection& mc,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot write " + path);
+  WriteU32(out, kCollectionMagic);
+  WriteU32(out, kFormatVersion);
+  WriteString(out, mc.name);
+  WriteString(out, mc.base_graph);
+  WriteU64(out, mc.num_views());
+  for (size_t t = 0; t < mc.num_views(); ++t) {
+    WriteString(out, mc.view_names[t]);
+    WriteU64(out, mc.order[t]);
+    WriteU64(out, mc.view_sizes[t]);
+    const auto& diffs = mc.diffs.ViewDiffs(t);
+    WriteU64(out, diffs.size());
+    for (const EdgeDiff& d : diffs) {
+      WriteU64(out, d.edge);
+      WriteU32(out, d.diff > 0 ? 1 : 0);
+    }
+  }
+  WriteF64(out, mc.creation_seconds);
+  WriteF64(out, mc.ordering_seconds);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<MaterializedCollection> LoadCollection(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  GS_RETURN_IF_ERROR(CheckHeader(in, kCollectionMagic));
+  MaterializedCollection mc;
+  GS_RETURN_IF_ERROR(ReadString(in, &mc.name));
+  GS_RETURN_IF_ERROR(ReadString(in, &mc.base_graph));
+  uint64_t views = 0;
+  GS_RETURN_IF_ERROR(ReadU64(in, &views));
+  std::vector<std::vector<EdgeDiff>> batches(views);
+  for (uint64_t t = 0; t < views; ++t) {
+    std::string name;
+    uint64_t order = 0, size = 0, ndiffs = 0;
+    GS_RETURN_IF_ERROR(ReadString(in, &name));
+    GS_RETURN_IF_ERROR(ReadU64(in, &order));
+    GS_RETURN_IF_ERROR(ReadU64(in, &size));
+    GS_RETURN_IF_ERROR(ReadU64(in, &ndiffs));
+    mc.view_names.push_back(std::move(name));
+    mc.order.push_back(order);
+    mc.view_sizes.push_back(size);
+    batches[t].reserve(ndiffs);
+    for (uint64_t i = 0; i < ndiffs; ++i) {
+      uint64_t edge = 0;
+      uint32_t positive = 0;
+      GS_RETURN_IF_ERROR(ReadU64(in, &edge));
+      GS_RETURN_IF_ERROR(ReadU32(in, &positive));
+      batches[t].push_back(
+          EdgeDiff{edge, static_cast<int8_t>(positive ? 1 : -1)});
+    }
+    mc.diff_sizes.push_back(ndiffs);
+    mc.total_diffs += ndiffs;
+  }
+  mc.diffs = EdgeDifferenceStream::FromBatches(std::move(batches));
+  GS_RETURN_IF_ERROR(ReadF64(in, &mc.creation_seconds));
+  GS_RETURN_IF_ERROR(ReadF64(in, &mc.ordering_seconds));
+  return mc;
+}
+
+Status SaveGraph(const PropertyGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot write " + path);
+  WriteU32(out, kGraphMagic);
+  WriteU32(out, kFormatVersion);
+  WriteU64(out, graph.num_nodes());
+  WriteU64(out, graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    WriteU64(out, e.src);
+    WriteU64(out, e.dst);
+  }
+  WriteTable(out, graph.node_properties());
+  WriteTable(out, graph.edge_properties());
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<PropertyGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  GS_RETURN_IF_ERROR(CheckHeader(in, kGraphMagic));
+  PropertyGraph graph;
+  uint64_t nodes = 0, edges = 0;
+  GS_RETURN_IF_ERROR(ReadU64(in, &nodes));
+  GS_RETURN_IF_ERROR(ReadU64(in, &edges));
+  graph.AddNodes(nodes);
+  for (uint64_t e = 0; e < edges; ++e) {
+    uint64_t src = 0, dst = 0;
+    GS_RETURN_IF_ERROR(ReadU64(in, &src));
+    GS_RETURN_IF_ERROR(ReadU64(in, &dst));
+    GS_RETURN_IF_ERROR(graph.AddEdge(src, dst).status());
+  }
+  GS_RETURN_IF_ERROR(ReadTable(in, &graph.node_properties()));
+  GS_RETURN_IF_ERROR(ReadTable(in, &graph.edge_properties()));
+  GS_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+}  // namespace gs::views

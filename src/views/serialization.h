@@ -1,0 +1,33 @@
+// Binary persistence for materialized collections and property graphs
+// (the paper's Storage Manager persists edge streams and views to files;
+// we provide a compact little-endian binary format with a magic/version
+// header so materialization work can be reused across processes).
+#ifndef GRAPHSURGE_VIEWS_SERIALIZATION_H_
+#define GRAPHSURGE_VIEWS_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "views/collection.h"
+
+namespace gs::views {
+
+/// Writes a materialized collection (names, order, sizes, difference
+/// stream, timings) to `path`.
+Status SaveCollection(const MaterializedCollection& collection,
+                      const std::string& path);
+
+/// Reads a collection previously written by SaveCollection. Fails with
+/// ParseError on magic/version mismatch or truncation.
+StatusOr<MaterializedCollection> LoadCollection(const std::string& path);
+
+/// Writes a property graph (edges + both property tables) to `path`.
+Status SaveGraph(const PropertyGraph& graph, const std::string& path);
+
+/// Reads a graph previously written by SaveGraph.
+StatusOr<PropertyGraph> LoadGraph(const std::string& path);
+
+}  // namespace gs::views
+
+#endif  // GRAPHSURGE_VIEWS_SERIALIZATION_H_

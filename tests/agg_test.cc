@@ -1,0 +1,132 @@
+// Aggregate (Graph OLAP) views: the paper's Listing 4 examples plus
+// aggregate-function edge cases.
+#include "agg/aggregate_view.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "gvdl/parser.h"
+
+namespace gs::agg {
+namespace {
+
+const gvdl::AggregateViewDef& GetDef(const gvdl::Statement& s) {
+  return std::get<gvdl::AggregateViewDef>(s);
+}
+
+TEST(AggregateViewTest, CityCallsCity) {
+  PropertyGraph g = MakeCallGraphExample();
+  auto stmt = gvdl::Parse(
+      "create view City-Calls-City on Calls\n"
+      "nodes group by city aggregate num-phones: count(*)\n"
+      "edges aggregate total-duration: sum(duration)");
+  ASSERT_TRUE(stmt.ok());
+  auto view = ComputeAggregateView(g, GetDef(*stmt), nullptr);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  // Two cities: LA (5 customers) and NY (3 customers).
+  ASSERT_EQ(view->graph.num_nodes(), 2u);
+  int64_t total_customers = 0;
+  int64_t total_duration = 0;
+  for (size_t v = 0; v < 2; ++v) {
+    total_customers +=
+        view->graph.node_properties().GetByName(v, "num-phones")->AsInt();
+  }
+  EXPECT_EQ(total_customers, 8);
+  for (EdgeId e = 0; e < view->graph.num_edges(); ++e) {
+    total_duration += view->graph.edge_properties()
+                          .GetByName(e, "total-duration")
+                          ->AsInt();
+  }
+  // Sum of all durations in Figure 1.
+  int64_t expected = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    expected += g.edge_properties().GetByName(e, "duration")->AsInt();
+  }
+  EXPECT_EQ(total_duration, expected);
+  // Super-edges are at most 2x2 city pairs.
+  EXPECT_LE(view->graph.num_edges(), 4u);
+}
+
+TEST(AggregateViewTest, PredicateGroups) {
+  PropertyGraph g = MakeCallGraphExample();
+  auto stmt = gvdl::Parse(
+      "create view tri on Calls nodes group by [\n"
+      "(profession='Doctor' and city='NY'),\n"
+      "(profession='Lawyer' and city='LA'),\n"
+      "(profession='Teacher' and city='DC')]\n"
+      "aggregate count(*)");
+  ASSERT_TRUE(stmt.ok());
+  auto view = ComputeAggregateView(g, GetDef(*stmt), nullptr);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_EQ(view->graph.num_nodes(), 3u);
+  // Figure 1: one NY doctor (node 5), one LA lawyer (node 8), no teachers.
+  EXPECT_EQ(view->graph.node_properties().GetByName(0, "count")->AsInt(), 1);
+  EXPECT_EQ(view->graph.node_properties().GetByName(1, "count")->AsInt(), 1);
+  EXPECT_EQ(view->graph.node_properties().GetByName(2, "count")->AsInt(), 0);
+  // 6 of 8 customers match no group.
+  EXPECT_EQ(view->ungrouped_nodes, 6u);
+  // Edges between ungrouped nodes are excluded.
+  EXPECT_LE(view->graph.num_edges(), 2u);
+}
+
+TEST(AggregateViewTest, MinMaxAvgAggregates) {
+  PropertyGraph g = MakeCallGraphExample();
+  auto stmt = gvdl::Parse(
+      "create view stats on Calls nodes group by city\n"
+      "edges aggregate min(duration), max(duration), avg(duration), "
+      "count(*)");
+  ASSERT_TRUE(stmt.ok());
+  auto view = ComputeAggregateView(g, GetDef(*stmt), nullptr);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  // Global invariants across super-edges.
+  int64_t min_seen = 1000, max_seen = 0, count_total = 0;
+  for (EdgeId e = 0; e < view->graph.num_edges(); ++e) {
+    const auto& ep = view->graph.edge_properties();
+    min_seen = std::min(min_seen, ep.GetByName(e, "min_duration")->AsInt());
+    max_seen = std::max(max_seen, ep.GetByName(e, "max_duration")->AsInt());
+    count_total += ep.GetByName(e, "count")->AsInt();
+    double avg = ep.GetByName(e, "avg_duration")->AsDouble();
+    EXPECT_GE(avg, 1.0);
+    EXPECT_LE(avg, 34.0);
+  }
+  EXPECT_EQ(min_seen, 1);
+  EXPECT_EQ(max_seen, 34);
+  EXPECT_EQ(count_total, static_cast<int64_t>(g.num_edges()));
+}
+
+TEST(AggregateViewTest, GroupByMultipleProperties) {
+  PropertyGraph g = MakeCallGraphExample();
+  auto stmt = gvdl::Parse(
+      "create view cp on Calls nodes group by city, profession "
+      "aggregate count(*)");
+  ASSERT_TRUE(stmt.ok());
+  auto view = ComputeAggregateView(g, GetDef(*stmt), nullptr);
+  ASSERT_TRUE(view.ok());
+  // Figure 1 combinations: LA/Engineer(3), LA/Doctor(1), LA/Lawyer(1),
+  // NY/Lawyer(2), NY/Doctor(1) → 5 groups.
+  EXPECT_EQ(view->graph.num_nodes(), 5u);
+  int64_t total = 0;
+  for (size_t v = 0; v < view->graph.num_nodes(); ++v) {
+    total += view->graph.node_properties().GetByName(v, "count")->AsInt();
+  }
+  EXPECT_EQ(total, 8);
+  // Group-by key columns are carried on the super-nodes.
+  EXPECT_TRUE(view->graph.node_properties().HasColumn("city"));
+  EXPECT_TRUE(view->graph.node_properties().HasColumn("profession"));
+}
+
+TEST(AggregateViewTest, Errors) {
+  PropertyGraph g = MakeCallGraphExample();
+  auto bad_prop = gvdl::Parse(
+      "create view x on Calls nodes group by nosuch aggregate count(*)");
+  ASSERT_TRUE(bad_prop.ok());
+  EXPECT_FALSE(ComputeAggregateView(g, GetDef(*bad_prop), nullptr).ok());
+
+  auto bad_sum = gvdl::Parse(
+      "create view x on Calls nodes group by city aggregate sum(profession)");
+  ASSERT_TRUE(bad_sum.ok());
+  EXPECT_FALSE(ComputeAggregateView(g, GetDef(*bad_sum), nullptr).ok());
+}
+
+}  // namespace
+}  // namespace gs::agg

@@ -1,0 +1,224 @@
+// Correctness of the differential analytics computations against the
+// sequential reference oracles, on fixed topologies and under incremental
+// edge changes.
+#include "algorithms/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/reference.h"
+#include "test_util.h"
+
+namespace gs::analytics {
+namespace {
+
+using testutil::ComputationRunner;
+using testutil::EdgeAccumulator;
+namespace dd = ::gs::differential;
+
+dd::Batch<WeightedEdge> MakeBatch(
+    std::initializer_list<std::tuple<uint64_t, uint64_t, int64_t>> adds,
+    std::initializer_list<std::tuple<uint64_t, uint64_t, int64_t>> dels = {}) {
+  dd::Batch<WeightedEdge> b;
+  for (auto [s, d, w] : adds) b.push_back({WeightedEdge{s, d, w}, 1});
+  for (auto [s, d, w] : dels) b.push_back({WeightedEdge{s, d, w}, -1});
+  return b;
+}
+
+TEST(WccTest, TwoComponentsThenMerge) {
+  Wcc wcc;
+  ComputationRunner runner(wcc);
+  EdgeAccumulator acc;
+  // Components {0,1,2} and {5,6}.
+  auto b0 = MakeBatch({{0, 1, 1}, {1, 2, 1}, {5, 6, 1}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  EXPECT_EQ(runner.ResultAt(0), WccReference(acc.Edges()));
+  EXPECT_EQ(runner.ResultAt(0).at(6), 5);
+
+  // Merge them.
+  auto b1 = MakeBatch({{2, 5, 1}});
+  runner.Advance(b1);
+  acc.Apply(b1);
+  EXPECT_EQ(runner.ResultAt(1), WccReference(acc.Edges()));
+  EXPECT_EQ(runner.ResultAt(1).at(6), 0);
+
+  // Split them again.
+  auto b2 = MakeBatch({}, {{2, 5, 1}});
+  runner.Advance(b2);
+  acc.Apply(b2);
+  EXPECT_EQ(runner.ResultAt(2), WccReference(acc.Edges()));
+}
+
+TEST(WccTest, DirectionIsIgnored) {
+  Wcc wcc;
+  ComputationRunner runner(wcc);
+  runner.Advance(MakeBatch({{9, 3, 1}, {3, 7, 1}}));
+  auto r = runner.ResultAt(0);
+  EXPECT_EQ(r.at(9), 3);
+  EXPECT_EQ(r.at(7), 3);
+  EXPECT_EQ(r.at(3), 3);
+}
+
+TEST(BfsTest, LevelsAndIncrementalShortcut) {
+  Bfs bfs(0);
+  ComputationRunner runner(bfs);
+  EdgeAccumulator acc;
+  auto b0 = MakeBatch({{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  EXPECT_EQ(runner.ResultAt(0), BfsReference(acc.Edges(), 0));
+
+  auto b1 = MakeBatch({{0, 3, 1}});
+  runner.Advance(b1);
+  acc.Apply(b1);
+  auto r = runner.ResultAt(1);
+  EXPECT_EQ(r, BfsReference(acc.Edges(), 0));
+  EXPECT_EQ(r.at(4), 2);
+}
+
+TEST(BfsTest, MissingSourceProducesNothing) {
+  Bfs bfs(42);
+  ComputationRunner runner(bfs);
+  runner.Advance(MakeBatch({{0, 1, 1}}));
+  EXPECT_TRUE(runner.ResultAt(0).empty());
+  // Source appears in version 1.
+  runner.Advance(MakeBatch({{42, 0, 1}}));
+  auto r = runner.ResultAt(1);
+  EXPECT_EQ(r.at(42), 0);
+  EXPECT_EQ(r.at(0), 1);
+  EXPECT_EQ(r.at(1), 2);
+}
+
+TEST(BellmanFordTest, WeightedShortestPaths) {
+  BellmanFord bf(0);
+  ComputationRunner runner(bf);
+  EdgeAccumulator acc;
+  // Figure 3-style: cheap long path vs expensive direct edge.
+  auto b0 = MakeBatch({{0, 1, 2}, {0, 2, 10}, {1, 2, 2}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  auto r0 = runner.ResultAt(0);
+  EXPECT_EQ(r0, SsspReference(acc.Edges(), 0));
+  EXPECT_EQ(r0.at(2), 4);
+
+  // Table 1's updates: (0,1) cost 2 → 1, then (0,2) cost 10 → 1.
+  auto b1 = MakeBatch({{0, 1, 1}}, {{0, 1, 2}});
+  runner.Advance(b1);
+  acc.Apply(b1);
+  EXPECT_EQ(runner.ResultAt(1), SsspReference(acc.Edges(), 0));
+  EXPECT_EQ(runner.ResultAt(1).at(2), 3);
+
+  auto b2 = MakeBatch({{0, 2, 1}}, {{0, 2, 10}});
+  runner.Advance(b2);
+  acc.Apply(b2);
+  EXPECT_EQ(runner.ResultAt(2), SsspReference(acc.Edges(), 0));
+  EXPECT_EQ(runner.ResultAt(2).at(2), 1);
+}
+
+TEST(PageRankTest, MatchesReferenceExactly) {
+  PageRank pr(5);
+  ComputationRunner runner(pr);
+  EdgeAccumulator acc;
+  auto b0 = MakeBatch({{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {0, 2, 1}, {3, 0, 1}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  EXPECT_EQ(runner.ResultAt(0), PageRankReference(acc.Edges(), 5));
+
+  auto b1 = MakeBatch({{2, 3, 1}}, {{3, 0, 1}});
+  runner.Advance(b1);
+  acc.Apply(b1);
+  EXPECT_EQ(runner.ResultAt(1), PageRankReference(acc.Edges(), 5));
+}
+
+TEST(PageRankTest, SinkAndSourceVertices) {
+  PageRank pr(3);
+  ComputationRunner runner(pr);
+  EdgeAccumulator acc;
+  // 0 is a pure source, 2 a pure sink.
+  auto b0 = MakeBatch({{0, 1, 1}, {1, 2, 1}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  auto r = runner.ResultAt(0);
+  EXPECT_EQ(r, PageRankReference(acc.Edges(), 3));
+  EXPECT_EQ(r.at(0), PageRank::Base());
+  EXPECT_GT(r.at(2), r.at(0));
+}
+
+TEST(SccTest, CyclesAndCondensation) {
+  Scc scc;
+  ComputationRunner runner(scc);
+  EdgeAccumulator acc;
+  // SCCs: {0,1,2} (cycle), {3,4} (2-cycle), {5} reached from both.
+  auto b0 = MakeBatch({{0, 1, 1},
+                       {1, 2, 1},
+                       {2, 0, 1},
+                       {3, 4, 1},
+                       {4, 3, 1},
+                       {2, 3, 1},
+                       {4, 5, 1}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  EXPECT_EQ(runner.ResultAt(0), SccReference(acc.Edges()));
+  auto r = runner.ResultAt(0);
+  EXPECT_EQ(r.at(0), 2);
+  EXPECT_EQ(r.at(1), 2);
+  EXPECT_EQ(r.at(3), 4);
+  EXPECT_EQ(r.at(5), 5);
+}
+
+TEST(SccTest, EdgeInsertionMergesComponents) {
+  Scc scc;
+  ComputationRunner runner(scc);
+  EdgeAccumulator acc;
+  auto b0 = MakeBatch({{0, 1, 1}, {1, 2, 1}, {3, 0, 1}, {2, 9, 1}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  EXPECT_EQ(runner.ResultAt(0), SccReference(acc.Edges()));
+
+  // Close the loop 2 -> 3: {0,1,2,3} become one SCC.
+  auto b1 = MakeBatch({{2, 3, 1}});
+  runner.Advance(b1);
+  acc.Apply(b1);
+  EXPECT_EQ(runner.ResultAt(1), SccReference(acc.Edges()));
+  EXPECT_EQ(runner.ResultAt(1).at(0), 3);
+
+  // Remove it again.
+  auto b2 = MakeBatch({}, {{2, 3, 1}});
+  runner.Advance(b2);
+  acc.Apply(b2);
+  EXPECT_EQ(runner.ResultAt(2), SccReference(acc.Edges()));
+}
+
+TEST(MpspTest, MultiplePairsIndependent) {
+  std::vector<std::pair<VertexId, VertexId>> pairs = {{0, 3}, {5, 7}};
+  Mpsp mpsp(pairs);
+  ComputationRunner runner(mpsp);
+  EdgeAccumulator acc;
+  auto b0 = MakeBatch(
+      {{0, 1, 4}, {1, 3, 1}, {0, 3, 9}, {5, 6, 2}, {6, 7, 2}, {5, 7, 5}});
+  runner.Advance(b0);
+  acc.Apply(b0);
+  auto r = runner.ResultAt(0);
+  EXPECT_EQ(r, MpspReference(acc.Edges(), pairs));
+  EXPECT_EQ(r.at(Mpsp::PackKey(3, 0)), 5);
+  EXPECT_EQ(r.at(Mpsp::PackKey(7, 1)), 4);
+
+  // Cheapen a path for pair 0 only.
+  auto b1 = MakeBatch({{0, 1, 1}}, {{0, 1, 4}});
+  runner.Advance(b1);
+  acc.Apply(b1);
+  EXPECT_EQ(runner.ResultAt(1), MpspReference(acc.Edges(), pairs));
+  EXPECT_EQ(runner.ResultAt(1).at(Mpsp::PackKey(3, 0)), 2);
+}
+
+TEST(AlgorithmNamesAreStable, Names) {
+  EXPECT_EQ(Wcc().name(), "wcc");
+  EXPECT_EQ(Bfs(0).name(), "bfs");
+  EXPECT_EQ(BellmanFord(0).name(), "bellman-ford");
+  EXPECT_EQ(PageRank().name(), "pagerank");
+  EXPECT_EQ(Scc().name(), "scc");
+  EXPECT_EQ(Mpsp({}).name(), "mpsp");
+}
+
+}  // namespace
+}  // namespace gs::analytics

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace gs {
+namespace {
+
+TEST(HashTest, Mix64Decorrelates) {
+  // Sequential inputs must not produce sequential outputs.
+  std::set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 1000; ++i) low_bits.insert(Mix64(i) & 0xFF);
+  EXPECT_GT(low_bits.size(), 200u);  // all 256 buckets nearly covered
+}
+
+TEST(HashTest, PairAndTupleHashing) {
+  auto h1 = HashValue(std::make_pair(uint64_t{1}, uint64_t{2}));
+  auto h2 = HashValue(std::make_pair(uint64_t{2}, uint64_t{1}));
+  EXPECT_NE(h1, h2);  // order matters
+  auto t1 = HashValue(std::make_tuple(1, std::string("a"), true));
+  auto t2 = HashValue(std::make_tuple(1, std::string("a"), false));
+  EXPECT_NE(t1, t2);
+}
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RandomTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, PowerLawSkewsLow) {
+  Rng rng(2);
+  int lows = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.PowerLaw(1000, 1.5) < 10) ++lows;
+  }
+  // With alpha 1.5, a large fraction of mass is on the first few values.
+  EXPECT_GT(lows, kTrials / 4);
+}
+
+TEST(RandomTest, SampleDistinctIsDistinct) {
+  Rng rng(3);
+  auto sample = rng.SampleDistinct(100, 50);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (uint64_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(ThreadPoolTest, InlineModeRunsTasks) {
+  ThreadPool pool(1);
+  int counter = 0;
+  pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForShardsPartition) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  pool.ParallelForShards(100, [&](size_t shard, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(begin, end);
+  });
+  size_t total = 0;
+  for (auto [b, e] : ranges) total += e - b;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_LT(t.Seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,103 @@
+#include "graph/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace gs {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "gs_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, SplitCsvLineHandlesQuotes) {
+  using csv_internal::SplitCsvLine;
+  auto f = SplitCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+  f = SplitCsvLine(R"(1,"hello, world","say ""hi""")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "hello, world");
+  EXPECT_EQ(f[2], "say \"hi\"");
+  f = SplitCsvLine("x,,z");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "");
+}
+
+TEST_F(CsvTest, LoadsCallGraphStyleCsv) {
+  WriteFile("nodes.csv",
+            "id,city:string,profession:string\n"
+            "10,LA,Engineer\n"
+            "20,NY,Doctor\n"
+            "30,LA,Lawyer\n");
+  WriteFile("edges.csv",
+            "src,dst,duration:int,year:int\n"
+            "10,20,7,2015\n"
+            "20,30,19,2019\n"
+            "30,10,,2018\n");  // null duration
+  auto g = LoadGraphFromCsv(Path("nodes.csv"), Path("edges.csv"));
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  // External ids are renumbered densely in file order.
+  EXPECT_EQ(g->node_properties().GetByName(1, "city")->AsString(), "NY");
+  EXPECT_EQ(g->edge_properties().GetByName(1, "duration")->AsInt(), 19);
+  EXPECT_TRUE(g->edge_properties().GetByName(2, "duration")->is_null());
+}
+
+TEST_F(CsvTest, ErrorsAreReported) {
+  WriteFile("n1.csv", "id,p:int\n1,5\n1,6\n");
+  WriteFile("e1.csv", "src,dst\n1,1\n");
+  EXPECT_FALSE(LoadGraphFromCsv(Path("n1.csv"), Path("e1.csv")).ok())
+      << "duplicate node id must fail";
+
+  WriteFile("n2.csv", "id,p:int\n1,5\n");
+  WriteFile("e2.csv", "src,dst\n1,99\n");
+  EXPECT_FALSE(LoadGraphFromCsv(Path("n2.csv"), Path("e2.csv")).ok())
+      << "unknown endpoint must fail";
+
+  WriteFile("n3.csv", "id,p:blob\n1,5\n");
+  EXPECT_FALSE(LoadGraphFromCsv(Path("n3.csv"), Path("e2.csv")).ok())
+      << "unknown type must fail";
+
+  EXPECT_FALSE(
+      LoadGraphFromCsv(Path("missing.csv"), Path("e2.csv")).ok());
+}
+
+TEST_F(CsvTest, RoundTrip) {
+  PropertyGraph g = MakeCallGraphExample();
+  ASSERT_TRUE(
+      WriteGraphToCsv(g, Path("out_nodes.csv"), Path("out_edges.csv")).ok());
+  auto g2 = LoadGraphFromCsv(Path("out_nodes.csv"), Path("out_edges.csv"));
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString();
+  EXPECT_EQ(g2->num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2->num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g2->edge(e).src, g.edge(e).src);
+    EXPECT_EQ(g2->edge(e).dst, g.edge(e).dst);
+    EXPECT_EQ(g2->edge_properties().GetByName(e, "year")->AsInt(),
+              g.edge_properties().GetByName(e, "year")->AsInt());
+  }
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,246 @@
+// Core (non-iterative) engine behavior: linear operators, capture semantics,
+// join bilinearity across versions, reduce incrementality.
+#include "differential/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace gs::differential {
+namespace {
+
+using IntPair = std::pair<int64_t, int64_t>;
+
+// Renders a consolidated batch as a map for comparisons.
+template <typename D>
+std::map<D, Diff> ToMap(const Batch<D>& batch) {
+  std::map<D, Diff> m;
+  for (const auto& u : batch) m[u.data] += u.diff;
+  for (auto it = m.begin(); it != m.end();) {
+    it = it->second == 0 ? m.erase(it) : std::next(it);
+  }
+  return m;
+}
+
+TEST(EngineTest, MapFilterNegateConcat) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto doubled = in.stream().Map([](const int64_t& x) { return x * 2; });
+  auto evens = doubled.Filter([](const int64_t& x) { return x % 4 == 0; });
+  auto all = doubled.Concat(evens.Negate());
+  auto* cap = Capture(all);
+
+  in.Send(1, 1);
+  in.Send(2, 1);
+  in.Send(3, 2);
+  ASSERT_TRUE(df.Step().ok());
+
+  // doubled = {2:1, 4:1, 6:2}; evens = {4:1}; all = doubled - evens.
+  auto m = ToMap(cap->AccumulatedAt(0));
+  EXPECT_EQ(m, (std::map<int64_t, Diff>{{2, 1}, {6, 2}}));
+}
+
+TEST(EngineTest, FlatMapExpandsRecords) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto out = in.stream().FlatMap(
+      [](const int64_t& x, std::vector<int64_t>* out) {
+        for (int64_t i = 0; i < x; ++i) out->push_back(i);
+      });
+  auto* cap = Capture(out);
+  in.Send(3, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{0, 1}, {1, 1}, {2, 1}}));
+}
+
+TEST(EngineTest, RetractionsCancelAcrossVersions) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto* cap = Capture(in.stream().Map([](const int64_t& x) { return x; }));
+
+  in.Send(10, 1);
+  in.Send(20, 1);
+  ASSERT_TRUE(df.Step().ok());
+  in.Send(10, -1);  // version 1 removes 10
+  in.Send(30, 1);
+  ASSERT_TRUE(df.Step().ok());
+
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{10, 1}, {20, 1}}));
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)),
+            (std::map<int64_t, Diff>{{20, 1}, {30, 1}}));
+  EXPECT_EQ(ToMap(cap->VersionDiffs(1)),
+            (std::map<int64_t, Diff>{{10, -1}, {30, 1}}));
+}
+
+TEST(EngineTest, JoinMatchesByKey) {
+  Dataflow df;
+  Input<IntPair> left(&df);
+  Input<IntPair> right(&df);
+  auto joined = Join(left.stream(), right.stream(),
+                     [](const int64_t& k, const int64_t& a, const int64_t& b) {
+                       return std::make_tuple(k, a, b);
+                     });
+  auto* cap = Capture(joined);
+
+  left.Send({1, 10}, 1);
+  left.Send({2, 20}, 1);
+  right.Send({1, 100}, 1);
+  right.Send({3, 300}, 1);
+  ASSERT_TRUE(df.Step().ok());
+
+  auto m = ToMap(cap->AccumulatedAt(0));
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.begin()->first, std::make_tuple(int64_t{1}, int64_t{10},
+                                              int64_t{100}));
+}
+
+TEST(EngineTest, JoinIsBilinearAcrossVersions) {
+  // (A + δA) ⋈ (B + δB) accumulated at v1 must equal the full join of the
+  // accumulated inputs, including the δA ⋈ δB cross term.
+  Dataflow df;
+  Input<IntPair> left(&df);
+  Input<IntPair> right(&df);
+  auto joined = Join(left.stream(), right.stream(),
+                     [](const int64_t& k, const int64_t& a, const int64_t& b) {
+                       return std::make_pair(a, b);
+                     });
+  auto* cap = Capture(joined);
+
+  left.Send({1, 10}, 1);
+  right.Send({1, 100}, 1);
+  ASSERT_TRUE(df.Step().ok());
+
+  left.Send({1, 11}, 1);    // new left value
+  right.Send({1, 101}, 1);  // new right value — cross term (11,101) needed
+  right.Send({1, 100}, -1);
+  ASSERT_TRUE(df.Step().ok());
+
+  // At v1: left = {10, 11}, right = {101}. Join = {(10,101), (11,101)}.
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)),
+            (std::map<IntPair, Diff>{{{10, 101}, 1}, {{11, 101}, 1}}));
+}
+
+TEST(EngineTest, JoinWithMultiplicities) {
+  Dataflow df;
+  Input<IntPair> left(&df);
+  Input<IntPair> right(&df);
+  auto joined = Join(left.stream(), right.stream(),
+                     [](const int64_t&, const int64_t& a, const int64_t& b) {
+                       return a + b;
+                     });
+  auto* cap = Capture(joined);
+  left.Send({1, 5}, 2);    // multiplicity 2
+  right.Send({1, 7}, 3);   // multiplicity 3
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{12, 6}}));  // 2 * 3
+}
+
+TEST(EngineTest, ReduceMinTracksMinimum) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto mins = ReduceMin(in.stream());
+  auto* cap = Capture(mins);
+
+  in.Send({1, 30}, 1);
+  in.Send({1, 10}, 1);
+  in.Send({2, 99}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 10}, 1}, {{2, 99}, 1}}));
+
+  in.Send({1, 10}, -1);  // retract the minimum; falls back to 30
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)),
+            (std::map<IntPair, Diff>{{{1, 30}, 1}, {{2, 99}, 1}}));
+  // Only key 1 changed: version diff touches exactly that key.
+  auto d = ToMap(cap->VersionDiffs(1));
+  EXPECT_EQ(d, (std::map<IntPair, Diff>{{{1, 10}, -1}, {{1, 30}, 1}}));
+
+  in.Send({2, 50}, 1);  // improve key 2's min
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(2)),
+            (std::map<IntPair, Diff>{{{1, 30}, 1}, {{2, 50}, 1}}));
+}
+
+TEST(EngineTest, ReduceSkipsUnaffectedKeys) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto mins = ReduceMin(in.stream());
+  Capture(mins);
+
+  const int kKeys = 1000;
+  for (int64_t k = 0; k < kKeys; ++k) in.Send({k, k * 10}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  uint64_t evals_v0 = df.stats().reduce_evaluations;
+
+  in.Send({7, 1}, 1);  // touch a single key
+  ASSERT_TRUE(df.Step().ok());
+  uint64_t evals_v1 = df.stats().reduce_evaluations - evals_v0;
+  EXPECT_LE(evals_v1, 4u) << "incremental step must not re-evaluate all keys";
+}
+
+TEST(EngineTest, CountAndDistinct) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto counts = Count(in.stream());
+  auto* cap_counts = Capture(counts);
+  Input<int64_t> din(&df);
+  auto distinct = Distinct(din.stream());
+  auto* cap_distinct = Capture(distinct);
+
+  in.Send({1, 5}, 1);
+  in.Send({1, 6}, 1);
+  in.Send({1, 7}, 2);
+  din.Send(4, 3);  // multiplicity 3 → appears once
+  din.Send(9, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap_counts->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 4}, 1}}));
+  EXPECT_EQ(ToMap(cap_distinct->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{4, 1}, {9, 1}}));
+
+  din.Send(4, -3);  // fully retract → disappears
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap_distinct->AccumulatedAt(1)),
+            (std::map<int64_t, Diff>{{9, 1}}));
+}
+
+TEST(EngineTest, NoChangeProducesNoWork) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto mins = ReduceMin(in.stream());
+  auto* cap = Capture(mins);
+  for (int64_t k = 0; k < 100; ++k) in.Send({k, k}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  uint64_t published_v0 = df.stats().updates_published;
+
+  // Empty version: nothing may be recomputed or published.
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(df.stats().updates_published, published_v0);
+  EXPECT_TRUE(cap->VersionDiffs(1).empty());
+}
+
+TEST(EngineTest, StatsTrackWork) {
+  Dataflow df;
+  Input<IntPair> left(&df);
+  Input<IntPair> right(&df);
+  auto joined = Join(left.stream(), right.stream(),
+                     [](const int64_t& k, const int64_t&, const int64_t&) {
+                       return k;
+                     });
+  Capture(joined);
+  left.Send({1, 1}, 1);
+  right.Send({1, 2}, 1);
+  right.Send({1, 3}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_GE(df.stats().join_matches, 2u);
+  EXPECT_GT(df.stats().updates_published, 0u);
+  EXPECT_GT(df.scheduler().events_processed(), 0u);
+}
+
+}  // namespace
+}  // namespace gs::differential

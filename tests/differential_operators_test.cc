@@ -1,0 +1,257 @@
+// Focused operator-level coverage beyond the engine basics: fan-out,
+// multiplicity algebra, derived reductions, and incremental corrections.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "differential/differential.h"
+
+namespace gs::differential {
+namespace {
+
+using IntPair = std::pair<int64_t, int64_t>;
+
+template <typename D>
+std::map<D, Diff> ToMap(const Batch<D>& batch) {
+  std::map<D, Diff> m;
+  for (const auto& u : batch) m[u.data] += u.diff;
+  for (auto it = m.begin(); it != m.end();) {
+    it = it->second == 0 ? m.erase(it) : std::next(it);
+  }
+  return m;
+}
+
+TEST(OperatorTest, FanOutDeliversToAllSubscribers) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto s = in.stream();
+  auto* cap1 = Capture(s.Map([](const int64_t& x) { return x + 1; }));
+  auto* cap2 = Capture(s.Map([](const int64_t& x) { return x * 10; }));
+  in.Send(4, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap1->AccumulatedAt(0)), (std::map<int64_t, Diff>{{5, 1}}));
+  EXPECT_EQ(ToMap(cap2->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{40, 1}}));
+}
+
+TEST(OperatorTest, MapPreservesMultiplicity) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto* cap = Capture(in.stream().Map([](const int64_t& x) { return x % 2; }));
+  in.Send(2, 3);
+  in.Send(4, 2);
+  in.Send(5, -1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{0, 5}, {1, -1}}));
+}
+
+TEST(OperatorTest, FlatMapWithEmptyExpansion) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto* cap = Capture(in.stream().FlatMap(
+      [](const int64_t& x, std::vector<int64_t>* out) {
+        if (x > 0) out->push_back(x);
+      }));
+  in.Send(-5, 1);
+  in.Send(3, 2);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)), (std::map<int64_t, Diff>{{3, 2}}));
+}
+
+TEST(OperatorTest, ChainedConcatAndNegateAlgebra) {
+  // a + b - a == b at every version.
+  Dataflow df;
+  Input<int64_t> a(&df), b(&df);
+  auto* cap =
+      Capture(a.stream().Concat(b.stream()).Concat(a.stream().Negate()));
+  a.Send(1, 1);
+  b.Send(2, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)), (std::map<int64_t, Diff>{{2, 1}}));
+  a.Send(7, 5);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)), (std::map<int64_t, Diff>{{2, 1}}));
+}
+
+TEST(OperatorTest, CountTracksMultisetCardinality) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto* cap = Capture(Count(in.stream()));
+  in.Send({1, 10}, 2);
+  in.Send({1, 20}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 3}, 1}}));
+  in.Send({1, 10}, -2);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)),
+            (std::map<IntPair, Diff>{{{1, 1}, 1}}));
+  in.Send({1, 20}, -1);  // key vanishes entirely
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_TRUE(ToMap(cap->AccumulatedAt(2)).empty());
+}
+
+TEST(OperatorTest, ReduceMaxMirrorsReduceMin) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto* mx = Capture(ReduceMax(in.stream()));
+  auto* mn = Capture(ReduceMin(in.stream()));
+  in.Send({1, 3}, 1);
+  in.Send({1, 9}, 1);
+  in.Send({1, 6}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(mx->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 9}, 1}}));
+  EXPECT_EQ(ToMap(mn->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 3}, 1}}));
+  in.Send({1, 9}, -1);
+  in.Send({1, 3}, -1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(mx->AccumulatedAt(1)),
+            (std::map<IntPair, Diff>{{{1, 6}, 1}}));
+  EXPECT_EQ(ToMap(mn->AccumulatedAt(1)),
+            (std::map<IntPair, Diff>{{{1, 6}, 1}}));
+}
+
+TEST(OperatorTest, GeneralReduceUserFunction) {
+  // Sum-of-values reduce with multiplicities, including a key that ends
+  // empty (must produce no output row).
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto summed = Reduce<int64_t>(
+      in.stream(),
+      [](const int64_t&, const Batch<int64_t>& input, Batch<int64_t>* out) {
+        int64_t total = 0;
+        for (const auto& u : input) total += u.data * u.diff;
+        out->push_back(Update<int64_t>{total, 1});
+      });
+  auto* cap = Capture(summed);
+  in.Send({1, 5}, 2);
+  in.Send({2, 7}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 10}, 1}, {{2, 7}, 1}}));
+  in.Send({2, 7}, -1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)),
+            (std::map<IntPair, Diff>{{{1, 10}, 1}}));
+}
+
+TEST(OperatorTest, JoinProducesNothingWithoutMatches) {
+  Dataflow df;
+  Input<IntPair> left(&df), right(&df);
+  auto* cap = Capture(Join(left.stream(), right.stream(),
+                           [](const int64_t& k, const int64_t&,
+                              const int64_t&) { return k; }));
+  left.Send({1, 10}, 1);
+  right.Send({2, 20}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_TRUE(cap->AccumulatedAt(0).empty());
+  // A later version creates the match retroactively — only new pairs flow.
+  right.Send({1, 30}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)), (std::map<int64_t, Diff>{{1, 1}}));
+}
+
+TEST(OperatorTest, JoinRetractionCancelsDerivedRecords) {
+  Dataflow df;
+  Input<IntPair> left(&df), right(&df);
+  auto* cap = Capture(Join(
+      left.stream(), right.stream(),
+      [](const int64_t&, const int64_t& a, const int64_t& b) { return a + b; }));
+  left.Send({1, 10}, 1);
+  right.Send({1, 1}, 1);
+  right.Send({1, 2}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{11, 1}, {12, 1}}));
+  left.Send({1, 10}, -1);  // retracting one side removes both pairs
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_TRUE(ToMap(cap->AccumulatedAt(1)).empty());
+}
+
+TEST(OperatorTest, StringKeyedRecordsWork) {
+  Dataflow df;
+  Input<std::pair<std::string, int64_t>> in(&df);
+  auto* cap = Capture(ReduceMin(in.stream()));
+  in.Send({"alpha", 4}, 1);
+  in.Send({"alpha", 2}, 1);
+  in.Send({"beta", 9}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  auto m = ToMap(cap->AccumulatedAt(0));
+  EXPECT_EQ(m.at({"alpha", 2}), 1);
+  EXPECT_EQ(m.at({"beta", 9}), 1);
+}
+
+TEST(OperatorTest, InspectObservesWithoutPerturbing) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  int batches_seen = 0;
+  auto* cap = Capture(in.stream().InspectBatches(
+      [&batches_seen](const Time&, const Batch<int64_t>&) {
+        ++batches_seen;
+      }));
+  in.Send(1, 1);
+  ASSERT_TRUE(df.Step().ok());
+  in.Send(1, -1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(batches_seen, 2);
+  EXPECT_TRUE(ToMap(cap->AccumulatedAt(1)).empty());
+}
+
+TEST(OperatorTest, ShardWorkIsAccounted) {
+  DataflowOptions options;
+  options.num_workers = 4;
+  Dataflow df(options);
+  Input<IntPair> in(&df);
+  Capture(ReduceMin(in.stream()));
+  for (int64_t k = 0; k < 100; ++k) in.Send({k, k}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  uint64_t total = 0;
+  ASSERT_EQ(df.stats().shard_work.size(), 4u);
+  for (uint64_t w : df.stats().shard_work) total += w;
+  EXPECT_GT(total, 0u);
+  // Hashing spreads 100 keys across all four shards.
+  for (uint64_t w : df.stats().shard_work) EXPECT_GT(w, 0u);
+}
+
+TEST(OperatorTest, IterateWithMultipleEnteredCollections) {
+  // A loop body joining two outer collections (weights and edges).
+  Dataflow df;
+  Input<std::pair<uint64_t, uint64_t>> edges(&df);
+  Input<std::pair<uint64_t, int64_t>> bonus(&df);  // (vertex, extra cost)
+  Input<std::pair<uint64_t, int64_t>> roots(&df);
+  auto dists = Iterate<std::pair<uint64_t, int64_t>>(
+      roots.stream(),
+      [&](LoopScope& scope, Stream<std::pair<uint64_t, int64_t>> inner) {
+        auto e = scope.Enter(edges.stream());
+        auto b = scope.Enter(bonus.stream());
+        auto r = scope.Enter(roots.stream());
+        auto moved = Join(inner, e,
+                          [](const uint64_t&, const int64_t& d,
+                             const uint64_t& dst) {
+                            return std::make_pair(dst, d + 1);
+                          });
+        auto adjusted = Join(moved, b,
+                             [](const uint64_t& v, const int64_t& d,
+                                const int64_t& extra) {
+                               return std::make_pair(v, d + extra);
+                             });
+        return ReduceMin(adjusted.Concat(r));
+      });
+  auto* cap = Capture(dists);
+  edges.Send({0, 1}, 1);
+  edges.Send({1, 2}, 1);
+  bonus.Send({1, 10}, 1);
+  bonus.Send({2, 0}, 1);
+  roots.Send({0, 0}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  auto m = ToMap(cap->AccumulatedAt(0));
+  EXPECT_EQ(m.at({1, 11}), 1);  // 0 + 1 hop + bonus 10
+  EXPECT_EQ(m.at({2, 12}), 1);
+}
+
+}  // namespace
+}  // namespace gs::differential

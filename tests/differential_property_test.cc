@@ -1,0 +1,142 @@
+// The golden invariant of the engine (DESIGN.md §3.2), as a parameterized
+// property test: for every algorithm A and every version t of a random
+// evolving edge collection, the differential result accumulated through t
+// equals A recomputed from scratch on the accumulated edge set.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algorithms/algorithms.h"
+#include "algorithms/reference.h"
+#include "test_util.h"
+
+namespace gs::analytics {
+namespace {
+
+using testutil::ComputationRunner;
+using testutil::EdgeAccumulator;
+using testutil::RandomEdge;
+namespace dd = ::gs::differential;
+
+struct PropertyCase {
+  std::string name;
+  uint64_t seed;
+  uint64_t num_vertices;
+  size_t initial_edges;
+  size_t versions;
+  size_t churn;  // adds + removes per version
+};
+
+class GoldenInvariantTest
+    : public ::testing::TestWithParam<std::tuple<std::string, PropertyCase>> {
+ protected:
+  // Factory avoids constructing heavyweight computations eagerly.
+  static std::unique_ptr<Computation> MakeComputation(
+      const std::string& algorithm) {
+    if (algorithm == "wcc") return std::make_unique<Wcc>();
+    if (algorithm == "bfs") return std::make_unique<Bfs>(0);
+    if (algorithm == "bellman-ford") return std::make_unique<BellmanFord>(0);
+    if (algorithm == "pagerank") return std::make_unique<PageRank>(4);
+    if (algorithm == "scc") return std::make_unique<Scc>();
+    if (algorithm == "mpsp") {
+      return std::make_unique<Mpsp>(
+          std::vector<std::pair<VertexId, VertexId>>{{0, 5}, {1, 7}, {2, 3}});
+    }
+    ADD_FAILURE() << "unknown algorithm " << algorithm;
+    return nullptr;
+  }
+
+  static ResultMap Reference(const std::string& algorithm,
+                             const std::vector<WeightedEdge>& edges) {
+    if (algorithm == "wcc") return WccReference(edges);
+    if (algorithm == "bfs") return BfsReference(edges, 0);
+    if (algorithm == "bellman-ford") return SsspReference(edges, 0);
+    if (algorithm == "pagerank") return PageRankReference(edges, 4);
+    if (algorithm == "scc") return SccReference(edges);
+    if (algorithm == "mpsp") {
+      return MpspReference(edges, {{0, 5}, {1, 7}, {2, 3}});
+    }
+    return {};
+  }
+};
+
+TEST_P(GoldenInvariantTest, DifferentialEqualsScratchAtEveryVersion) {
+  const auto& [algorithm, pc] = GetParam();
+  auto computation = MakeComputation(algorithm);
+  ASSERT_NE(computation, nullptr);
+
+  Rng rng(pc.seed);
+  ComputationRunner runner(*computation);
+  EdgeAccumulator acc;
+
+  // Version 0: the initial graph (deduplicated).
+  std::set<WeightedEdge> present;
+  dd::Batch<WeightedEdge> initial;
+  while (present.size() < pc.initial_edges) {
+    WeightedEdge e = RandomEdge(rng, pc.num_vertices);
+    if (present.insert(e).second) initial.push_back({e, 1});
+  }
+  runner.Advance(initial);
+  acc.Apply(initial);
+  ASSERT_EQ(runner.ResultAt(0), Reference(algorithm, acc.Edges()))
+      << algorithm << " differs from the oracle at version 0";
+
+  for (uint32_t v = 1; v <= pc.versions; ++v) {
+    dd::Batch<WeightedEdge> diffs;
+    // Random removals.
+    std::vector<WeightedEdge> current(present.begin(), present.end());
+    size_t removes = std::min<size_t>(pc.churn / 2, current.size() / 2);
+    for (uint64_t idx : rng.SampleDistinct(current.size(), removes)) {
+      diffs.push_back({current[idx], -1});
+      present.erase(current[idx]);
+    }
+    // Random additions.
+    size_t added = 0;
+    while (added < pc.churn - removes) {
+      WeightedEdge e = RandomEdge(rng, pc.num_vertices);
+      if (present.insert(e).second) {
+        diffs.push_back({e, 1});
+        ++added;
+      }
+    }
+    runner.Advance(diffs);
+    acc.Apply(diffs);
+    ASSERT_EQ(runner.ResultAt(v), Reference(algorithm, acc.Edges()))
+        << algorithm << " differs from the oracle at version " << v
+        << " (seed " << pc.seed << ")";
+  }
+}
+
+const PropertyCase kSmallDense{"small_dense", 101, 12, 30, 8, 8};
+const PropertyCase kMediumSparse{"medium_sparse", 202, 60, 90, 6, 20};
+const PropertyCase kHeavyChurn{"heavy_churn", 303, 25, 40, 6, 30};
+
+std::string CaseName(
+    const ::testing::TestParamInfo<GoldenInvariantTest::ParamType>& info) {
+  std::string n = std::get<0>(info.param) + "_" + std::get<1>(info.param).name;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FastAlgorithms, GoldenInvariantTest,
+    ::testing::Combine(::testing::Values("wcc", "bfs", "bellman-ford",
+                                         "pagerank", "mpsp"),
+                       ::testing::Values(kSmallDense, kMediumSparse,
+                                         kHeavyChurn)),
+    CaseName);
+
+// SCC is doubly iterative and far heavier; exercise it on smaller cases.
+const PropertyCase kSccSmall{"scc_small", 404, 10, 20, 5, 6};
+const PropertyCase kSccCyclic{"scc_cyclic", 505, 8, 24, 5, 8};
+
+INSTANTIATE_TEST_SUITE_P(
+    Scc, GoldenInvariantTest,
+    ::testing::Combine(::testing::Values("scc"),
+                       ::testing::Values(kSccSmall, kSccCyclic)),
+    CaseName);
+
+}  // namespace
+}  // namespace gs::analytics

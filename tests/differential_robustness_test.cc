@@ -1,0 +1,191 @@
+// Engine robustness: degenerate inputs, multiplicities, cancellation,
+// divergence guards, and API edge cases.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "differential/differential.h"
+
+namespace gs::differential {
+namespace {
+
+using IntPair = std::pair<int64_t, int64_t>;
+
+template <typename D>
+std::map<D, Diff> ToMap(const Batch<D>& batch) {
+  std::map<D, Diff> m;
+  for (const auto& u : batch) m[u.data] += u.diff;
+  for (auto it = m.begin(); it != m.end();) {
+    it = it->second == 0 ? m.erase(it) : std::next(it);
+  }
+  return m;
+}
+
+TEST(RobustnessTest, EmptyVersionsInterleaved) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  auto* cap = Capture(ReduceMin(in.stream()));
+  in.Send({1, 5}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(df.Step().ok());  // empty versions
+  in.Send({1, 3}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(6)),
+            (std::map<IntPair, Diff>{{{1, 3}, 1}}));
+  EXPECT_TRUE(cap->VersionDiffs(3).empty());
+}
+
+TEST(RobustnessTest, SelfCancellingBatch) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto* cap = Capture(in.stream().Map([](const int64_t& x) { return x; }));
+  in.Send(7, 1);
+  in.Send(7, -1);  // cancels within the same version
+  in.Send(8, 3);
+  in.Send(8, -2);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)), (std::map<int64_t, Diff>{{8, 1}}));
+}
+
+TEST(RobustnessTest, HighMultiplicityThroughJoin) {
+  Dataflow df;
+  Input<IntPair> left(&df), right(&df);
+  auto* cap = Capture(Join(left.stream(), right.stream(),
+                           [](const int64_t&, const int64_t& a,
+                              const int64_t& b) { return a * 100 + b; }));
+  left.Send({1, 2}, 1000);
+  right.Send({1, 3}, 1000);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{203, 1000000}}));
+}
+
+TEST(RobustnessTest, RetractBeyondZeroAndRestore) {
+  // A negative accumulation is legal engine state (mid-stream); restoring
+  // it must yield the correct final multiset.
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto* cap = Capture(in.stream().Map([](const int64_t& x) { return x; }));
+  in.Send(5, -2);
+  ASSERT_TRUE(df.Step().ok());
+  in.Send(5, 3);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)), (std::map<int64_t, Diff>{{5, 1}}));
+}
+
+TEST(RobustnessTest, EventCapAbortsDivergentLoop) {
+  DataflowOptions options;
+  options.max_events_per_version = 500;
+  Dataflow df(options);
+  Input<IntPair> in(&df);
+  // A loop that increments a counter forever (never converges).
+  auto result = Iterate<IntPair>(
+      in.stream(), [](LoopScope& scope, Stream<IntPair> inner) {
+        return inner.Map([](const IntPair& p) {
+          return IntPair{p.first, p.second + 1};
+        });
+      });
+  Capture(result);
+  in.Send({1, 0}, 1);
+  Status s = df.Step();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(RobustnessTest, IterationCapTerminatesDivergentLoop) {
+  Dataflow df;
+  Input<IntPair> in(&df);
+  IterateOptions opts;
+  opts.max_iterations = 7;
+  auto result = Iterate<IntPair>(
+      in.stream(),
+      [](LoopScope& scope, Stream<IntPair> inner) {
+        return inner.Map([](const IntPair& p) {
+          return IntPair{p.first, p.second + 1};
+        });
+      },
+      opts);
+  auto* cap = Capture(result);
+  in.Send({1, 0}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  // The scope egresses the body's final value: with feedback capped at
+  // iteration 7 the body applies once more, i.e. f^8(input) (PageRank
+  // accounts for this by passing iterations-1 as the cap).
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 8}, 1}}));
+}
+
+TEST(RobustnessTest, UpdateMagnitudeCountsAbsolute) {
+  Batch<int> b = {{1, 3}, {2, -2}, {3, 1}};
+  EXPECT_EQ(UpdateMagnitude(b), 6u);
+}
+
+TEST(RobustnessTest, CaptureVersionsAccessors) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto* cap = Capture(in.stream().Map([](const int64_t& x) { return x; }));
+  in.Send(1, 1);
+  ASSERT_TRUE(df.Step().ok());
+  in.Send(2, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(cap->versions().size(), 2u);
+  EXPECT_EQ(ToMap(cap->VersionDiffs(0)), (std::map<int64_t, Diff>{{1, 1}}));
+  EXPECT_EQ(ToMap(cap->VersionDiffs(5)), (std::map<int64_t, Diff>{}));
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(1)),
+            (std::map<int64_t, Diff>{{1, 1}, {2, 1}}));
+}
+
+TEST(RobustnessTest, DistinctHandlesOscillation) {
+  Dataflow df;
+  Input<int64_t> in(&df);
+  auto* cap = Capture(Distinct(in.stream()));
+  for (uint32_t v = 0; v < 6; ++v) {
+    in.Send(42, v % 2 == 0 ? 1 : -1);
+    ASSERT_TRUE(df.Step().ok());
+    auto m = ToMap(cap->AccumulatedAt(v));
+    if (v % 2 == 0) {
+      EXPECT_EQ(m, (std::map<int64_t, Diff>{{42, 1}}));
+    } else {
+      EXPECT_TRUE(m.empty());
+    }
+  }
+}
+
+TEST(RobustnessTest, LongSynchronousChainsDoNotOverflow) {
+  // 200 chained maps exercise the synchronous linear delivery path.
+  Dataflow df;
+  Input<int64_t> in(&df);
+  Stream<int64_t> s = in.stream();
+  for (int i = 0; i < 200; ++i) {
+    s = s.Map([](const int64_t& x) { return x + 1; });
+  }
+  auto* cap = Capture(s);
+  in.Send(0, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(cap->AccumulatedAt(0)),
+            (std::map<int64_t, Diff>{{200, 1}}));
+}
+
+TEST(RobustnessTest, TwoIndependentLoopsInOneDataflow) {
+  Dataflow df;
+  Input<IntPair> a(&df), b(&df);
+  auto ra = Iterate<IntPair>(a.stream(), [](LoopScope&, Stream<IntPair> v) {
+    return ReduceMin(v.Map(
+        [](const IntPair& p) { return IntPair{p.first, p.second / 2}; }));
+  });
+  auto rb = Iterate<IntPair>(b.stream(), [](LoopScope&, Stream<IntPair> v) {
+    return ReduceMin(v);
+  });
+  auto* ca = Capture(ra);
+  auto* cb = Capture(rb);
+  a.Send({1, 64}, 1);
+  b.Send({2, 9}, 1);
+  ASSERT_TRUE(df.Step().ok());
+  EXPECT_EQ(ToMap(ca->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{1, 0}, 1}}));
+  EXPECT_EQ(ToMap(cb->AccumulatedAt(0)),
+            (std::map<IntPair, Diff>{{{2, 9}, 1}}));
+}
+
+}  // namespace
+}  // namespace gs::differential

@@ -1,0 +1,134 @@
+#include "differential/time.h"
+
+#include <gtest/gtest.h>
+
+#include "differential/trace.h"
+#include "differential/update.h"
+
+namespace gs::differential {
+namespace {
+
+Time T(uint32_t v, std::initializer_list<uint32_t> iters = {}) {
+  Time t(v);
+  for (uint32_t i : iters) {
+    t = t.Entered();
+    t.iters[t.depth - 1] = i;
+  }
+  return t;
+}
+
+TEST(TimeTest, ProductPartialOrder) {
+  EXPECT_TRUE(T(0).LessEq(T(1)));
+  EXPECT_FALSE(T(1).LessEq(T(0)));
+  EXPECT_TRUE(T(1, {2}).LessEq(T(1, {3})));
+  EXPECT_TRUE(T(0, {2}).LessEq(T(1, {2})));
+  // Incomparable: later version but earlier iteration.
+  EXPECT_FALSE(T(0, {3}).LessEq(T(1, {2})));
+  EXPECT_FALSE(T(1, {2}).LessEq(T(0, {3})));
+  // Reflexive.
+  EXPECT_TRUE(T(2, {1, 4}).LessEq(T(2, {1, 4})));
+}
+
+TEST(TimeTest, LubIsComponentwiseMax) {
+  Time lub = T(0, {3}).Lub(T(1, {2}));
+  EXPECT_EQ(lub, T(1, {3}));
+  Time nested = T(2, {1, 5}).Lub(T(1, {4, 2}));
+  EXPECT_EQ(nested, T(2, {4, 5}));
+  // Lub is an upper bound of both operands.
+  EXPECT_TRUE(T(0, {3}).LessEq(lub));
+  EXPECT_TRUE(T(1, {2}).LessEq(lub));
+}
+
+TEST(TimeTest, LexOrderExtendsPartialOrder) {
+  // Whenever a ≤ b in the product order, a ≤ b lexicographically.
+  std::vector<Time> times = {T(0), T(1), T(0, {0}), T(0, {5}), T(1, {2}),
+                             T(2, {1, 1}), T(1, {1, 3}), T(2, {0, 4})};
+  for (const Time& a : times) {
+    for (const Time& b : times) {
+      if (a.depth == b.depth && a.LessEq(b) && !(a == b)) {
+        EXPECT_TRUE(a.LexLess(b))
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(TimeTest, EnterLeaveDelay) {
+  Time t = T(3);
+  Time in = t.Entered();
+  EXPECT_EQ(in.depth, 1);
+  EXPECT_EQ(in.inner_iteration(), 0u);
+  Time next = in.Delayed();
+  EXPECT_EQ(next.inner_iteration(), 1u);
+  EXPECT_EQ(next.Left(), t);
+  // Nested.
+  Time deep = next.Entered().Delayed(4);
+  EXPECT_EQ(deep.depth, 2);
+  EXPECT_EQ(deep.inner_iteration(), 4u);
+  EXPECT_EQ(deep.Left(), next);
+}
+
+TEST(UpdateTest, ConsolidateMergesAndDropsZeros) {
+  Batch<int> b = {{5, 1}, {3, 2}, {5, -1}, {3, 1}, {7, 0}};
+  Consolidate(&b);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].data, 3);
+  EXPECT_EQ(b[0].diff, 3);
+  EXPECT_EQ(UpdateMagnitude(b), 3u);
+}
+
+TEST(TraceTest, AccumulateRespectsPartialOrder) {
+  Trace<int, int> trace;
+  trace.Insert(1, 100, T(0, {0}), 1);
+  trace.Insert(1, 200, T(0, {2}), 1);
+  trace.Insert(1, 300, T(1, {1}), 1);
+
+  Batch<int> at_v0_i1;
+  trace.Accumulate(1, T(0, {1}), &at_v0_i1);
+  ASSERT_EQ(at_v0_i1.size(), 1u);  // only the (0,{0}) entry
+  EXPECT_EQ(at_v0_i1[0].data, 100);
+
+  Batch<int> at_v1_i2;
+  trace.Accumulate(1, T(1, {2}), &at_v1_i2);
+  EXPECT_EQ(at_v1_i2.size(), 3u);  // everything
+
+  Batch<int> at_v1_i0;
+  trace.Accumulate(1, T(1, {0}), &at_v1_i0);
+  ASSERT_EQ(at_v1_i0.size(), 1u);  // (0,{0}) only; (1,{1}) incomparable
+}
+
+TEST(TraceTest, CompactPreservesAccumulations) {
+  Trace<int, int> trace;
+  trace.Insert(7, 10, T(0, {0}), 1);
+  trace.Insert(7, 10, T(1, {0}), -1);
+  trace.Insert(7, 20, T(1, {0}), 1);
+  trace.Insert(7, 20, T(1, {3}), -1);
+  trace.Insert(7, 30, T(1, {3}), 1);
+
+  Batch<int> before;
+  trace.Accumulate(7, T(2, {5}), &before);
+
+  trace.CompactTo(1);
+  Batch<int> after;
+  trace.Accumulate(7, T(2, {5}), &after);
+  Consolidate(&before);
+  Consolidate(&after);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].data, after[i].data);
+    EXPECT_EQ(before[i].diff, after[i].diff);
+  }
+  // Cancelled value-10 entries are gone entirely after compaction.
+  EXPECT_LE(trace.total_entries(), 3u);
+}
+
+TEST(TraceTest, CompactDropsEmptyKeys) {
+  Trace<int, int> trace;
+  trace.Insert(1, 5, T(0), 1);
+  trace.Insert(1, 5, T(1), -1);
+  trace.CompactTo(2);
+  EXPECT_EQ(trace.num_keys(), 0u);
+}
+
+}  // namespace
+}  // namespace gs::differential

@@ -1,0 +1,143 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gs {
+namespace {
+
+TEST(TemporalGraphTest, TimestampsMonotoneAndInRange) {
+  TemporalGraphOptions opts;
+  opts.num_nodes = 500;
+  opts.num_edges = 5000;
+  opts.start_time = 100;
+  opts.end_time = 200;
+  PropertyGraph g = GenerateTemporalGraph(opts);
+  ASSERT_EQ(g.num_edges(), 5000u);
+  ASSERT_TRUE(g.Validate().ok());
+  int64_t prev = opts.start_time;
+  auto col = g.edge_properties().ColumnIndex("timestamp");
+  ASSERT_TRUE(col.ok());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    int64_t ts = g.edge_properties().column(*col).GetInt(e);
+    EXPECT_GE(ts, prev);
+    EXPECT_LE(ts, opts.end_time);
+    prev = ts;
+  }
+}
+
+TEST(TemporalGraphTest, GrowthSkewsLate) {
+  TemporalGraphOptions opts;
+  opts.num_nodes = 500;
+  opts.num_edges = 10000;
+  opts.start_time = 0;
+  opts.end_time = 1000;
+  opts.growth = 3.0;
+  PropertyGraph g = GenerateTemporalGraph(opts);
+  auto col = *g.edge_properties().ColumnIndex("timestamp");
+  size_t late = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_properties().column(col).GetInt(e) > 500) ++late;
+  }
+  // With growth skew, well over half the edges land in the later half.
+  EXPECT_GT(late, g.num_edges() * 6 / 10);
+}
+
+TEST(CitationGraphTest, CitationsPointBackwards) {
+  CitationGraphOptions opts;
+  opts.first_year = 2000;
+  opts.last_year = 2010;
+  opts.papers_first_year = 50;
+  PropertyGraph g = GenerateCitationGraph(opts);
+  ASSERT_TRUE(g.Validate().ok());
+  ASSERT_GT(g.num_edges(), 100u);
+  auto year_col = *g.node_properties().ColumnIndex("year");
+  const Column& years = g.node_properties().column(year_col);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(years.GetInt(e.src), years.GetInt(e.dst))
+        << "citation must point to an older or same-year paper";
+  }
+  auto co_col = *g.node_properties().ColumnIndex("coauthors");
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    int64_t c = g.node_properties().column(co_col).GetInt(v);
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, opts.max_coauthors);
+  }
+}
+
+TEST(CommunityGraphTest, BitmaskMatchesMemberLists) {
+  CommunityGraphOptions opts;
+  opts.num_nodes = 2000;
+  opts.num_communities = 12;
+  CommunityGraph cg = GenerateCommunityGraph(opts);
+  ASSERT_TRUE(cg.graph.Validate().ok());
+  ASSERT_EQ(cg.communities.size(), 12u);
+  // Sizes are sorted descending.
+  for (size_t c = 1; c < cg.communities.size(); ++c) {
+    EXPECT_GE(cg.communities[c - 1].size(), cg.communities[c].size());
+  }
+  auto col = *cg.graph.node_properties().ColumnIndex("communities");
+  const Column& mask = cg.graph.node_properties().column(col);
+  for (size_t c = 0; c < cg.communities.size(); ++c) {
+    for (VertexId v : cg.communities[c]) {
+      EXPECT_TRUE(static_cast<uint64_t>(mask.GetInt(v)) & (1ULL << c));
+    }
+  }
+}
+
+TEST(SocialNetworkTest, LocationHierarchyConsistent) {
+  SocialNetworkOptions opts;
+  opts.num_nodes = 3000;
+  opts.num_edges = 20000;
+  PropertyGraph g = GenerateSocialNetwork(opts);
+  ASSERT_TRUE(g.Validate().ok());
+  auto city = *g.node_properties().ColumnIndex("city");
+  auto state = *g.node_properties().ColumnIndex("state");
+  auto country = *g.node_properties().ColumnIndex("country");
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    int64_t c = g.node_properties().column(city).GetInt(v);
+    int64_t s = g.node_properties().column(state).GetInt(v);
+    int64_t n = g.node_properties().column(country).GetInt(v);
+    EXPECT_EQ(s, c / opts.cities_per_state);
+    EXPECT_EQ(n, s / opts.states_per_country);
+  }
+  auto aff = *g.edge_properties().ColumnIndex("affinity");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    int64_t a = g.edge_properties().column(aff).GetInt(e);
+    EXPECT_GE(a, 0);
+    EXPECT_LE(a, 2);
+  }
+}
+
+TEST(RandomGraphTest, SizesAndDeterminism) {
+  PropertyGraph a = GeneratePowerLawGraph(100, 1000, 1.3, 9);
+  PropertyGraph b = GeneratePowerLawGraph(100, 1000, 1.3, 9);
+  ASSERT_EQ(a.num_edges(), 1000u);
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+    EXPECT_EQ(a.edge(e).dst, b.edge(e).dst);
+  }
+  PropertyGraph u = GenerateUniformGraph(50, 500, 1);
+  EXPECT_EQ(u.num_edges(), 500u);
+  EXPECT_TRUE(u.Validate().ok());
+  // No self loops in either generator.
+  for (const Edge& e : a.edges()) EXPECT_NE(e.src, e.dst);
+  for (const Edge& e : u.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(RandomGraphTest, PowerLawIsSkewed) {
+  PropertyGraph g = GeneratePowerLawGraph(1000, 20000, 1.4, 5);
+  std::vector<size_t> deg(1000, 0);
+  for (const Edge& e : g.edges()) deg[e.src]++;
+  std::sort(deg.rbegin(), deg.rend());
+  size_t top10 = 0, total = 0;
+  for (size_t i = 0; i < deg.size(); ++i) {
+    if (i < 10) top10 += deg[i];
+    total += deg[i];
+  }
+  EXPECT_GT(top10 * 5, total) << "top-10 nodes should hold >20% of degree";
+}
+
+}  // namespace
+}  // namespace gs

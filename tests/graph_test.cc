@@ -1,0 +1,65 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace gs {
+namespace {
+
+TEST(PropertyGraphTest, AddNodesAndEdges) {
+  PropertyGraph g;
+  VertexId first = g.AddNodes(3);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  auto e0 = g.AddEdge(0, 1);
+  ASSERT_TRUE(e0.ok());
+  EXPECT_EQ(*e0, 0u);
+  auto e1 = g.AddEdge(2, 0);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(1).src, 2u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(PropertyGraphTest, RejectsOutOfRangeEndpoints) {
+  PropertyGraph g;
+  g.AddNodes(2);
+  EXPECT_EQ(g.AddEdge(0, 5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PropertyGraphTest, WeightResolution) {
+  PropertyGraph g;
+  g.AddNodes(2);
+  ASSERT_TRUE(g.edge_properties().AddColumn("w", PropertyType::kInt).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.edge_properties().AppendRow({PropertyValue(int64_t{7})}).ok());
+  int col = g.FindWeightColumn("w");
+  ASSERT_GE(col, 0);
+  WeightedEdge we = g.ResolveWeighted(0, col);
+  EXPECT_EQ(we.weight, 7);
+  // Missing column falls back to -1 / weight 1.
+  EXPECT_EQ(g.FindWeightColumn("nope"), -1);
+  EXPECT_EQ(g.ResolveWeighted(0, -1).weight, 1);
+}
+
+TEST(PropertyGraphTest, CallGraphExampleMatchesFigure1) {
+  PropertyGraph g = MakeCallGraphExample();
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.Validate().ok());
+  // Node 5 in the paper (index 4) is a doctor in NY.
+  EXPECT_EQ(g.node_properties().GetByName(4, "city")->AsString(), "NY");
+  EXPECT_EQ(g.node_properties().GetByName(4, "profession")->AsString(),
+            "Doctor");
+  // Max duration in the graph is 34 (used by the Listing 3 example).
+  int64_t max_duration = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    max_duration = std::max(
+        max_duration, g.edge_properties().GetByName(e, "duration")->AsInt());
+  }
+  EXPECT_EQ(max_duration, 34);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,245 @@
+// GVDL: lexer, parser (all three statement forms, from the paper's
+// listings), error reporting, and compiled predicate evaluation.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "gvdl/lexer.h"
+#include "gvdl/parser.h"
+#include "gvdl/predicate.h"
+
+namespace gs::gvdl {
+namespace {
+
+TEST(LexerTest, TokenKindsAndPositions) {
+  auto tokens = Tokenize("create view V1 on Calls\nedges where duration > 10");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "create");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[2].text, "V1");
+  // Second line positions.
+  EXPECT_EQ((*tokens)[5].line, 2u);
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, HyphenatedIdentifiersAndComments) {
+  auto tokens = Tokenize("CA-Long-Calls -- a comment\nD1-Y2010");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // two identifiers + end
+  EXPECT_EQ((*tokens)[0].text, "CA-Long-Calls");
+  EXPECT_EQ((*tokens)[1].text, "D1-Y2010");
+}
+
+TEST(LexerTest, LiteralsAndOperators) {
+  auto tokens = Tokenize("x >= 2.5 and y != 'a b' or z <= 3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[2].float_value, 2.5);
+  EXPECT_EQ((*tokens)[5].text, "!=");
+  EXPECT_EQ((*tokens)[6].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[6].text, "a b");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("x = 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("x # y").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, Listing1FilteredView) {
+  // Paper Listing 1 (state → city to match our example graph).
+  auto s = Parse(
+      "create view CA-Long-Calls on Calls\n"
+      "edges where src.city = 'CA' and dst.city = 'CA'\n"
+      "and duration > 10 and year = 2019");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  const auto* def = std::get_if<FilteredViewDef>(&*s);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name, "CA-Long-Calls");
+  EXPECT_EQ(def->on, "Calls");
+  ASSERT_EQ(def->predicate->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(def->predicate->children.size(), 4u);
+  EXPECT_EQ(def->predicate->ToString(),
+            "(src.city = 'CA' and dst.city = 'CA' and duration > 10 and "
+            "year = 2019)");
+}
+
+TEST(ParserTest, Listing3ViewCollection) {
+  auto s = Parse(
+      "create view collection call-analysis on Calls\n"
+      "[D1-Y2010: duration <= 1 and year <= 2010],\n"
+      "[D2-Y2010: duration <= 2 and year <= 2010],\n"
+      "[D3-Y2010: duration <= 3 and year <= 2010]");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  const auto* def = std::get_if<ViewCollectionDef>(&*s);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name, "call-analysis");
+  ASSERT_EQ(def->views.size(), 3u);
+  EXPECT_EQ(def->views[1].name, "D2-Y2010");
+}
+
+TEST(ParserTest, Listing4AggregateViews) {
+  auto s1 = Parse(
+      "create view NY-Dr-CA-Lawyer on Calls\n"
+      "nodes group by [\n"
+      "(profession='Doctor' and city='NY'),\n"
+      "(profession='Lawyer' and city='LA'),\n"
+      "(profession='Teacher' and city='DC')]\n"
+      "aggregate count(*)");
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  const auto* agg1 = std::get_if<AggregateViewDef>(&*s1);
+  ASSERT_NE(agg1, nullptr);
+  EXPECT_EQ(agg1->group_by_predicates.size(), 3u);
+  ASSERT_EQ(agg1->node_aggregates.size(), 1u);
+  EXPECT_EQ(agg1->node_aggregates[0].func, AggregateSpec::Func::kCount);
+  EXPECT_EQ(agg1->node_aggregates[0].output_name, "count");
+
+  auto s2 = Parse(
+      "create view City-Calls-City on Calls\n"
+      "nodes group by city aggregate num-phones: count(*)\n"
+      "edges aggregate total-duration: sum(duration)");
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+  const auto* agg2 = std::get_if<AggregateViewDef>(&*s2);
+  ASSERT_NE(agg2, nullptr);
+  ASSERT_EQ(agg2->group_by_properties.size(), 1u);
+  EXPECT_EQ(agg2->group_by_properties[0], "city");
+  ASSERT_EQ(agg2->node_aggregates.size(), 1u);
+  EXPECT_EQ(agg2->node_aggregates[0].output_name, "num-phones");
+  ASSERT_EQ(agg2->edge_aggregates.size(), 1u);
+  EXPECT_EQ(agg2->edge_aggregates[0].output_name, "total-duration");
+  EXPECT_EQ(agg2->edge_aggregates[0].func, AggregateSpec::Func::kSum);
+  EXPECT_EQ(agg2->edge_aggregates[0].property, "duration");
+}
+
+TEST(ParserTest, PredicatePrecedenceAndNot) {
+  auto p = ParsePredicate("a = 1 or b = 2 and not (c = 3 or d = 4)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // Or at the top, and binds tighter, not applies to the parenthesized or.
+  ASSERT_EQ((*p)->kind, Expr::Kind::kOr);
+  ASSERT_EQ((*p)->children.size(), 2u);
+  EXPECT_EQ((*p)->children[1]->kind, Expr::Kind::kAnd);
+  EXPECT_EQ((*p)->children[1]->children[1]->kind, Expr::Kind::kNot);
+}
+
+TEST(ParserTest, ScriptWithMultipleStatements) {
+  auto script = ParseScript(
+      "create view A on G edges where x = 1\n"
+      "create view B on A edges where y = 2\n"
+      "create view collection C on G [v1: x = 1], [v2: x = 2]");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<FilteredViewDef>((*script)[0]));
+  EXPECT_EQ(std::get<FilteredViewDef>((*script)[1]).on, "A");
+  EXPECT_TRUE(std::holds_alternative<ViewCollectionDef>((*script)[2]));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("create view X on").ok());
+  EXPECT_FALSE(Parse("create view X on G edges x = 1").ok());
+  EXPECT_FALSE(Parse("create view collection C on G").ok());
+  EXPECT_FALSE(Parse("create view X on G nodes group by").ok());
+  EXPECT_FALSE(Parse("create view X on G edges where x =").ok());
+  EXPECT_FALSE(
+      Parse("create view X on G nodes group by c aggregate median(x)").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(Parse("create view X on G edges where x = 1 bogus bogus").ok());
+  // Position information is included.
+  auto err = Parse("create view X on G edges where x ==");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 1"), std::string::npos);
+}
+
+class PredicateEvalTest : public ::testing::Test {
+ protected:
+  PredicateEvalTest() : graph_(MakeCallGraphExample()) {}
+
+  // Evaluates the predicate over all edges, returning matched edge ids.
+  std::vector<EdgeId> Matches(const std::string& pred_text) {
+    auto expr = ParsePredicate(pred_text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    auto compiled = CompiledEdgePredicate::Compile(*expr, graph_);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    std::vector<EdgeId> out;
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      if (compiled->Evaluate(e)) out.push_back(e);
+    }
+    return out;
+  }
+
+  PropertyGraph graph_;
+};
+
+TEST_F(PredicateEvalTest, EdgePropertyComparisons) {
+  // All 2019 calls (from the Figure 1 reconstruction there are 8).
+  EXPECT_EQ(Matches("year = 2019").size(), 8u);
+  EXPECT_EQ(Matches("year != 2019").size(), 7u);
+  EXPECT_EQ(Matches("duration <= 4").size(), 4u);
+  EXPECT_EQ(Matches("duration <= 4 and year = 2019").size(), 2u);
+  EXPECT_EQ(Matches("duration > 34").size(), 0u);
+}
+
+TEST_F(PredicateEvalTest, NodePropertyComparisons) {
+  auto la_internal = Matches("src.city = 'LA' and dst.city = 'LA'");
+  for (EdgeId e : la_internal) {
+    EXPECT_EQ(graph_.node_properties()
+                  .GetByName(graph_.edge(e).src, "city")
+                  ->AsString(),
+              "LA");
+    EXPECT_EQ(graph_.node_properties()
+                  .GetByName(graph_.edge(e).dst, "city")
+                  ->AsString(),
+              "LA");
+  }
+  // Complement partitions the edge set.
+  auto rest = Matches("not (src.city = 'LA' and dst.city = 'LA')");
+  EXPECT_EQ(la_internal.size() + rest.size(), graph_.num_edges());
+}
+
+TEST_F(PredicateEvalTest, MixedAndOrSemantics) {
+  auto m = Matches(
+      "src.profession = 'Doctor' or dst.profession = 'Doctor' and year >= "
+      "2015");
+  // and binds tighter: doctors-as-source OR (doctors-as-dst AND recent).
+  for (EdgeId e : m) {
+    bool src_doc = graph_.node_properties()
+                       .GetByName(graph_.edge(e).src, "profession")
+                       ->AsString() == "Doctor";
+    bool dst_doc = graph_.node_properties()
+                       .GetByName(graph_.edge(e).dst, "profession")
+                       ->AsString() == "Doctor";
+    int64_t year = graph_.edge_properties().GetByName(e, "year")->AsInt();
+    EXPECT_TRUE(src_doc || (dst_doc && year >= 2015));
+  }
+}
+
+TEST_F(PredicateEvalTest, CompileErrors) {
+  auto expr = ParsePredicate("nonexistent = 1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(CompiledEdgePredicate::Compile(*expr, graph_).ok());
+
+  auto bad_type = ParsePredicate("duration = 'ten'");
+  ASSERT_TRUE(bad_type.ok());
+  EXPECT_FALSE(CompiledEdgePredicate::Compile(*bad_type, graph_).ok());
+
+  // Node predicates reject src./dst. references.
+  auto node_expr = ParsePredicate("src.city = 'LA'");
+  ASSERT_TRUE(node_expr.ok());
+  EXPECT_FALSE(CompiledNodePredicate::Compile(*node_expr, graph_).ok());
+}
+
+TEST_F(PredicateEvalTest, NodePredicates) {
+  auto expr = ParsePredicate("city = 'NY' and profession = 'Lawyer'");
+  ASSERT_TRUE(expr.ok());
+  auto compiled = CompiledNodePredicate::Compile(*expr, graph_);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  size_t count = 0;
+  for (VertexId v = 0; v < graph_.num_nodes(); ++v) {
+    if (compiled->Evaluate(v)) ++count;
+  }
+  EXPECT_EQ(count, 2u);  // paper nodes 4 and 7
+}
+
+}  // namespace
+}  // namespace gs::gvdl

@@ -1,0 +1,114 @@
+// Binary persistence round-trips for graphs and materialized collections.
+#include "views/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.h"
+#include "gvdl/parser.h"
+
+namespace gs::views {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "gs_ser_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializationTest, GraphRoundTrip) {
+  PropertyGraph g = MakeCallGraphExample();
+  ASSERT_TRUE(SaveGraph(g, Path("g.bin")).ok());
+  auto loaded = LoadGraph(Path("g.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).src, g.edge(e).src);
+    EXPECT_EQ(loaded->edge(e).dst, g.edge(e).dst);
+    EXPECT_EQ(loaded->edge_properties().GetByName(e, "duration")->AsInt(),
+              g.edge_properties().GetByName(e, "duration")->AsInt());
+  }
+  for (VertexId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded->node_properties().GetByName(v, "city")->AsString(),
+              g.node_properties().GetByName(v, "city")->AsString());
+  }
+}
+
+TEST_F(SerializationTest, GraphWithNullsAndDoubles) {
+  PropertyGraph g;
+  g.AddNodes(2);
+  ASSERT_TRUE(g.node_properties().AddColumn("w", PropertyType::kDouble).ok());
+  ASSERT_TRUE(g.node_properties().AddColumn("b", PropertyType::kBool).ok());
+  ASSERT_TRUE(
+      g.node_properties().AppendRow({PropertyValue(2.5), PropertyValue(true)})
+          .ok());
+  ASSERT_TRUE(g.node_properties()
+                  .AppendRow({PropertyValue::Null(), PropertyValue::Null()})
+                  .ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(SaveGraph(g, Path("g2.bin")).ok());
+  auto loaded = LoadGraph(Path("g2.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->node_properties().Get(0, 0).AsDouble(), 2.5);
+  EXPECT_TRUE(loaded->node_properties().Get(0, 1).AsBool());
+  EXPECT_TRUE(loaded->node_properties().Get(1, 0).is_null());
+}
+
+TEST_F(SerializationTest, CollectionRoundTrip) {
+  PropertyGraph g = MakeCallGraphExample();
+  auto stmt = gvdl::Parse(
+      "create view collection c on Calls "
+      "[a: duration <= 5], [b: year = 2019], [c: duration <= 34]");
+  ASSERT_TRUE(stmt.ok());
+  MaterializeOptions mopts;
+  auto mc = MaterializeCollection(
+      g, std::get<gvdl::ViewCollectionDef>(*stmt), mopts);
+  ASSERT_TRUE(mc.ok());
+
+  ASSERT_TRUE(SaveCollection(*mc, Path("c.bin")).ok());
+  auto loaded = LoadCollection(Path("c.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, mc->name);
+  EXPECT_EQ(loaded->base_graph, "Calls");
+  EXPECT_EQ(loaded->view_names, mc->view_names);
+  EXPECT_EQ(loaded->order, mc->order);
+  EXPECT_EQ(loaded->view_sizes, mc->view_sizes);
+  EXPECT_EQ(loaded->diff_sizes, mc->diff_sizes);
+  EXPECT_EQ(loaded->total_diffs, mc->total_diffs);
+  for (size_t t = 0; t < mc->num_views(); ++t) {
+    EXPECT_EQ(loaded->diffs.Reconstruct(t), mc->diffs.Reconstruct(t));
+  }
+}
+
+TEST_F(SerializationTest, RejectsCorruptFiles) {
+  // Wrong magic.
+  {
+    std::ofstream out(Path("bad.bin"), std::ios::binary);
+    out << "NOTAMAGIC and some trailing garbage";
+  }
+  EXPECT_FALSE(LoadGraph(Path("bad.bin")).ok());
+  EXPECT_FALSE(LoadCollection(Path("bad.bin")).ok());
+
+  // Truncation: save a real graph, then cut the file in half.
+  PropertyGraph g = MakeCallGraphExample();
+  ASSERT_TRUE(SaveGraph(g, Path("t.bin")).ok());
+  auto size = std::filesystem::file_size(Path("t.bin"));
+  std::filesystem::resize_file(Path("t.bin"), size / 2);
+  EXPECT_FALSE(LoadGraph(Path("t.bin")).ok());
+
+  // Missing file.
+  EXPECT_EQ(LoadGraph(Path("nope.bin")).status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace gs::views

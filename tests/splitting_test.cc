@@ -1,0 +1,85 @@
+// Cost models and the adaptive splitting optimizer's decision logic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "splitting/adaptive.h"
+#include "splitting/cost_model.h"
+
+namespace gs::splitting {
+namespace {
+
+TEST(OnlineLinearModelTest, NoDataPredictsInfinity) {
+  OnlineLinearModel m;
+  EXPECT_TRUE(std::isinf(m.Predict(100)));
+}
+
+TEST(OnlineLinearModelTest, OnePointIsProportional) {
+  OnlineLinearModel m;
+  m.Observe(1000, 2.0);
+  EXPECT_DOUBLE_EQ(m.Predict(500), 1.0);
+  EXPECT_DOUBLE_EQ(m.Predict(2000), 4.0);
+}
+
+TEST(OnlineLinearModelTest, FitsExactLine) {
+  OnlineLinearModel m;
+  // y = 0.5 + 0.002 x.
+  for (double x : {100.0, 400.0, 900.0, 1600.0}) {
+    m.Observe(x, 0.5 + 0.002 * x);
+  }
+  EXPECT_NEAR(m.intercept(), 0.5, 1e-9);
+  EXPECT_NEAR(m.slope(), 0.002, 1e-12);
+  EXPECT_NEAR(m.Predict(1000), 2.5, 1e-9);
+}
+
+TEST(OnlineLinearModelTest, NeverPredictsNegative) {
+  OnlineLinearModel m;
+  m.Observe(100, 5.0);
+  m.Observe(200, 1.0);  // descending
+  EXPECT_GE(m.Predict(10000), 0.0);
+}
+
+TEST(AdaptiveSplitterTest, BootstrapSequence) {
+  AdaptiveSplitter s;
+  EXPECT_TRUE(s.ShouldRunScratch(0, 1000, 1000));
+  EXPECT_FALSE(s.ShouldRunScratch(1, 1000, 1000));
+}
+
+TEST(AdaptiveSplitterTest, PrefersCheaperStrategy) {
+  AdaptiveSplitter s;
+  // Scratch: 1 second per 1000 edges. Differential: 1 second per 100 diffs
+  // (differential is per-diff more expensive, as when views are very
+  // different).
+  s.RecordScratch(1000, 1.0);
+  s.RecordScratch(2000, 2.0);
+  s.RecordDifferential(100, 1.0);
+  s.RecordDifferential(200, 2.0);
+
+  // Small diff, big view → differential wins.
+  EXPECT_FALSE(s.ShouldRunScratch(5, /*view_size=*/10000, /*diff_size=*/50));
+  // Huge diff (disjoint views) → scratch wins.
+  EXPECT_TRUE(s.ShouldRunScratch(5, /*view_size=*/1000, /*diff_size=*/2000));
+}
+
+TEST(AdaptiveSplitterTest, ChunkDecisionAggregates) {
+  AdaptiveSplitter s;
+  s.RecordScratch(1000, 1.0);
+  s.RecordScratch(3000, 3.0);
+  s.RecordDifferential(1000, 0.1);
+  s.RecordDifferential(3000, 0.3);
+  // Differential is 10x cheaper per unit → chunk runs differentially even
+  // when diffs are half the view sizes.
+  EXPECT_FALSE(s.ChunkShouldRunScratch({1000, 1000, 1000},
+                                       {500, 500, 500}));
+  // Diffs far larger than views (pathological ordering) → scratch.
+  EXPECT_TRUE(s.ChunkShouldRunScratch({100, 100}, {50000, 50000}));
+}
+
+TEST(StrategyNamesAreStable, Names) {
+  EXPECT_STREQ(StrategyName(Strategy::kDiffOnly), "diff-only");
+  EXPECT_STREQ(StrategyName(Strategy::kScratch), "scratch");
+  EXPECT_STREQ(StrategyName(Strategy::kAdaptive), "adaptive");
+}
+
+}  // namespace
+}  // namespace gs::splitting

@@ -1,0 +1,100 @@
+// Shared helpers for tests: driving a Computation over a sequence of edge
+// difference batches and converting captured outputs to plain maps.
+#ifndef GRAPHSURGE_TESTS_TEST_UTIL_H_
+#define GRAPHSURGE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "algorithms/computation.h"
+#include "algorithms/reference.h"
+#include "common/random.h"
+#include "differential/differential.h"
+#include "graph/types.h"
+
+namespace gs::testutil {
+
+using analytics::ResultMap;
+using analytics::VertexValue;
+namespace dd = ::gs::differential;
+
+/// Drives one analytics computation over successive edge difference sets.
+class ComputationRunner {
+ public:
+  explicit ComputationRunner(
+      const analytics::Computation& computation,
+      dd::DataflowOptions options = dd::DataflowOptions())
+      : dataflow_(options), edges_(&dataflow_) {
+    capture_ = dd::Capture(
+        computation.GraphAnalytics(&dataflow_, edges_.stream()));
+  }
+
+  /// Applies `diffs` as the next version and runs to fixpoint.
+  void Advance(const dd::Batch<WeightedEdge>& diffs) {
+    for (const auto& u : diffs) edges_.Send(u.data, u.diff);
+    Status s = dataflow_.Step();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  /// Accumulated result at `version` as a map; fails the test if any record
+  /// has multiplicity != 1 (all our computations are functional).
+  ResultMap ResultAt(uint32_t version) const {
+    ResultMap m;
+    for (const auto& u : capture_->AccumulatedAt(version)) {
+      EXPECT_EQ(u.diff, 1) << "key " << u.data.first << " has multiplicity "
+                           << u.diff << " at version " << version;
+      m[u.data.first] = u.data.second;
+    }
+    return m;
+  }
+
+  uint64_t DiffMagnitudeAt(uint32_t version) const {
+    return dd::UpdateMagnitude(capture_->VersionDiffs(version));
+  }
+
+  dd::Dataflow& dataflow() { return dataflow_; }
+
+ private:
+  dd::Dataflow dataflow_;
+  dd::Input<WeightedEdge> edges_;
+  dd::CaptureOp<VertexValue>* capture_;
+};
+
+/// Accumulates edge difference batches into a concrete edge list for the
+/// reference oracles. Multiplicities must resolve to {0, 1}.
+class EdgeAccumulator {
+ public:
+  void Apply(const dd::Batch<WeightedEdge>& diffs) {
+    for (const auto& u : diffs) {
+      auto [it, inserted] = counts_.try_emplace(u.data, 0);
+      it->second += u.diff;
+      EXPECT_GE(it->second, 0);
+      EXPECT_LE(it->second, 1);
+      if (it->second == 0) counts_.erase(it);
+    }
+  }
+
+  std::vector<WeightedEdge> Edges() const {
+    std::vector<WeightedEdge> out;
+    out.reserve(counts_.size());
+    for (const auto& [e, c] : counts_) out.push_back(e);
+    return out;
+  }
+
+ private:
+  std::map<WeightedEdge, int> counts_;
+};
+
+/// Random weighted edge over `n` vertices.
+inline WeightedEdge RandomEdge(Rng& rng, uint64_t n, int64_t max_weight = 9) {
+  uint64_t src = rng.Index(n);
+  uint64_t dst = rng.Index(n);
+  if (src == dst) dst = (dst + 1) % n;
+  return WeightedEdge{src, dst, rng.Uniform(1, max_weight)};
+}
+
+}  // namespace gs::testutil
+
+#endif  // GRAPHSURGE_TESTS_TEST_UTIL_H_
