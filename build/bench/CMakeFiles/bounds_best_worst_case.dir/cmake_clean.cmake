@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_best_worst_case.dir/bounds_best_worst_case.cc.o"
+  "CMakeFiles/bounds_best_worst_case.dir/bounds_best_worst_case.cc.o.d"
+  "bounds_best_worst_case"
+  "bounds_best_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_best_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

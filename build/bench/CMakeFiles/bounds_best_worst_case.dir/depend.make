@@ -1,0 +1,2 @@
+# Empty dependencies file for bounds_best_worst_case.
+# This may be replaced when dependencies are built.

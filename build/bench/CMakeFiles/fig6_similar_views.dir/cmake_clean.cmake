@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_similar_views.dir/fig6_similar_views.cc.o"
+  "CMakeFiles/fig6_similar_views.dir/fig6_similar_views.cc.o.d"
+  "fig6_similar_views"
+  "fig6_similar_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_similar_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nonoverlapping_views.dir/fig7_nonoverlapping_views.cc.o"
+  "CMakeFiles/fig7_nonoverlapping_views.dir/fig7_nonoverlapping_views.cc.o.d"
+  "fig7_nonoverlapping_views"
+  "fig7_nonoverlapping_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nonoverlapping_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphbolt_style_pr_baseline.dir/graphbolt_style_pr_baseline.cc.o"
+  "CMakeFiles/graphbolt_style_pr_baseline.dir/graphbolt_style_pr_baseline.cc.o.d"
+  "graphbolt_style_pr_baseline"
+  "graphbolt_style_pr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphbolt_style_pr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_differential.dir/micro_differential.cc.o"
+  "CMakeFiles/micro_differential.dir/micro_differential.cc.o.d"
+  "micro_differential"
+  "micro_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

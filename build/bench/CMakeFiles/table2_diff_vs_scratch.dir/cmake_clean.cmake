@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_diff_vs_scratch.dir/table2_diff_vs_scratch.cc.o"
+  "CMakeFiles/table2_diff_vs_scratch.dir/table2_diff_vs_scratch.cc.o.d"
+  "table2_diff_vs_scratch"
+  "table2_diff_vs_scratch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_diff_vs_scratch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_adaptive_splitting.dir/table3_adaptive_splitting.cc.o"
+  "CMakeFiles/table3_adaptive_splitting.dir/table3_adaptive_splitting.cc.o.d"
+  "table3_adaptive_splitting"
+  "table3_adaptive_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_adaptive_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

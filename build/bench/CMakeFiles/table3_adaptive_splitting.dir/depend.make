@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_adaptive_splitting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fig8_fig9_ordering.dir/table4_fig8_fig9_ordering.cc.o"
+  "CMakeFiles/table4_fig8_fig9_ordering.dir/table4_fig8_fig9_ordering.cc.o.d"
+  "table4_fig8_fig9_ordering"
+  "table4_fig8_fig9_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fig8_fig9_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

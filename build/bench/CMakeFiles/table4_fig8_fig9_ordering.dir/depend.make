@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_fig8_fig9_ordering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_views.dir/aggregate_views.cpp.o"
+  "CMakeFiles/aggregate_views.dir/aggregate_views.cpp.o.d"
+  "aggregate_views"
+  "aggregate_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bellman_ford_trace.dir/bellman_ford_trace.cpp.o"
+  "CMakeFiles/bellman_ford_trace.dir/bellman_ford_trace.cpp.o.d"
+  "bellman_ford_trace"
+  "bellman_ford_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bellman_ford_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

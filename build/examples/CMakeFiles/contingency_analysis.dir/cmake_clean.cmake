@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contingency_analysis.dir/contingency_analysis.cpp.o"
+  "CMakeFiles/contingency_analysis.dir/contingency_analysis.cpp.o.d"
+  "contingency_analysis"
+  "contingency_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contingency_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_analysis.dir/historical_analysis.cpp.o"
+  "CMakeFiles/historical_analysis.dir/historical_analysis.cpp.o.d"
+  "historical_analysis"
+  "historical_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

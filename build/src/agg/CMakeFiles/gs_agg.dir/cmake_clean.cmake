@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_agg.dir/aggregate_view.cc.o"
+  "CMakeFiles/gs_agg.dir/aggregate_view.cc.o.d"
+  "libgs_agg.a"
+  "libgs_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_algorithms.dir/algorithms.cc.o"
+  "CMakeFiles/gs_algorithms.dir/algorithms.cc.o.d"
+  "CMakeFiles/gs_algorithms.dir/reference.cc.o"
+  "CMakeFiles/gs_algorithms.dir/reference.cc.o.d"
+  "libgs_algorithms.a"
+  "libgs_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

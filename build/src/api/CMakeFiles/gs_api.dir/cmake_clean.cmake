@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_api.dir/graphsurge.cc.o"
+  "CMakeFiles/gs_api.dir/graphsurge.cc.o.d"
+  "libgs_api.a"
+  "libgs_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

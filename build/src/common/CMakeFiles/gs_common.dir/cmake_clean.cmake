@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_common.dir/logging.cc.o"
+  "CMakeFiles/gs_common.dir/logging.cc.o.d"
+  "CMakeFiles/gs_common.dir/status.cc.o"
+  "CMakeFiles/gs_common.dir/status.cc.o.d"
+  "CMakeFiles/gs_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gs_common.dir/thread_pool.cc.o.d"
+  "libgs_common.a"
+  "libgs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_graph.dir/csv.cc.o"
+  "CMakeFiles/gs_graph.dir/csv.cc.o.d"
+  "CMakeFiles/gs_graph.dir/generators.cc.o"
+  "CMakeFiles/gs_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gs_graph.dir/graph.cc.o"
+  "CMakeFiles/gs_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gs_graph.dir/property.cc.o"
+  "CMakeFiles/gs_graph.dir/property.cc.o.d"
+  "CMakeFiles/gs_graph.dir/property_table.cc.o"
+  "CMakeFiles/gs_graph.dir/property_table.cc.o.d"
+  "libgs_graph.a"
+  "libgs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gvdl/lexer.cc" "src/gvdl/CMakeFiles/gs_gvdl.dir/lexer.cc.o" "gcc" "src/gvdl/CMakeFiles/gs_gvdl.dir/lexer.cc.o.d"
+  "/root/repo/src/gvdl/parser.cc" "src/gvdl/CMakeFiles/gs_gvdl.dir/parser.cc.o" "gcc" "src/gvdl/CMakeFiles/gs_gvdl.dir/parser.cc.o.d"
+  "/root/repo/src/gvdl/predicate.cc" "src/gvdl/CMakeFiles/gs_gvdl.dir/predicate.cc.o" "gcc" "src/gvdl/CMakeFiles/gs_gvdl.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

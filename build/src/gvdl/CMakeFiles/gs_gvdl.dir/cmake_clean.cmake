@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_gvdl.dir/lexer.cc.o"
+  "CMakeFiles/gs_gvdl.dir/lexer.cc.o.d"
+  "CMakeFiles/gs_gvdl.dir/parser.cc.o"
+  "CMakeFiles/gs_gvdl.dir/parser.cc.o.d"
+  "CMakeFiles/gs_gvdl.dir/predicate.cc.o"
+  "CMakeFiles/gs_gvdl.dir/predicate.cc.o.d"
+  "libgs_gvdl.a"
+  "libgs_gvdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_gvdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_ordering.dir/optimizer.cc.o"
+  "CMakeFiles/gs_ordering.dir/optimizer.cc.o.d"
+  "CMakeFiles/gs_ordering.dir/tsp.cc.o"
+  "CMakeFiles/gs_ordering.dir/tsp.cc.o.d"
+  "libgs_ordering.a"
+  "libgs_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/splitting/adaptive.cc" "src/splitting/CMakeFiles/gs_splitting.dir/adaptive.cc.o" "gcc" "src/splitting/CMakeFiles/gs_splitting.dir/adaptive.cc.o.d"
+  "/root/repo/src/splitting/cost_model.cc" "src/splitting/CMakeFiles/gs_splitting.dir/cost_model.cc.o" "gcc" "src/splitting/CMakeFiles/gs_splitting.dir/cost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_splitting.dir/adaptive.cc.o"
+  "CMakeFiles/gs_splitting.dir/adaptive.cc.o.d"
+  "CMakeFiles/gs_splitting.dir/cost_model.cc.o"
+  "CMakeFiles/gs_splitting.dir/cost_model.cc.o.d"
+  "libgs_splitting.a"
+  "libgs_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/views/collection.cc" "src/views/CMakeFiles/gs_views.dir/collection.cc.o" "gcc" "src/views/CMakeFiles/gs_views.dir/collection.cc.o.d"
+  "/root/repo/src/views/diff_stream.cc" "src/views/CMakeFiles/gs_views.dir/diff_stream.cc.o" "gcc" "src/views/CMakeFiles/gs_views.dir/diff_stream.cc.o.d"
+  "/root/repo/src/views/ebm.cc" "src/views/CMakeFiles/gs_views.dir/ebm.cc.o" "gcc" "src/views/CMakeFiles/gs_views.dir/ebm.cc.o.d"
+  "/root/repo/src/views/executor.cc" "src/views/CMakeFiles/gs_views.dir/executor.cc.o" "gcc" "src/views/CMakeFiles/gs_views.dir/executor.cc.o.d"
+  "/root/repo/src/views/serialization.cc" "src/views/CMakeFiles/gs_views.dir/serialization.cc.o" "gcc" "src/views/CMakeFiles/gs_views.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ordering/CMakeFiles/gs_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitting/CMakeFiles/gs_splitting.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gs_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvdl/CMakeFiles/gs_gvdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_views.dir/collection.cc.o"
+  "CMakeFiles/gs_views.dir/collection.cc.o.d"
+  "CMakeFiles/gs_views.dir/diff_stream.cc.o"
+  "CMakeFiles/gs_views.dir/diff_stream.cc.o.d"
+  "CMakeFiles/gs_views.dir/ebm.cc.o"
+  "CMakeFiles/gs_views.dir/ebm.cc.o.d"
+  "CMakeFiles/gs_views.dir/executor.cc.o"
+  "CMakeFiles/gs_views.dir/executor.cc.o.d"
+  "CMakeFiles/gs_views.dir/serialization.cc.o"
+  "CMakeFiles/gs_views.dir/serialization.cc.o.d"
+  "libgs_views.a"
+  "libgs_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

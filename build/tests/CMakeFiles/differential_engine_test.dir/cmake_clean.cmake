@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_engine_test.dir/differential_engine_test.cc.o"
+  "CMakeFiles/differential_engine_test.dir/differential_engine_test.cc.o.d"
+  "differential_engine_test"
+  "differential_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_iterate_test.dir/differential_iterate_test.cc.o"
+  "CMakeFiles/differential_iterate_test.dir/differential_iterate_test.cc.o.d"
+  "differential_iterate_test"
+  "differential_iterate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_iterate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_property_test.dir/differential_property_test.cc.o"
+  "CMakeFiles/differential_property_test.dir/differential_property_test.cc.o.d"
+  "differential_property_test"
+  "differential_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

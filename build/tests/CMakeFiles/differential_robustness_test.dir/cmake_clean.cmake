@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_robustness_test.dir/differential_robustness_test.cc.o"
+  "CMakeFiles/differential_robustness_test.dir/differential_robustness_test.cc.o.d"
+  "differential_robustness_test"
+  "differential_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_time_test.dir/differential_time_test.cc.o"
+  "CMakeFiles/differential_time_test.dir/differential_time_test.cc.o.d"
+  "differential_time_test"
+  "differential_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsurge_api_test.dir/graphsurge_api_test.cc.o"
+  "CMakeFiles/graphsurge_api_test.dir/graphsurge_api_test.cc.o.d"
+  "graphsurge_api_test"
+  "graphsurge_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsurge_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

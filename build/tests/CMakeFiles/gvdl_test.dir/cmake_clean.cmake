@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvdl_test.dir/gvdl_test.cc.o"
+  "CMakeFiles/gvdl_test.dir/gvdl_test.cc.o.d"
+  "gvdl_test"
+  "gvdl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ordering_test.cc" "tests/CMakeFiles/ordering_test.dir/ordering_test.cc.o" "gcc" "tests/CMakeFiles/ordering_test.dir/ordering_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/gs_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/gs_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/gs_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/gs_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitting/CMakeFiles/gs_splitting.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvdl/CMakeFiles/gs_gvdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gs_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
