@@ -1,15 +1,22 @@
-// Reproduces Figure 10 (paper §7.6): scalability of BFS and WCC on a
-// Twitter-analog social network with city/state/country attributes and
+// Reproduces Figure 10 (paper §7.6): scalability of BFS, WCC, and PageRank
+// on a Twitter-analog social network with city/state/country attributes and
 // affinity-weighted edges, over the paper's 9-view collection (3 geography
 // levels × 3 affinity thresholds).
 //
+// The engine runs each view collection on a real multi-worker sharded
+// dataflow (differential/sharded.h): W worker shards with hash-partitioned
+// keyed state, exchanged at join/reduce boundaries, executing on W threads.
 // Substitution note (DESIGN.md §5): the paper scales across 1–12 machines;
-// this host has a single core, so TD's data-parallel workers are modeled by
-// the engine's keyed-shard work accounting. We report measured wall time
-// (flat on one core) and the modeled critical-path time
-//   T_W = T_1 * max(shard_work) / sum(shard_work)
-// which is what W perfectly-overlapped workers would achieve; skew between
-// shards is the real quantity of interest and is reported too.
+// CI-class hosts may expose only a core or two, so threads can be
+// timesharing a core and measured wall time then understates the engine's
+// scaling. We therefore report, per worker count W:
+//   measured  — wall time of the W-worker run (true speedup on ≥W cores);
+//   modeled   — measured × max(events_w) / Σ(events_w), the critical-path
+//               time of the same run with its per-worker event streams
+//               perfectly overlapped (events_w is *measured* per-shard
+//               scheduler work, not a hash model);
+//   speedup   — modeled T(1) / modeled T(W);
+//   skew      — max(events_w) / mean(events_w), the load-balance loss.
 #include "bench_util.h"
 
 namespace gs::bench {
@@ -17,8 +24,8 @@ namespace {
 
 void Run() {
   SocialNetworkOptions sopts;
-  sopts.num_nodes = 12000;
-  sopts.num_edges = 60000;
+  sopts.num_nodes = 8000;
+  sopts.num_edges = 40000;
   PropertyGraph graph = GenerateSocialNetwork(sopts);
   VertexId source = FirstSource(graph);
 
@@ -39,12 +46,12 @@ void Run() {
   auto mc = system.GetCollection("geo");
   GS_CHECK(mc.ok());
 
-  PrintHeader("Figure 10: scalability (modeled workers, see header note)");
+  PrintHeader("Figure 10: scalability (sharded workers; see header note)");
   std::printf("graph: %zu nodes, %zu edges; collection: %zu views, %s total "
               "diffs\n",
               sopts.num_nodes, sopts.num_edges, (*mc)->num_views(),
               Count((*mc)->total_diffs).c_str());
-  const std::vector<int> widths = {6, 9, 11, 13, 13, 10};
+  const std::vector<int> widths = {10, 9, 11, 13, 13, 10};
   PrintRow({"algo", "workers", "measured", "modeled", "speedup", "skew"},
            widths);
 
@@ -55,10 +62,11 @@ void Run() {
   std::vector<Algo> algos;
   algos.push_back({"BFS", std::make_unique<analytics::Bfs>(source)});
   algos.push_back({"WCC", std::make_unique<analytics::Wcc>()});
+  algos.push_back({"PageRank", std::make_unique<analytics::PageRank>(8)});
 
   for (const Algo& algo : algos) {
     double t1_modeled = 0;
-    for (size_t workers : {1, 2, 4, 8, 12}) {
+    for (size_t workers : {1, 2, 4, 8}) {
       views::ExecutionOptions options;
       options.strategy = splitting::Strategy::kDiffOnly;
       options.dataflow.num_workers = workers;
@@ -67,15 +75,15 @@ void Run() {
       GS_CHECK(result.ok()) << result.status().ToString();
       double measured = timer.Seconds();
 
-      const auto& shard_work = result->engine_stats.shard_work;
+      const auto& events = result->per_worker_events;
       uint64_t total = 0, max_shard = 0;
-      for (uint64_t w : shard_work) {
-        total += w;
-        max_shard = std::max(max_shard, w);
+      for (uint64_t e : events) {
+        total += e;
+        max_shard = std::max(max_shard, e);
       }
       double skew = total == 0 ? 1.0
                                : static_cast<double>(max_shard) *
-                                     static_cast<double>(shard_work.size()) /
+                                     static_cast<double>(events.size()) /
                                      static_cast<double>(total);
       double modeled =
           total == 0 ? measured

@@ -34,7 +34,7 @@ int main() {
   const gs::Column* masks = &graph.node_properties().column(mask_col);
   std::vector<std::function<bool(gs::EdgeId)>> scenarios;
   std::vector<std::string> names;
-  const size_t kTop = 5, kRemove = 3;
+  const size_t kTop = 5;  // three nested loops below = C(kTop, 3) scenarios
   for (size_t a = 0; a < kTop; ++a) {
     for (size_t b = a + 1; b < kTop; ++b) {
       for (size_t c = b + 1; c < kTop; ++c) {

@@ -133,6 +133,9 @@ StatusOr<analytics::ResultMap> Graphsurge::RunOnView(
     const analytics::Computation& computation, const std::string& name,
     views::ExecutionOptions options) const {
   GS_ASSIGN_OR_RETURN(const PropertyGraph* graph, GetGraph(name));
+  if (options.dataflow.num_workers == 0) {
+    options.dataflow.num_workers = options_.num_workers;
+  }
   return views::RunOnGraph(computation, *graph, options);
 }
 

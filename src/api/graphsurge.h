@@ -28,8 +28,10 @@
 namespace gs {
 
 struct GraphsurgeOptions {
-  /// Worker parallelism for view materialization and the engine's sharded
-  /// work accounting (paper: TD/DD workers).
+  /// Worker parallelism for view materialization and for the differential
+  /// engine's sharded multi-worker execution (paper: TD/DD workers).
+  /// Computations pick this up when ExecutionOptions leaves
+  /// dataflow.num_workers at 0 ("system default").
   size_t num_workers = 1;
   /// Apply the collection ordering optimizer when materializing
   /// collections (paper §4). Off by default, as in the paper's

@@ -36,13 +36,20 @@
 namespace gs::differential {
 
 class Dataflow;
+class ExchangeHub;  // defined in exchange.h
 
 /// Execution parameters.
 struct DataflowOptions {
-  /// Shard count for keyed operators (join/reduce); 1 = serial. Mirrors
-  /// Timely worker parallelism in-process.
+  /// Worker parallelism. A ShardedDataflow (sharded.h) with num_workers = W
+  /// runs W worker shards, each owning its own Scheduler, operator state,
+  /// and traces; keyed operators (join/reduce) hash-partition their input
+  /// across shards through exchange queues, mirroring Timely worker
+  /// parallelism in-process. 1 = serial. A standalone Dataflow constructed
+  /// directly never shards — there num_workers only sizes the modeled
+  /// `shard_work` accounting.
   size_t num_workers = 1;
   /// Safety cap on events processed within one version (divergence guard).
+  /// In sharded mode the cap applies per worker shard.
   uint64_t max_events_per_version = 1ull << 34;
   /// Default cap on loop iterations (Iterate may override per-scope).
   uint32_t max_iterations = 1u << 20;
@@ -51,19 +58,43 @@ struct DataflowOptions {
 /// Aggregate counters. `updates_published` is the engine's measure of work
 /// performed; the scalability bench derives modeled critical-path time from
 /// the per-shard breakdown kept by keyed operators.
+///
+/// Thread model: each worker shard owns a private DataflowStats and updates
+/// it without synchronization; cross-worker aggregation happens only through
+/// Merge() after a barrier (ShardedDataflow::AggregatedStats), so no counter
+/// is ever written concurrently.
 struct DataflowStats {
   uint64_t updates_published = 0;
   uint64_t join_matches = 0;
   uint64_t reduce_evaluations = 0;
   uint64_t batches_published = 0;
+  uint64_t exchanged_updates = 0;  // updates routed to a different shard
   /// Work attributed to each key shard (hash(key) % num_workers) by keyed
   /// operators. The scalability bench derives the modeled critical-path
-  /// time of a W-worker run as max(shard_work) / mean(shard_work).
+  /// time of a W-worker run as max(shard_work) / mean(shard_work). In
+  /// sharded execution worker w only ever touches keys it owns, so its
+  /// shard_work is non-zero only at index w and Merge reassembles the
+  /// per-shard breakdown.
   std::vector<uint64_t> shard_work;
 
   void AddShardWork(uint64_t key_hash, uint64_t amount) {
     if (!shard_work.empty()) {
       shard_work[key_hash % shard_work.size()] += amount;
+    }
+  }
+
+  /// Folds another stats object into this one (element-wise sums).
+  void Merge(const DataflowStats& other) {
+    updates_published += other.updates_published;
+    join_matches += other.join_matches;
+    reduce_evaluations += other.reduce_evaluations;
+    batches_published += other.batches_published;
+    exchanged_updates += other.exchanged_updates;
+    if (shard_work.size() < other.shard_work.size()) {
+      shard_work.resize(other.shard_work.size(), 0);
+    }
+    for (size_t i = 0; i < other.shard_work.size(); ++i) {
+      shard_work[i] += other.shard_work[i];
     }
   }
 };
@@ -187,10 +218,23 @@ class Stream {
 };
 
 /// The dataflow graph plus its execution state.
+///
+/// A Dataflow is either standalone (the classic single-threaded engine) or
+/// one worker shard of a ShardedDataflow (sharded.h). In the latter case it
+/// carries its worker index and a pointer to the shared ExchangeHub, and
+/// keyed operators splice exchange edges into the graph at construction
+/// time. A shard's operators, scheduler, traces, and stats are only ever
+/// touched by the one thread running the shard's current phase.
 class Dataflow {
  public:
   explicit Dataflow(DataflowOptions options = DataflowOptions())
       : options_(options) {
+    stats_.shard_work.assign(options_.num_workers, 0);
+  }
+
+  /// Worker-shard constructor, used by ShardedDataflow only.
+  Dataflow(DataflowOptions options, ExchangeHub* hub, size_t worker_index)
+      : options_(options), hub_(hub), worker_index_(worker_index) {
     stats_.shard_work.assign(options_.num_workers, 0);
   }
 
@@ -201,6 +245,33 @@ class Dataflow {
   Scheduler& scheduler() { return scheduler_; }
   DataflowStats& stats() { return stats_; }
   const DataflowStats& stats() const { return stats_; }
+
+  // --- Sharded execution wiring (see exchange.h / sharded.h) --------------
+
+  /// True when this dataflow is a shard of a multi-worker run and keyed
+  /// operators must repartition their input by key hash.
+  bool sharded() const { return hub_ != nullptr && options_.num_workers > 1; }
+  ExchangeHub* exchange_hub() const { return hub_; }
+  size_t worker_index() const { return worker_index_; }
+
+  /// Exchange channel ids. Worker shards are built by running the same
+  /// deterministic builder once per shard, so the n-th allocation on every
+  /// shard refers to the same logical exchange edge.
+  uint32_t AllocateExchangeChannel() { return next_exchange_channel_++; }
+
+  /// Exchange endpoints register a drainer that moves cross-worker batches
+  /// from their mutex-protected inbox into the operator's input port.
+  void RegisterInboxDrainer(std::function<bool()> drainer) {
+    inbox_drainers_.push_back(std::move(drainer));
+  }
+
+  /// Delivers all pending cross-worker batches. Returns true if anything
+  /// was delivered (i.e. the scheduler may have new work).
+  bool DrainExchangeInboxes() {
+    bool any = false;
+    for (auto& drain : inbox_drainers_) any = drain() || any;
+    return any;
+  }
 
   /// Constructs and takes ownership of an operator.
   template <typename Op, typename... Args>
@@ -222,31 +293,92 @@ class Dataflow {
   /// Flushes all input buffers at the current version, runs the scheduler
   /// to quiescence (the differential fixpoint), seals the version, and
   /// advances. Returns an error if the event cap is exceeded.
+  ///
+  /// Standalone drivers call Step(); ShardedDataflow instead invokes the
+  /// three phases below directly with barriers in between, repeating
+  /// RunPhase until every shard and exchange queue is quiescent.
   Status Step() {
+    BeginStepPhase();
+    GS_RETURN_IF_ERROR(RunPhase());
+    SealPhase();
+    return Status::Ok();
+  }
+
+  /// Phase 1: flush input buffers at the current version (OnStepBegin).
+  void BeginStepPhase() {
+    step_start_events_ = scheduler_.events_processed();
     for (OperatorBase* op : registered_) op->OnStepBegin(version_);
-    uint64_t start_events = scheduler_.events_processed();
-    while (scheduler_.RunOne()) {
-      if (scheduler_.events_processed() - start_events >
-          options_.max_events_per_version) {
-        return Status::Internal(
-            "event cap exceeded at version " + std::to_string(version_) +
-            " — computation may not converge");
+  }
+
+  /// Phase 2 (standalone / single worker): deliver pending exchange batches
+  /// and run the local scheduler until both are exhausted.
+  Status RunPhase() {
+    for (;;) {
+      bool delivered = DrainExchangeInboxes();
+      if (!delivered && scheduler_.empty()) break;
+      while (scheduler_.RunOne()) {
+        GS_RETURN_IF_ERROR(CheckEventCap());
       }
     }
+    return Status::Ok();
+  }
+
+  /// Phase 2 (sharded): run only events at times ≤ `frontier` (lex),
+  /// re-draining exchange inboxes as peers deliver concurrently. The
+  /// sharded driver computes `frontier` as the global minimum pending time
+  /// each round, so no shard speculates past the frontier into loop
+  /// iterations whose cross-shard input has not arrived — optimistic
+  /// execution there would converge to the same result, but only after
+  /// avalanches of corrections that destroy work-efficiency.
+  Status RunBoundedPhase(const Time& frontier) {
+    for (;;) {
+      bool delivered = DrainExchangeInboxes();
+      bool ran = false;
+      while (!scheduler_.empty() &&
+             !frontier.LexLess(scheduler_.PeekKey().time)) {
+        scheduler_.RunOne();
+        ran = true;
+        GS_RETURN_IF_ERROR(CheckEventCap());
+      }
+      if (!delivered && !ran) break;
+    }
+    return Status::Ok();
+  }
+
+  /// Earliest pending local event time; only valid when HasPendingWork().
+  bool HasPendingWork() const { return !scheduler_.empty(); }
+  const Time& MinPendingTime() const { return scheduler_.PeekKey().time; }
+
+  /// Phase 3: seal the version (trace compaction) and advance.
+  void SealPhase() {
     for (OperatorBase* op : registered_) op->OnVersionSealed(version_);
     ++version_;
-    return Status::Ok();
   }
 
   size_t num_operators() const { return registered_.size(); }
 
  private:
+  Status CheckEventCap() const {
+    if (scheduler_.events_processed() - step_start_events_ >
+        options_.max_events_per_version) {
+      return Status::Internal(
+          "event cap exceeded at version " + std::to_string(version_) +
+          " — computation may not converge");
+    }
+    return Status::Ok();
+  }
+
   DataflowOptions options_;
+  ExchangeHub* hub_ = nullptr;
+  size_t worker_index_ = 0;
+  uint32_t next_exchange_channel_ = 0;
+  std::vector<std::function<bool()>> inbox_drainers_;
   Scheduler scheduler_;
   DataflowStats stats_;
   std::vector<std::unique_ptr<OperatorBase>> operators_;
   std::vector<OperatorBase*> registered_;
   uint32_t version_ = 0;
+  uint64_t step_start_events_ = 0;
 };
 
 inline OperatorBase::OperatorBase(Dataflow* dataflow, std::string name)

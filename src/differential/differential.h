@@ -8,11 +8,13 @@
 #define GRAPHSURGE_DIFFERENTIAL_DIFFERENTIAL_H_
 
 #include "differential/dataflow.h"   // IWYU pragma: export
+#include "differential/exchange.h"   // IWYU pragma: export
 #include "differential/iterate.h"    // IWYU pragma: export
 #include "differential/join.h"       // IWYU pragma: export
 #include "differential/operators.h"  // IWYU pragma: export
 #include "differential/reduce.h"     // IWYU pragma: export
 #include "differential/scheduler.h"  // IWYU pragma: export
+#include "differential/sharded.h"    // IWYU pragma: export
 #include "differential/time.h"       // IWYU pragma: export
 #include "differential/trace.h"      // IWYU pragma: export
 #include "differential/update.h"     // IWYU pragma: export

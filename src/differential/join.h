@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "differential/dataflow.h"
+#include "differential/exchange.h"
 #include "differential/trace.h"
 
 namespace gs::differential {
@@ -90,12 +91,17 @@ class JoinOp : public OperatorBase {
 };
 
 /// Joins two keyed streams; fn(key, v1, v2) produces the output record.
+/// Join is a key-repartitioning boundary: in sharded execution both inputs
+/// are exchanged by key hash first, so each shard's traces hold exactly the
+/// keys it owns and matching is shard-local.
 template <typename K, typename V1, typename V2, typename Fn>
 auto Join(Stream<std::pair<K, V1>> left, Stream<std::pair<K, V2>> right,
           Fn fn) {
   using Out = std::decay_t<decltype(fn(std::declval<const K&>(),
                                        std::declval<const V1&>(),
                                        std::declval<const V2&>()))>;
+  left = ExchangeByKey(left);
+  right = ExchangeByKey(right);
   auto* op =
       left.dataflow()->template AddOperator<JoinOp<K, V1, V2, Out, Fn>>(
           left, right, std::move(fn));

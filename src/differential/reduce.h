@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "differential/dataflow.h"
+#include "differential/exchange.h"
 #include "differential/trace.h"
 
 namespace gs::differential {
@@ -154,9 +155,13 @@ class ReduceOp : public OperatorBase {
   Batch<Out> scratch_delta_;
 };
 
-/// Groups a keyed stream and applies `fn` per key (see ReduceOp).
+/// Groups a keyed stream and applies `fn` per key (see ReduceOp). Reduce is
+/// a key-repartitioning boundary: in sharded execution the input is
+/// exchanged by key hash first, so each shard evaluates only the keys it
+/// owns.
 template <typename Out, typename K, typename V, typename Fn>
 Stream<std::pair<K, Out>> Reduce(Stream<std::pair<K, V>> in, Fn fn) {
+  in = ExchangeByKey(in);
   auto* op = in.dataflow()->template AddOperator<ReduceOp<K, V, Out, Fn>>(
       in, std::move(fn));
   return op->stream();

@@ -5,12 +5,16 @@
 // ordering is impossible; engine correctness does not depend on it because
 // stateful operators emit corrections for late-arriving diffs (DESIGN.md
 // §3.1) — the ordering here is an efficiency heuristic.
+//
+// Threading: a Scheduler is owned by exactly one worker shard and is only
+// ever touched by the thread currently running that shard's phase (see
+// sharded.h); it needs no internal synchronization.
 #ifndef GRAPHSURGE_DIFFERENTIAL_SCHEDULER_H_
 #define GRAPHSURGE_DIFFERENTIAL_SCHEDULER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "differential/time.h"
@@ -30,43 +34,56 @@ struct EventKey {
   }
 };
 
-/// Min-heap event loop.
+/// Min-heap event loop. Implemented as an explicit binary heap over a
+/// vector (std::push_heap/std::pop_heap) rather than std::priority_queue:
+/// the min element must be *moved out* before running it (re-entrant
+/// Schedule calls from inside the action would otherwise invalidate it),
+/// and priority_queue::top() only offers const access, forcing a
+/// const_cast that is undefined behavior waiting to happen.
 class Scheduler {
  public:
   void Schedule(const Time& time, uint32_t op_order,
                 std::function<void()> action) {
-    queue_.push(Event{EventKey{time, op_order, next_seq_++},
-                      std::move(action)});
+    heap_.push_back(Event{EventKey{time, op_order, next_seq_++},
+                          std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   }
 
-  bool empty() const { return queue_.empty(); }
-  size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
   /// Pops and runs the minimum event. Returns false if empty.
   bool RunOne() {
-    if (queue_.empty()) return false;
-    // Move the action out before popping so re-entrant Schedule calls from
-    // inside the action cannot invalidate it.
-    std::function<void()> action = std::move(
-        const_cast<Event&>(queue_.top()).action);
-    queue_.pop();
+    if (heap_.empty()) return false;
+    // pop_heap moves the minimum to the back, where it is legitimately
+    // mutable; take the action and shrink *before* running it so re-entrant
+    // Schedule calls cannot invalidate the event.
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    std::function<void()> action = std::move(heap_.back().action);
+    heap_.pop_back();
     ++events_processed_;
     action();
     return true;
   }
 
   /// Key of the next pending event; only valid when !empty().
-  const EventKey& PeekKey() const { return queue_.top().key; }
+  const EventKey& PeekKey() const { return heap_.front().key; }
 
  private:
   struct Event {
     EventKey key;
     std::function<void()> action;
-    bool operator>(const Event& other) const { return key > other.key; }
+  };
+  // Comparator yielding a min-heap on EventKey (heap algorithms build a
+  // max-heap with respect to the comparator).
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.key > b.key;
+    }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
 };

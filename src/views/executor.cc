@@ -14,16 +14,56 @@ using analytics::VertexValue;
 
 // One differential computation instance. A "split" (scratch run) discards
 // the previous instance and seeds a new one with the full view.
+//
+// The instance is a ShardedDataflow of options.num_workers worker shards;
+// the computation's dataflow is built once per shard (Computations are pure
+// builders) and input edges are hash-partitioned across the shards'
+// inputs. Results live wherever the final keyed operator placed them, so
+// per-version output is the consolidated union of all shards' captures —
+// byte-identical to a single-worker run (DESIGN.md §3.1; the consolidated
+// per-version difference set is execution-order independent).
 struct Engine {
-  dd::Dataflow dataflow;
-  dd::Input<WeightedEdge> edges;
-  dd::CaptureOp<VertexValue>* capture;
+  dd::ShardedDataflow dataflow;
+  std::vector<dd::Input<WeightedEdge>> edges;
+  std::vector<dd::CaptureOp<VertexValue>*> captures;
 
   Engine(const analytics::Computation& computation,
          const dd::DataflowOptions& options)
-      : dataflow(options), edges(&dataflow) {
-    capture = dd::Capture(
-        computation.GraphAnalytics(&dataflow, edges.stream()));
+      : dataflow(options) {
+    edges.reserve(dataflow.num_workers());
+    captures.reserve(dataflow.num_workers());
+    for (size_t w = 0; w < dataflow.num_workers(); ++w) {
+      edges.emplace_back(dataflow.worker(w));
+      captures.push_back(dd::Capture(
+          computation.GraphAnalytics(dataflow.worker(w),
+                                     edges[w].stream())));
+    }
+  }
+
+  void Send(const WeightedEdge& edge, dd::Diff diff) {
+    edges[dataflow.OwnerOfHash(HashValue(edge))].Send(edge, diff);
+  }
+
+  Status Step() { return dataflow.Step(); }
+
+  dd::Batch<VertexValue> VersionDiffs(uint32_t version) const {
+    dd::Batch<VertexValue> all;
+    for (const auto* capture : captures) {
+      dd::Batch<VertexValue> b = capture->VersionDiffs(version);
+      all.insert(all.end(), b.begin(), b.end());
+    }
+    dd::Consolidate(&all);
+    return all;
+  }
+
+  dd::Batch<VertexValue> AccumulatedAt(uint32_t version) const {
+    dd::Batch<VertexValue> all;
+    for (const auto* capture : captures) {
+      dd::Batch<VertexValue> b = capture->AccumulatedAt(version);
+      all.insert(all.end(), b.begin(), b.end());
+    }
+    dd::Consolidate(&all);
+    return all;
   }
 };
 
@@ -76,16 +116,13 @@ StatusOr<ExecutionResult> RunOnCollection(
   // a split discards the instance and once at the end).
   auto harvest = [&result](Engine* e) {
     if (e == nullptr) return;
-    const auto& s = e->dataflow.stats();
-    result.engine_stats.updates_published += s.updates_published;
-    result.engine_stats.join_matches += s.join_matches;
-    result.engine_stats.reduce_evaluations += s.reduce_evaluations;
-    result.engine_stats.batches_published += s.batches_published;
-    if (result.engine_stats.shard_work.size() < s.shard_work.size()) {
-      result.engine_stats.shard_work.resize(s.shard_work.size(), 0);
+    result.engine_stats.Merge(e->dataflow.AggregatedStats());
+    std::vector<uint64_t> events = e->dataflow.PerWorkerEvents();
+    if (result.per_worker_events.size() < events.size()) {
+      result.per_worker_events.resize(events.size(), 0);
     }
-    for (size_t i = 0; i < s.shard_work.size(); ++i) {
-      result.engine_stats.shard_work[i] += s.shard_work[i];
+    for (size_t i = 0; i < events.size(); ++i) {
+      result.per_worker_events[i] += events[i];
     }
   };
 
@@ -124,25 +161,25 @@ StatusOr<ExecutionResult> RunOnCollection(
         uint64_t fed = 0;
         for (EdgeId e = 0; e < graph.num_edges(); ++e) {
           if (present[e]) {
-            engine->edges.Send(resolved[e], 1);
+            engine->Send(resolved[e], 1);
             ++fed;
           }
         }
-        GS_RETURN_IF_ERROR(engine->dataflow.Step());
+        GS_RETURN_IF_ERROR(engine->Step());
         stats.ran_scratch = true;
         stats.input_size = fed;
       } else {
         for (const EdgeDiff& d : view_diffs) {
-          engine->edges.Send(resolved[d.edge], d.diff);
+          engine->Send(resolved[d.edge], d.diff);
         }
-        GS_RETURN_IF_ERROR(engine->dataflow.Step());
+        GS_RETURN_IF_ERROR(engine->Step());
         stats.ran_scratch = false;
         stats.input_size = view_diffs.size();
       }
       stats.seconds = view_timer.Seconds();
       uint32_t engine_version = engine->dataflow.current_version() - 1;
       stats.output_diffs =
-          dd::UpdateMagnitude(engine->capture->VersionDiffs(engine_version));
+          dd::UpdateMagnitude(engine->VersionDiffs(engine_version));
 
       if (stats.ran_scratch) {
         if (t > 0) ++result.num_splits;
@@ -153,7 +190,7 @@ StatusOr<ExecutionResult> RunOnCollection(
 
       if (options.capture_results) {
         analytics::ResultMap m;
-        for (const auto& u : engine->capture->AccumulatedAt(engine_version)) {
+        for (const auto& u : engine->AccumulatedAt(engine_version)) {
           if (u.diff != 1) {
             return Status::Internal(
                 "non-unit multiplicity in computation output");
@@ -175,11 +212,11 @@ StatusOr<analytics::ResultMap> RunOnGraph(
     const ExecutionOptions& options) {
   Engine engine(computation, options.dataflow);
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    engine.edges.Send(graph.ResolveWeighted(e, options.weight_column), 1);
+    engine.Send(graph.ResolveWeighted(e, options.weight_column), 1);
   }
-  GS_RETURN_IF_ERROR(engine.dataflow.Step());
+  GS_RETURN_IF_ERROR(engine.Step());
   analytics::ResultMap m;
-  for (const auto& u : engine.capture->AccumulatedAt(0)) {
+  for (const auto& u : engine.AccumulatedAt(0)) {
     if (u.diff != 1) {
       return Status::Internal("non-unit multiplicity in computation output");
     }

@@ -21,6 +21,9 @@ struct ExecutionOptions {
   size_t chunk_size = 10;
   /// Edge property column used as Bellman-Ford/MPSP weight; -1 → weight 1.
   int weight_column = -1;
+  /// Engine parameters; dataflow.num_workers > 1 runs every view of the
+  /// collection on a sharded multi-worker engine (differential/sharded.h)
+  /// with results identical to serial execution.
   differential::DataflowOptions dataflow;
   /// Keep each view's full result (tests and examples; memory-heavy).
   bool capture_results = false;
@@ -42,6 +45,10 @@ struct ExecutionResult {
   size_t num_splits = 0;
   /// Engine work counters summed over all engines used by the run.
   differential::DataflowStats engine_stats;
+  /// Scheduler events executed by each worker shard, summed over all
+  /// engines — the measured work distribution of a sharded run
+  /// (max/mean bounds the achievable multi-worker speedup).
+  std::vector<uint64_t> per_worker_events;
   /// Per-view results (only when ExecutionOptions::capture_results).
   std::vector<analytics::ResultMap> results;
 };

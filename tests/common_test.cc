@@ -94,7 +94,7 @@ TEST(ThreadPoolTest, ParallelForShardsPartition) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.Seconds(), 0.0);
   EXPECT_LT(t.Seconds(), 10.0);
 }
