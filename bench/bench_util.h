@@ -5,7 +5,10 @@
 #define GRAPHSURGE_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -63,6 +66,118 @@ inline std::string Count(uint64_t n) {
 }
 
 // ---------------------------------------------------------------------------
+// Machine-readable results
+//
+// Every bench binary emits a BENCH_<name>.json next to its table output so
+// the perf trajectory across commits can be tracked without parsing tables.
+// Layout: {"bench": <name>, "meta": {...}, "rows": [{...}, ...]} — one row
+// object per printed table row, fields named by the caller.
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// A single result row; fields keep insertion order.
+  class Row {
+   public:
+    Row& Str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, Quote(value));
+      return *this;
+    }
+    Row& Num(const std::string& key, double value) {
+      char buf[40];
+      if (!std::isfinite(value)) {
+        std::snprintf(buf, sizeof(buf), "null");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+      }
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& Int(const std::string& key, uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+              out += buf;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '"';
+      return out;
+    }
+    std::string Render() const {
+      std::string out = "{";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ", ";
+        out += Quote(fields_[i].first) + ": " + fields_[i].second;
+      }
+      out += "}";
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Run-level metadata (graph sizes, view counts, worker counts, ...).
+  Row& Meta() { return meta_; }
+  /// Appends and returns a new result row (reference stays valid — rows are
+  /// deque-backed).
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Output path: $GS_BENCH_JSON_DIR/BENCH_<name>.json, or the current
+  /// directory when the env var is unset.
+  std::string path() const {
+    std::string dir;
+    if (const char* env = std::getenv("GS_BENCH_JSON_DIR")) dir = env;
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    return dir + "BENCH_" + name_ + ".json";
+  }
+
+  /// Writes the report; call once at the end of main().
+  void Write() const {
+    std::string out = "{\n  \"bench\": " + Row::Quote(name_) + ",\n";
+    out += "  \"meta\": " + meta_.Render() + ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "    " + rows_[i].Render();
+      out += i + 1 < rows_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    std::string file = path();
+    if (std::FILE* f = std::fopen(file.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", file.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", file.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  Row meta_;
+  std::deque<Row> rows_;
+};
+
+// ---------------------------------------------------------------------------
 // Strategy sweeps
 
 struct StrategyTimes {
@@ -70,6 +185,8 @@ struct StrategyTimes {
   double scratch = 0;
   double adaptive = 0;
   size_t adaptive_splits = 0;
+  /// Engine counters of the diff-only run (join matches, trace sizes, ...).
+  differential::DataflowStats diff_stats;
 };
 
 /// Runs `computation` on `collection_name` under all three strategies.
@@ -95,6 +212,7 @@ inline StrategyTimes RunAllStrategies(const Graphsurge& system,
     switch (strategy) {
       case splitting::Strategy::kDiffOnly:
         times.diff_only = seconds;
+        times.diff_stats = result->engine_stats;
         break;
       case splitting::Strategy::kScratch:
         times.scratch = seconds;
@@ -106,6 +224,31 @@ inline StrategyTimes RunAllStrategies(const Graphsurge& system,
     }
   }
   return times;
+}
+
+/// Standard JSON row for a three-strategy sweep: wall times per strategy
+/// plus the diff-only run's engine counters (join-match throughput is the
+/// headline efficiency metric tracked across commits).
+inline void AddStrategyRow(BenchReport* report, const std::string& algo,
+                           const std::string& config, size_t views,
+                           const StrategyTimes& times) {
+  const differential::DataflowStats& s = times.diff_stats;
+  report->AddRow()
+      .Str("algo", algo)
+      .Str("config", config)
+      .Int("views", views)
+      .Num("diff_only_s", times.diff_only)
+      .Num("scratch_s", times.scratch)
+      .Num("adaptive_s", times.adaptive)
+      .Int("adaptive_splits", times.adaptive_splits)
+      .Int("join_matches", s.join_matches)
+      .Num("join_matches_per_s",
+           times.diff_only > 0
+               ? static_cast<double>(s.join_matches) / times.diff_only
+               : 0)
+      .Int("updates_published", s.updates_published)
+      .Int("reduce_evaluations", s.reduce_evaluations)
+      .Int("arrangement_shares", s.arrangement_shares);
 }
 
 // ---------------------------------------------------------------------------

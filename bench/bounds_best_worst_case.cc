@@ -8,10 +8,11 @@
 namespace gs::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport* report) {
   const size_t kEdges = 30000;
   const size_t kViews = 16;
   PropertyGraph graph = GenerateUniformGraph(6000, kEdges, 5);
+  report->Meta().Int("edges", kEdges).Int("views", kViews);
 
   PrintHeader("§5 bounds: best case (identical views) / worst case "
               "(disjoint views)");
@@ -41,6 +42,10 @@ void Run() {
     PrintRow({"identical (best)", Secs(diff_s), Secs(scratch_s),
               Factor(scratch_s, diff_s) + " faster"},
              widths);
+    report->AddRow()
+        .Str("collection", "identical")
+        .Num("diff_only_s", diff_s)
+        .Num("scratch_s", scratch_s);
   }
 
   // Worst case: consecutive views share no edges (half the edge set each,
@@ -74,6 +79,10 @@ void Run() {
     PrintRow({"disjoint (worst)", Secs(diff_s), Secs(scratch_s),
               Factor(diff_s, scratch_s) + " slower"},
              widths);
+    report->AddRow()
+        .Str("collection", "disjoint")
+        .Num("diff_only_s", diff_s)
+        .Num("scratch_s", scratch_s);
   }
 }
 
@@ -81,6 +90,8 @@ void Run() {
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("bounds_best_worst_case");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

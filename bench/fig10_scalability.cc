@@ -22,7 +22,7 @@
 namespace gs::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport* report) {
   SocialNetworkOptions sopts;
   sopts.num_nodes = 8000;
   sopts.num_edges = 40000;
@@ -51,6 +51,11 @@ void Run() {
               "diffs\n",
               sopts.num_nodes, sopts.num_edges, (*mc)->num_views(),
               Count((*mc)->total_diffs).c_str());
+  report->Meta()
+      .Int("nodes", sopts.num_nodes)
+      .Int("edges", sopts.num_edges)
+      .Int("views", (*mc)->num_views())
+      .Int("total_diffs", (*mc)->total_diffs);
   const std::vector<int> widths = {10, 9, 11, 13, 13, 10};
   PrintRow({"algo", "workers", "measured", "modeled", "speedup", "skew"},
            widths);
@@ -95,6 +100,14 @@ void Run() {
       PrintRow({algo.name, std::to_string(workers), Secs(measured),
                 Secs(modeled), Factor(t1_modeled, modeled), skew_buf},
                widths);
+      report->AddRow()
+          .Str("algo", algo.name)
+          .Int("workers", workers)
+          .Num("measured_s", measured)
+          .Num("modeled_s", modeled)
+          .Num("speedup", modeled > 0 ? t1_modeled / modeled : 0)
+          .Num("skew", skew)
+          .Int("join_matches", result->engine_stats.join_matches);
     }
   }
 }
@@ -103,6 +116,8 @@ void Run() {
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("fig10_scalability");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

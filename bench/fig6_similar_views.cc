@@ -8,7 +8,7 @@
 namespace gs::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport* report) {
   const int64_t kEnd = 1000000;
   const int64_t kInitial = kEnd / 2;
 
@@ -46,6 +46,10 @@ void Run() {
   PrintHeader("Figure 6: expanding-window collections (Csim)");
   std::printf("graph: %zu nodes, %zu edges (temporal SO analog)\n",
               topts.num_nodes, topts.num_edges);
+  report->Meta()
+      .Int("nodes", topts.num_nodes)
+      .Int("edges", topts.num_edges)
+      .Str("workload", "expanding windows (Csim)");
   const std::vector<int> widths = {10, 8, 8, 11, 11, 11, 13};
   PrintRow({"algo", "window", "views", "diff-only", "scratch", "adaptive",
             "diff speedup"},
@@ -71,6 +75,8 @@ void Run() {
                 Secs(times.scratch), Secs(times.adaptive),
                 Factor(times.scratch, times.diff_only)},
                widths);
+      AddStrategyRow(report, algo.name, windows[c].label, (*mc)->num_views(),
+                     times);
     }
   }
 
@@ -95,6 +101,7 @@ void Run() {
               Secs(times.diff_only), Secs(times.scratch),
               Secs(times.adaptive), Factor(times.scratch, times.diff_only)},
              widths);
+    AddStrategyRow(report, "SCC", label, (*mc)->num_views(), times);
   }
 }
 
@@ -102,6 +109,8 @@ void Run() {
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("fig6_similar_views");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

@@ -8,7 +8,7 @@
 namespace gs::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport* report) {
   const int64_t kEnd = 1000000;
 
   TemporalGraphOptions topts;
@@ -42,6 +42,10 @@ void Run() {
   PrintHeader("Figure 7: non-overlapping window collections (Cno)");
   std::printf("graph: %zu nodes, %zu edges (temporal SO analog)\n",
               topts.num_nodes, topts.num_edges);
+  report->Meta()
+      .Int("nodes", topts.num_nodes)
+      .Int("edges", topts.num_edges)
+      .Str("workload", "disjoint windows (Cno)");
   const std::vector<int> widths = {10, 8, 8, 11, 11, 11, 16};
   PrintRow({"algo", "window", "views", "diff-only", "scratch", "adaptive",
             "scratch speedup"},
@@ -67,6 +71,8 @@ void Run() {
                 Secs(times.scratch), Secs(times.adaptive),
                 Factor(times.diff_only, times.scratch)},
                widths);
+      AddStrategyRow(report, algo.name, windows[c].label, (*mc)->num_views(),
+                     times);
     }
   }
 }
@@ -75,6 +81,8 @@ void Run() {
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("fig7_nonoverlapping_views");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

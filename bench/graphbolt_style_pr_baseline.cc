@@ -66,7 +66,7 @@ class SpecializedIncrementalPageRank {
   std::unordered_map<VertexId, int64_t> outdeg_;
 };
 
-void Run() {
+void Run(BenchReport* report) {
   const size_t kEdges = 40000;
   const size_t kViews = 12;
   PropertyGraph graph = GeneratePowerLawGraph(8000, kEdges, 1.15, 21);
@@ -79,6 +79,7 @@ void Run() {
   PrintHeader("§7.5: specialized incremental PR vs black-box differential");
   std::printf("graph: %zu edges, %zu views, ±20-edge diffs per view\n",
               kEdges, kViews);
+  report->Meta().Int("edges", kEdges).Int("views", kViews);
   const std::vector<int> widths = {34, 12};
   analytics::PageRank pr(10);
 
@@ -89,7 +90,12 @@ void Run() {
     Timer timer;
     auto r = views::RunOnCollection(pr, graph, mc, options);
     GS_CHECK(r.ok()) << r.status().ToString();
-    PrintRow({"differential (black-box DD)", Secs(timer.Seconds())}, widths);
+    double seconds = timer.Seconds();
+    PrintRow({"differential (black-box DD)", Secs(seconds)}, widths);
+    report->AddRow()
+        .Str("variant", "differential")
+        .Num("seconds", seconds)
+        .Int("join_matches", r->engine_stats.join_matches);
   }
   // Scratch.
   {
@@ -98,7 +104,9 @@ void Run() {
     Timer timer;
     auto r = views::RunOnCollection(pr, graph, mc, options);
     GS_CHECK(r.ok()) << r.status().ToString();
-    PrintRow({"scratch (per-view rerun)", Secs(timer.Seconds())}, widths);
+    double seconds = timer.Seconds();
+    PrintRow({"scratch (per-view rerun)", Secs(seconds)}, widths);
+    report->AddRow().Str("variant", "scratch").Num("seconds", seconds);
   }
   // Specialized maintenance.
   {
@@ -109,11 +117,15 @@ void Run() {
       spr.ApplyDiffs(graph, batch);
       total_sweeps += spr.Recompute();
     }
-    PrintRow({"specialized (GraphBolt-style)", Secs(timer.Seconds())},
-             widths);
+    double seconds = timer.Seconds();
+    PrintRow({"specialized (GraphBolt-style)", Secs(seconds)}, widths);
     std::printf("  (specialized maintenance used %u total sweeps across %zu "
                 "views)\n",
                 total_sweeps, kViews);
+    report->AddRow()
+        .Str("variant", "specialized")
+        .Num("seconds", seconds)
+        .Int("sweeps", total_sweeps);
   }
   std::printf(
       "expected shape (paper §7.5): specialized < scratch/differential —\n"
@@ -124,6 +136,8 @@ void Run() {
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("graphbolt_style_pr_baseline");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

@@ -1,12 +1,16 @@
 // Microbenchmarks (google-benchmark) of the differential engine's
-// primitives and the view-materialization kernels.
+// primitives and the view-materialization kernels, plus a deterministic
+// end-to-end engine workload whose per-operator timings and trace gauges
+// are printed and written to BENCH_micro_differential.json.
 #include <benchmark/benchmark.h>
 
 #include "algorithms/algorithms.h"
+#include "bench_util.h"
 #include "common/random.h"
 #include "differential/differential.h"
 #include "graph/generators.h"
 #include "ordering/optimizer.h"
+#include "views/collection.h"
 #include "views/ebm.h"
 
 namespace gs {
@@ -151,7 +155,104 @@ void BM_ChristofidesOrdering(benchmark::State& state) {
 }
 BENCHMARK(BM_ChristofidesOrdering)->Arg(16)->Arg(64);
 
+// ---------------------------------------------------------------------------
+// Deterministic end-to-end engine workload. Unlike the micros above this
+// runs a fixed seed/shape every time, so its wall time, join throughput, and
+// per-operator breakdown are comparable across commits (the JSON is the
+// perf-trajectory record; see bench/run_all.sh).
+
+void RunEngineWorkload(bench::BenchReport* report) {
+  const size_t kNodes = 8000;
+  const size_t kEdges = 40000;
+  const size_t kViews = 10;
+  PropertyGraph graph = GeneratePowerLawGraph(kNodes, kEdges, 1.15, 33);
+  auto batches = bench::RandomPerturbationBatches(graph, kViews, 40, 40, 17);
+  auto mc =
+      views::CollectionFromDiffBatches("micro", "g", std::move(batches));
+  report->Meta()
+      .Int("nodes", kNodes)
+      .Int("edges", kEdges)
+      .Int("views", kViews);
+
+  struct Algo {
+    const char* name;
+    std::unique_ptr<analytics::Computation> computation;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"WCC", std::make_unique<analytics::Wcc>()});
+  algos.push_back(
+      {"BFS", std::make_unique<analytics::Bfs>(graph.edge(0).src)});
+  algos.push_back({"PR", std::make_unique<analytics::PageRank>(8)});
+
+  bench::PrintHeader("engine workload: per-operator breakdown (diff-only)");
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    for (const Algo& algo : algos) {
+      views::ExecutionOptions options;
+      options.strategy = splitting::Strategy::kDiffOnly;
+      options.dataflow.num_workers = workers;
+      Timer timer;
+      auto result = views::RunOnCollection(*algo.computation, graph, mc,
+                                           options);
+      GS_CHECK(result.ok()) << result.status().ToString();
+      double seconds = timer.Seconds();
+      const differential::DataflowStats& s = result->engine_stats;
+
+      std::printf("\n%s W=%zu: %.3fs | %llu join matches (%.2fM/s) | "
+                  "%llu updates | %llu reduce evals | %llu arrangement "
+                  "shares | %llu trace entries in %llu spine batches\n",
+                  algo.name, workers, seconds,
+                  static_cast<unsigned long long>(s.join_matches),
+                  seconds > 0
+                      ? static_cast<double>(s.join_matches) / seconds / 1e6
+                      : 0,
+                  static_cast<unsigned long long>(s.updates_published),
+                  static_cast<unsigned long long>(s.reduce_evaluations),
+                  static_cast<unsigned long long>(s.arrangement_shares),
+                  static_cast<unsigned long long>(s.trace_entries),
+                  static_cast<unsigned long long>(s.trace_spine_batches));
+      uint64_t total_nanos = 0;
+      for (const auto& [op, nanos] : s.op_nanos) total_nanos += nanos;
+      for (const auto& [op, nanos] : s.op_nanos) {
+        std::printf("  %-16s %8.1fms  (%4.1f%%)\n", op.c_str(),
+                    static_cast<double>(nanos) / 1e6,
+                    total_nanos > 0 ? 100.0 * static_cast<double>(nanos) /
+                                          static_cast<double>(total_nanos)
+                                    : 0);
+        report->AddRow()
+            .Str("row", "op_time")
+            .Str("algo", algo.name)
+            .Int("workers", workers)
+            .Str("op", op)
+            .Int("nanos", nanos);
+      }
+      report->AddRow()
+          .Str("row", "engine")
+          .Str("algo", algo.name)
+          .Int("workers", workers)
+          .Num("seconds", seconds)
+          .Int("join_matches", s.join_matches)
+          .Num("join_matches_per_s",
+               seconds > 0 ? static_cast<double>(s.join_matches) / seconds
+                           : 0)
+          .Int("updates_published", s.updates_published)
+          .Int("reduce_evaluations", s.reduce_evaluations)
+          .Int("arrangement_shares", s.arrangement_shares)
+          .Int("trace_entries", s.trace_entries)
+          .Int("trace_spine_batches", s.trace_spine_batches);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  gs::bench::BenchReport report("micro_differential");
+  gs::RunEngineWorkload(&report);
+  report.Write();
+  return 0;
+}

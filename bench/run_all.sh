@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects the machine-readable BENCH_*.json
+# reports. Usage:
+#   bench/run_all.sh [build_dir] [output_dir]
+# Defaults: build_dir=build, output_dir=<build_dir>/bench_json.
+# Build first with:
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/bench_json}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "error: ${BENCH_DIR} not found — build the project first" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+export GS_BENCH_JSON_DIR="${OUT_DIR}"
+
+BENCHES=(
+  micro_differential
+  table2_diff_vs_scratch
+  fig6_similar_views
+  fig7_nonoverlapping_views
+  table3_adaptive_splitting
+  table4_fig8_fig9_ordering
+  fig10_scalability
+  bounds_best_worst_case
+  graphbolt_style_pr_baseline
+)
+
+for bench in "${BENCHES[@]}"; do
+  bin="${BENCH_DIR}/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skipping ${bench} (not built)" >&2
+    continue
+  fi
+  echo "==> ${bench}"
+  "${bin}"
+done
+
+echo
+echo "JSON reports in ${OUT_DIR}:"
+ls -l "${OUT_DIR}"

@@ -15,7 +15,7 @@
 namespace gs::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport* report) {
   const size_t kEdges = 50000;
   const size_t kNodes = 10000;
   const size_t kViews = 12;
@@ -39,6 +39,8 @@ void Run() {
   PrintHeader("Table 2: diff-only vs scratch on controlled collections");
   std::printf("graph: %zu nodes, %zu edges, %zu views per collection\n",
               kNodes, kEdges, kViews);
+  report->Meta().Int("nodes", kNodes).Int("edges", kEdges).Int("views",
+                                                               kViews);
   const std::vector<int> widths = {14, 14, 12, 12, 10};
   PrintRow({"|diff sets|", "algorithm", "diff-only", "scratch", "winner"},
            widths);
@@ -62,18 +64,33 @@ void Run() {
       views::ExecutionOptions options;
       options.weight_column = weight_col;
       double diff_s = 0, scratch_s = 0;
+      differential::DataflowStats diff_stats;
       for (auto strategy :
            {splitting::Strategy::kDiffOnly, splitting::Strategy::kScratch}) {
         options.strategy = strategy;
         Timer timer;
         auto result = views::RunOnCollection(*algo.computation, g, mc, options);
         GS_CHECK(result.ok()) << result.status().ToString();
-        (strategy == splitting::Strategy::kDiffOnly ? diff_s : scratch_s) =
-            timer.Seconds();
+        if (strategy == splitting::Strategy::kDiffOnly) {
+          diff_s = timer.Seconds();
+          diff_stats = result->engine_stats;
+        } else {
+          scratch_s = timer.Seconds();
+        }
       }
       PrintRow({config.label, algo.name, Secs(diff_s), Secs(scratch_s),
                 diff_s < scratch_s ? "diff-only" : "scratch"},
                widths);
+      report->AddRow()
+          .Str("config", config.label)
+          .Str("algo", algo.name)
+          .Num("diff_only_s", diff_s)
+          .Num("scratch_s", scratch_s)
+          .Int("join_matches", diff_stats.join_matches)
+          .Num("join_matches_per_s",
+               diff_s > 0 ? static_cast<double>(diff_stats.join_matches) /
+                                diff_s
+                          : 0);
     }
   }
 }
@@ -82,6 +99,8 @@ void Run() {
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("table2_diff_vs_scratch");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

@@ -17,7 +17,7 @@ std::string YearWindow(int lo, int hi) {
          std::to_string(lo);
 }
 
-void Run() {
+void Run(BenchReport* report) {
   CitationGraphOptions copts;
   copts.first_year = 1936;
   copts.last_year = 2020;
@@ -27,6 +27,10 @@ void Run() {
   VertexId source = FirstSource(graph);
   std::printf("citation graph: %zu papers, %zu citations\n",
               graph.num_nodes(), graph.num_edges());
+  report->Meta()
+      .Int("nodes", graph.num_nodes())
+      .Int("edges", graph.num_edges())
+      .Str("workload", "mixed add/remove collections");
 
   Graphsurge system;
   GS_CHECK(system.AddGraph("pc", std::move(graph)).ok());
@@ -99,6 +103,7 @@ void Run() {
                 Secs(times.diff_only), Secs(times.scratch),
                 Secs(times.adaptive), std::to_string(times.adaptive_splits)},
                widths);
+      AddStrategyRow(report, algo.name, cname, (*mc)->num_views(), times);
     }
   }
 }
@@ -107,6 +112,8 @@ void Run() {
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("table3_adaptive_splitting");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

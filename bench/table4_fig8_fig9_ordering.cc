@@ -46,8 +46,8 @@ std::vector<std::function<bool(EdgeId)>> PerturbationPredicates(
   return predicates;
 }
 
-void RunDataset(const char* dataset_name, const CommunityGraph& cg,
-                size_t n, size_t k, uint64_t seed) {
+void RunDataset(BenchReport* report, const char* dataset_name,
+                const CommunityGraph& cg, size_t n, size_t k, uint64_t seed) {
   const PropertyGraph& g = cg.graph;
   std::printf("\n--- dataset %s: %zu nodes, %zu edges, C(%zu,%zu) = ",
               dataset_name, g.num_nodes(), g.num_edges(), n, k);
@@ -96,6 +96,12 @@ void RunDataset(const char* dataset_name, const CommunityGraph& cg,
                      static_cast<double>(orders[0].diffs)),
               Secs(o.cct)},
              widths);
+    report->AddRow()
+        .Str("dataset", dataset_name)
+        .Str("table", "table4")
+        .Str("order", o.label)
+        .Int("diffs", o.diffs)
+        .Num("cct_s", o.cct);
   }
 
   // Figures 8/9: runtimes per order, adaptive off and on.
@@ -158,11 +164,18 @@ void RunDataset(const char* dataset_name, const CommunityGraph& cg,
                 Secs(withadapt[a][c]),
                 c == 0 ? "-" : Factor(noadapt[a][c], noadapt[a][0])},
                w2);
+      report->AddRow()
+          .Str("dataset", dataset_name)
+          .Str("table", "fig8_9")
+          .Str("algo", algos[a].name)
+          .Str("order", orders[c].label)
+          .Num("noadapt_s", noadapt[a][c])
+          .Num("withadapt_s", withadapt[a][c]);
     }
   }
 }
 
-void Run() {
+void Run(BenchReport* report) {
   // LiveJournal analog: larger communities, denser.
   CommunityGraphOptions lj;
   lj.num_nodes = 7000;
@@ -182,14 +195,16 @@ void Run() {
   wtc.seed = 12;
   CommunityGraph wtc_graph = GenerateCommunityGraph(wtc);
 
-  RunDataset("LJ-analog", lj_graph, /*n=*/6, /*k=*/3, 101);
-  RunDataset("WTC-analog", wtc_graph, /*n=*/6, /*k=*/3, 202);
+  RunDataset(report, "LJ-analog", lj_graph, /*n=*/6, /*k=*/3, 101);
+  RunDataset(report, "WTC-analog", wtc_graph, /*n=*/6, /*k=*/3, 202);
 }
 
 }  // namespace
 }  // namespace gs::bench
 
 int main() {
-  gs::bench::Run();
+  gs::bench::BenchReport report("table4_fig8_fig9_ordering");
+  gs::bench::Run(&report);
+  report.Write();
   return 0;
 }

@@ -45,28 +45,39 @@ ResultStream Wcc::GraphAnalytics(dd::Dataflow* dataflow,
     out->push_back({e.src, e.dst});
     out->push_back({e.dst, e.src});
   });
-  auto adjacency = dd::Distinct(sym);
   auto labels0 = VerticesOf(edges).Map(
       [](const uint64_t& v) { return std::make_pair(v, static_cast<int64_t>(v)); });
+  auto propagate = [](const uint64_t&, const int64_t& label,
+                      const uint64_t& dst) {
+    return std::make_pair(dst, label);
+  };
 
+  if (dataflow->options().use_arrangements) {
+    // The deduplicated adjacency lives in the distinct-reduce's output
+    // trace; the loop probes it by reference instead of re-indexing it.
+    auto adjacency = dd::DistinctArranged(sym);
+    return dd::Iterate<VertexValue>(
+        labels0, [&](dd::LoopScope& scope, dd::Stream<VertexValue> inner) {
+          auto adj_in = adjacency.Enter(scope);
+          auto labels0_in = scope.Enter(labels0);
+          auto messages = dd::JoinArranged(inner, adj_in, propagate);
+          return dd::ReduceMin(messages.Concat(labels0_in));
+        });
+  }
+  auto adjacency = dd::Distinct(sym);
   return dd::Iterate<VertexValue>(
       labels0, [&](dd::LoopScope& scope, dd::Stream<VertexValue> inner) {
         auto adj_in = scope.Enter(adjacency);
         auto labels0_in = scope.Enter(labels0);
-        auto messages =
-            dd::Join(inner, adj_in,
-                     [](const uint64_t&, const int64_t& label,
-                        const uint64_t& dst) {
-                       return std::make_pair(dst, label);
-                     });
+        auto messages = dd::Join(inner, adj_in, propagate);
         return dd::ReduceMin(messages.Concat(labels0_in));
       });
 }
 
 ResultStream Bfs::GraphAnalytics(dd::Dataflow* dataflow,
                                  EdgeStream edges) const {
-  auto adjacency = dd::Distinct(edges.Map(
-      [](const WeightedEdge& e) { return KeyedU64{e.src, e.dst}; }));
+  auto hops = edges.Map(
+      [](const WeightedEdge& e) { return KeyedU64{e.src, e.dst}; });
   // The root exists only if the source has an outgoing edge in this view —
   // the paper picks the first vertex with an outgoing edge.
   VertexId source = source_;
@@ -75,16 +86,26 @@ ResultStream Bfs::GraphAnalytics(dd::Dataflow* dataflow,
           .Map([source](const WeightedEdge&) {
             return std::make_pair(source, int64_t{0});
           }));
+  auto step = [](const uint64_t&, const int64_t& dist, const uint64_t& dst) {
+    return std::make_pair(dst, dist + 1);
+  };
 
+  if (dataflow->options().use_arrangements) {
+    auto adjacency = dd::DistinctArranged(hops);
+    return dd::Iterate<VertexValue>(
+        roots, [&](dd::LoopScope& scope, dd::Stream<VertexValue> inner) {
+          auto adj_in = adjacency.Enter(scope);
+          auto roots_in = scope.Enter(roots);
+          auto messages = dd::JoinArranged(inner, adj_in, step);
+          return dd::ReduceMin(messages.Concat(roots_in));
+        });
+  }
+  auto adjacency = dd::Distinct(hops);
   return dd::Iterate<VertexValue>(
       roots, [&](dd::LoopScope& scope, dd::Stream<VertexValue> inner) {
         auto adj_in = scope.Enter(adjacency);
         auto roots_in = scope.Enter(roots);
-        auto messages = dd::Join(
-            inner, adj_in,
-            [](const uint64_t&, const int64_t& dist, const uint64_t& dst) {
-              return std::make_pair(dst, dist + 1);
-            });
+        auto messages = dd::Join(inner, adj_in, step);
         return dd::ReduceMin(messages.Concat(roots_in));
       });
 }
@@ -93,26 +114,36 @@ ResultStream BellmanFord::GraphAnalytics(dd::Dataflow* dataflow,
                                          EdgeStream edges) const {
   // Keep (dst, weight) pairs distinct — parallel equal-weight edges dedupe,
   // different weights both participate and ReduceMin picks the best.
-  auto adjacency = dd::Distinct(edges.Map([](const WeightedEdge& e) {
+  auto weighted = edges.Map([](const WeightedEdge& e) {
     return std::make_pair(e.src, std::make_pair(e.dst, e.weight));
-  }));
+  });
   VertexId source = source_;
   auto roots = dd::Distinct(
       edges.Filter([source](const WeightedEdge& e) { return e.src == source; })
           .Map([source](const WeightedEdge&) {
             return std::make_pair(source, int64_t{0});
           }));
+  auto relax = [](const uint64_t&, const int64_t& dist,
+                  const std::pair<uint64_t, int64_t>& edge) {
+    return std::make_pair(edge.first, dist + edge.second);
+  };
 
+  if (dataflow->options().use_arrangements) {
+    auto adjacency = dd::DistinctArranged(weighted);
+    return dd::Iterate<VertexValue>(
+        roots, [&](dd::LoopScope& scope, dd::Stream<VertexValue> inner) {
+          auto adj_in = adjacency.Enter(scope);
+          auto roots_in = scope.Enter(roots);
+          auto messages = dd::JoinArranged(inner, adj_in, relax);
+          return dd::ReduceMin(messages.Concat(roots_in));
+        });
+  }
+  auto adjacency = dd::Distinct(weighted);
   return dd::Iterate<VertexValue>(
       roots, [&](dd::LoopScope& scope, dd::Stream<VertexValue> inner) {
         auto adj_in = scope.Enter(adjacency);
         auto roots_in = scope.Enter(roots);
-        auto messages = dd::Join(
-            inner, adj_in,
-            [](const uint64_t&, const int64_t& dist,
-               const std::pair<uint64_t, int64_t>& edge) {
-              return std::make_pair(edge.first, dist + edge.second);
-            });
+        auto messages = dd::Join(inner, adj_in, relax);
         return dd::ReduceMin(messages.Concat(roots_in));
       });
 }
@@ -123,13 +154,50 @@ ResultStream PageRank::GraphAnalytics(dd::Dataflow* dataflow,
   // Out-edges keep multiplicity: each parallel edge carries its own share.
   auto out_edges = edges.Map(
       [](const WeightedEdge& e) { return KeyedU64{e.src, e.dst}; });
-  auto degrees = dd::Count(out_edges);  // (v, outdeg)
   auto base_ranks = VerticesOf(edges).Map([](const uint64_t& v) {
     return std::make_pair(v, Base());
   });
+  auto to_share = [](const uint64_t& v, const int64_t& rank,
+                     const int64_t& deg) {
+    return std::make_pair(v, Damp(rank) / deg);
+  };
+  auto to_contribution = [](const uint64_t&, const int64_t& share,
+                            const uint64_t& dst) {
+    return std::make_pair(dst, share);
+  };
+  // rank = base + Σ contributions; summing the concat of the base
+  // collection and the contributions computes exactly that.
+  auto sum_ranks = [](const uint64_t&, const dd::Batch<int64_t>& in,
+                      dd::Batch<int64_t>* out) {
+    int64_t total = 0;
+    for (const auto& u : in) total += u.data * u.diff;
+    out->push_back(dd::Update<int64_t>{total, 1});
+  };
 
   dd::IterateOptions options;
   options.max_iterations = iterations_ - 1;
+
+  if (dataflow->options().use_arrangements) {
+    // The edge set is arranged once; the same trace backs the degree count
+    // and the contribution join, and the degree count's output trace backs
+    // the share join — no operator-private edge or degree index remains.
+    auto edges_arr = dd::Arrange(out_edges);
+    auto degrees_arr = dd::CountArranged(edges_arr);  // (v, outdeg)
+    return dd::Iterate<VertexValue>(
+        base_ranks,
+        [&](dd::LoopScope& scope, dd::Stream<VertexValue> ranks) {
+          auto degrees_in = degrees_arr.Enter(scope);
+          auto edges_in = edges_arr.Enter(scope);
+          auto base_in = scope.Enter(base_ranks);
+          auto shares = dd::JoinArranged(ranks, degrees_in, to_share);
+          auto contributions =
+              dd::JoinArranged(shares, edges_in, to_contribution);
+          return dd::Reduce<int64_t>(contributions.Concat(base_in),
+                                     sum_ranks);
+        },
+        options);
+  }
+  auto degrees = dd::Count(out_edges);  // (v, outdeg)
   return dd::Iterate<VertexValue>(
       base_ranks,
       [&](dd::LoopScope& scope, dd::Stream<VertexValue> ranks) {
@@ -137,26 +205,10 @@ ResultStream PageRank::GraphAnalytics(dd::Dataflow* dataflow,
         auto edges_in = scope.Enter(out_edges);
         auto base_in = scope.Enter(base_ranks);
         // Per-vertex share of its rank along each out-edge.
-        auto shares = dd::Join(
-            ranks, degrees_in,
-            [](const uint64_t& v, const int64_t& rank, const int64_t& deg) {
-              return std::make_pair(v, Damp(rank) / deg);
-            });
-        auto contributions = dd::Join(
-            shares, edges_in,
-            [](const uint64_t&, const int64_t& share, const uint64_t& dst) {
-              return std::make_pair(dst, share);
-            });
-        // rank = base + Σ contributions; summing the concat of the base
-        // collection and the contributions computes exactly that.
-        auto next = dd::Reduce<int64_t>(
-            contributions.Concat(base_in),
-            [](const uint64_t&, const dd::Batch<int64_t>& in,
-               dd::Batch<int64_t>* out) {
-              int64_t total = 0;
-              for (const auto& u : in) total += u.data * u.diff;
-              out->push_back(dd::Update<int64_t>{total, 1});
-            });
+        auto shares = dd::Join(ranks, degrees_in, to_share);
+        auto contributions = dd::Join(shares, edges_in, to_contribution);
+        auto next =
+            dd::Reduce<int64_t>(contributions.Concat(base_in), sum_ranks);
         return next;
       },
       options);
@@ -167,9 +219,9 @@ ResultStream Mpsp::GraphAnalytics(dd::Dataflow* dataflow,
   GS_CHECK(pairs_.size() <= 256) << "MPSP supports at most 256 pairs";
   using Tagged = std::pair<uint64_t, std::pair<int64_t, int64_t>>;
 
-  auto adjacency = dd::Distinct(edges.Map([](const WeightedEdge& e) {
+  auto weighted = edges.Map([](const WeightedEdge& e) {
     return std::make_pair(e.src, std::make_pair(e.dst, e.weight));
-  }));
+  });
 
   // One root per pair whose source has an outgoing edge, tagged with the
   // pair index so propagations stay independent.
@@ -193,29 +245,43 @@ ResultStream Mpsp::GraphAnalytics(dd::Dataflow* dataflow,
         });
   }
 
-  auto dists = dd::Iterate<Tagged>(
-      roots, [&](dd::LoopScope& scope, dd::Stream<Tagged> inner) {
-        auto adj_in = scope.Enter(adjacency);
-        auto roots_in = scope.Enter(roots);
-        auto messages = dd::Join(
-            inner, adj_in,
-            [](const uint64_t&, const std::pair<int64_t, int64_t>& tag_dist,
-               const std::pair<uint64_t, int64_t>& edge) {
-              return Tagged{edge.first,
-                            {tag_dist.first, tag_dist.second + edge.second}};
-            });
-        // Min distance per (vertex, pair-index).
-        auto keyed = messages.Concat(roots_in).Map([](const Tagged& t) {
-          return std::make_pair(PackKey(t.first, t.second.first),
-                                t.second.second);
+  auto relax = [](const uint64_t&, const std::pair<int64_t, int64_t>& tag_dist,
+                  const std::pair<uint64_t, int64_t>& edge) {
+    return Tagged{edge.first, {tag_dist.first, tag_dist.second + edge.second}};
+  };
+  auto body = [&](dd::LoopScope& scope, dd::Stream<Tagged> inner,
+                  dd::Stream<Tagged> messages) {
+    auto roots_in = scope.Enter(roots);
+    // Min distance per (vertex, pair-index).
+    auto keyed = messages.Concat(roots_in).Map([](const Tagged& t) {
+      return std::make_pair(PackKey(t.first, t.second.first),
+                            t.second.second);
+    });
+    auto best = dd::ReduceMin(keyed);
+    return best.Map([](const VertexValue& kv) {
+      return Tagged{UnpackVertex(kv.first),
+                    {static_cast<int64_t>(UnpackPair(kv.first)), kv.second}};
+    });
+  };
+
+  dd::Stream<Tagged> dists;
+  if (dataflow->options().use_arrangements) {
+    auto adjacency = dd::DistinctArranged(weighted);
+    dists = dd::Iterate<Tagged>(
+        roots, [&](dd::LoopScope& scope, dd::Stream<Tagged> inner) {
+          auto adj_in = adjacency.Enter(scope);
+          auto messages = dd::JoinArranged(inner, adj_in, relax);
+          return body(scope, inner, messages);
         });
-        auto best = dd::ReduceMin(keyed);
-        return best.Map([](const VertexValue& kv) {
-          return Tagged{UnpackVertex(kv.first),
-                        {static_cast<int64_t>(UnpackPair(kv.first)),
-                         kv.second}};
+  } else {
+    auto adjacency = dd::Distinct(weighted);
+    dists = dd::Iterate<Tagged>(
+        roots, [&](dd::LoopScope& scope, dd::Stream<Tagged> inner) {
+          auto adj_in = scope.Enter(adjacency);
+          auto messages = dd::Join(inner, adj_in, relax);
+          return body(scope, inner, messages);
         });
-      });
+  }
   return dists.Map([](const Tagged& t) {
     return std::make_pair(PackKey(t.first, t.second.first), t.second.second);
   });
@@ -244,6 +310,7 @@ ResultStream Scc::GraphAnalytics(dd::Dataflow* dataflow,
     return SccRec{kEdge, e.first, static_cast<int64_t>(e.second)};
   });
 
+  const bool use_arrangements = dataflow->options().use_arrangements;
   auto final_state = dd::Iterate<SccRec>(
       state0, [&](dd::LoopScope& outer, dd::Stream<SccRec> state) {
         auto active = state
@@ -266,44 +333,72 @@ ResultStream Scc::GraphAnalytics(dd::Dataflow* dataflow,
           return std::make_pair(v, static_cast<int64_t>(v));
         });
 
-        // Inner loop 1: forward color propagation — col(v) = max id with a
-        // path to v in the active subgraph.
-        auto colors = dd::Iterate<VertexValue>(
-            init_colors,
-            [&](dd::LoopScope& inner, dd::Stream<VertexValue> c) {
-              auto edges_in = inner.Enter(active);
-              auto init_in = inner.Enter(init_colors);
-              auto moved = dd::Join(
-                  c, edges_in,
-                  [](const uint64_t&, const int64_t& color,
-                     const uint64_t& dst) {
-                    return std::make_pair(dst, color);
-                  });
-              return dd::ReduceMax(moved.Concat(init_in));
-            });
+        auto move_color = [](const uint64_t&, const int64_t& color,
+                             const uint64_t& dst) {
+          return std::make_pair(dst, color);
+        };
+        auto attach_src_color = [](const uint64_t& src, const uint64_t& dst,
+                                   const int64_t& color) {
+          return std::make_pair(dst, std::make_pair(src, color));
+        };
+        auto compare_colors = [](const uint64_t& dst,
+                                 const std::pair<uint64_t, int64_t>& src_col,
+                                 const int64_t& dst_color) {
+          return std::make_tuple(dst, src_col.first,
+                                 src_col.second == dst_color);
+        };
+        auto keep_same_color =
+            [](const std::tuple<uint64_t, uint64_t, bool>& t) {
+              return std::get<2>(t);
+            };
+        auto reverse_edge = [](const std::tuple<uint64_t, uint64_t, bool>& t) {
+          return KeyedU64{std::get<0>(t), std::get<1>(t)};
+        };
+        auto move_member = [](const uint64_t&, const int64_t& color,
+                              const uint64_t& upstream) {
+          return std::make_pair(upstream, color);
+        };
 
-        // Edges whose endpoints share a color (membership may only flow
-        // through them), reversed for backward propagation: (dst, src).
-        auto with_src_color = dd::Join(
-            active, colors,
-            [](const uint64_t& src, const uint64_t& dst,
-               const int64_t& color) {
-              return std::make_pair(dst, std::make_pair(src, color));
-            });
-        auto same_color_rev =
-            dd::Join(with_src_color, colors,
-                     [](const uint64_t& dst,
-                        const std::pair<uint64_t, int64_t>& src_col,
-                        const int64_t& dst_color) {
-                       return std::make_tuple(dst, src_col.first,
-                                              src_col.second == dst_color);
-                     })
-                .Filter([](const std::tuple<uint64_t, uint64_t, bool>& t) {
-                  return std::get<2>(t);
-                })
-                .Map([](const std::tuple<uint64_t, uint64_t, bool>& t) {
-                  return KeyedU64{std::get<0>(t), std::get<1>(t)};
-                });
+        // Inner loop 1: forward color propagation — col(v) = max id with a
+        // path to v in the active subgraph. Then edges whose endpoints share
+        // a color (membership may only flow through them), reversed for
+        // backward propagation: (dst, src). With arrangements, the active
+        // edge set is indexed once per peeling round and shared between the
+        // color loop and the src-color join, and the color collection is
+        // arranged once for both sides of the same-color test.
+        dd::Stream<VertexValue> colors;
+        dd::Stream<KeyedU64> same_color_rev;
+        if (use_arrangements) {
+          auto active_arr = dd::Arrange(active);
+          colors = dd::Iterate<VertexValue>(
+              init_colors,
+              [&](dd::LoopScope& inner, dd::Stream<VertexValue> c) {
+                auto edges_in = active_arr.Enter(inner);
+                auto init_in = inner.Enter(init_colors);
+                auto moved = dd::JoinArranged(c, edges_in, move_color);
+                return dd::ReduceMax(moved.Concat(init_in));
+              });
+          auto colors_arr = dd::Arrange(colors);
+          auto with_src_color =
+              dd::JoinArranged(active_arr, colors_arr, attach_src_color);
+          same_color_rev =
+              dd::JoinArranged(with_src_color, colors_arr, compare_colors)
+                  .Filter(keep_same_color)
+                  .Map(reverse_edge);
+        } else {
+          colors = dd::Iterate<VertexValue>(
+              init_colors,
+              [&](dd::LoopScope& inner, dd::Stream<VertexValue> c) {
+                auto edges_in = inner.Enter(active);
+                auto init_in = inner.Enter(init_colors);
+                auto moved = dd::Join(c, edges_in, move_color);
+                return dd::ReduceMax(moved.Concat(init_in));
+              });
+          auto with_src_color = dd::Join(active, colors, attach_src_color);
+          same_color_rev = dd::Join(with_src_color, colors, compare_colors)
+                               .Filter(keep_same_color)
+                               .Map(reverse_edge);
+        }
 
         // Roots: vertices that are their own color.
         auto roots = colors.Filter([](const VertexValue& vc) {
@@ -312,18 +407,25 @@ ResultStream Scc::GraphAnalytics(dd::Dataflow* dataflow,
 
         // Inner loop 2: backward membership — v joins the SCC of color c if
         // some same-color edge (v, w) has member w.
-        auto members = dd::Iterate<VertexValue>(
-            roots, [&](dd::LoopScope& inner, dd::Stream<VertexValue> m) {
-              auto rev_in = inner.Enter(same_color_rev);
-              auto roots_in = inner.Enter(roots);
-              auto moved = dd::Join(
-                  m, rev_in,
-                  [](const uint64_t&, const int64_t& color,
-                     const uint64_t& upstream) {
-                    return std::make_pair(upstream, color);
-                  });
-              return dd::ReduceMin(moved.Concat(roots_in));
-            });
+        dd::Stream<VertexValue> members;
+        if (use_arrangements) {
+          auto rev_arr = dd::Arrange(same_color_rev);
+          members = dd::Iterate<VertexValue>(
+              roots, [&](dd::LoopScope& inner, dd::Stream<VertexValue> m) {
+                auto rev_in = rev_arr.Enter(inner);
+                auto roots_in = inner.Enter(roots);
+                auto moved = dd::JoinArranged(m, rev_in, move_member);
+                return dd::ReduceMin(moved.Concat(roots_in));
+              });
+        } else {
+          members = dd::Iterate<VertexValue>(
+              roots, [&](dd::LoopScope& inner, dd::Stream<VertexValue> m) {
+                auto rev_in = inner.Enter(same_color_rev);
+                auto roots_in = inner.Enter(roots);
+                auto moved = dd::Join(m, rev_in, move_member);
+                return dd::ReduceMin(moved.Concat(roots_in));
+              });
+        }
 
         // Remove settled vertices: antijoin on src, then on dst.
         auto settled = members.Map([](const VertexValue& vc) {

@@ -25,6 +25,11 @@ class Timer {
                                                                  start_)
         .count();
   }
+  int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -29,6 +29,7 @@
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "common/timer.h"
 #include "differential/scheduler.h"
 #include "differential/time.h"
 #include "differential/update.h"
@@ -53,6 +54,12 @@ struct DataflowOptions {
   uint64_t max_events_per_version = 1ull << 34;
   /// Default cap on loop iterations (Iterate may override per-scope).
   uint32_t max_iterations = 1u << 20;
+  /// When true (default), algorithm builders index shared collections once
+  /// per shard through Arrange() (arrange.h) and probe the shared trace from
+  /// every consumer. When false they fall back to per-operator private
+  /// traces (the pre-arrangement plan shape) — kept selectable so
+  /// equivalence tests can compare the two plans on identical input.
+  bool use_arrangements = true;
 };
 
 /// Aggregate counters. `updates_published` is the engine's measure of work
@@ -69,6 +76,20 @@ struct DataflowStats {
   uint64_t reduce_evaluations = 0;
   uint64_t batches_published = 0;
   uint64_t exchanged_updates = 0;  // updates routed to a different shard
+  /// Consumers attached to a shared arrangement (JoinArranged /
+  /// ReduceArranged endpoints), counted at graph construction. Each share is
+  /// one private trace the pre-arrangement plan would have built and
+  /// maintained redundantly.
+  uint64_t arrangement_shares = 0;
+  /// Trace-size gauges, refreshed at each SealPhase: total entries and
+  /// spine batches across all operator-owned traces, post-compaction.
+  /// Merge() sums them, so a sharded aggregate is the fleet-wide total.
+  uint64_t trace_entries = 0;
+  uint64_t trace_spine_batches = 0;
+  /// Wall time spent inside RunAt per operator name, folded in at each
+  /// SealPhase. A stateful operator's RunAt includes the synchronous linear
+  /// subscribers it feeds (map/filter chains run inside Publish).
+  std::map<std::string, uint64_t> op_nanos;
   /// Work attributed to each key shard (hash(key) % num_workers) by keyed
   /// operators. The scalability bench derives the modeled critical-path
   /// time of a W-worker run as max(shard_work) / mean(shard_work). In
@@ -90,6 +111,12 @@ struct DataflowStats {
     reduce_evaluations += other.reduce_evaluations;
     batches_published += other.batches_published;
     exchanged_updates += other.exchanged_updates;
+    arrangement_shares += other.arrangement_shares;
+    trace_entries += other.trace_entries;
+    trace_spine_batches += other.trace_spine_batches;
+    for (const auto& [name, nanos] : other.op_nanos) {
+      op_nanos[name] += nanos;
+    }
     if (shard_work.size() < other.shard_work.size()) {
       shard_work.resize(other.shard_work.size(), 0);
     }
@@ -124,6 +151,14 @@ class OperatorBase {
   /// Hook called after a version reaches quiescence (traces compact here).
   virtual void OnVersionSealed(uint32_t version) {}
 
+  /// Returns and resets the wall time this operator spent in RunAt since
+  /// the last call (folded into DataflowStats::op_nanos at each seal).
+  uint64_t TakeRunNanos() {
+    uint64_t nanos = run_nanos_;
+    run_nanos_ = 0;
+    return nanos;
+  }
+
  protected:
   /// Schedules RunAt(t) unless one is already pending for t.
   void RequestRun(const Time& time);
@@ -136,6 +171,7 @@ class OperatorBase {
  private:
   uint32_t order_ = 0;
   std::string name_;
+  uint64_t run_nanos_ = 0;
   std::set<Time, TimeLexLess> run_pending_;
 };
 
@@ -351,7 +387,15 @@ class Dataflow {
 
   /// Phase 3: seal the version (trace compaction) and advance.
   void SealPhase() {
-    for (OperatorBase* op : registered_) op->OnVersionSealed(version_);
+    // The trace gauges are re-reported by every trace-owning operator from
+    // its OnVersionSealed (post-compaction), so reset them first.
+    stats_.trace_entries = 0;
+    stats_.trace_spine_batches = 0;
+    for (OperatorBase* op : registered_) {
+      op->OnVersionSealed(version_);
+      uint64_t nanos = op->TakeRunNanos();
+      if (nanos != 0) stats_.op_nanos[op->name()] += nanos;
+    }
     ++version_;
   }
 
@@ -390,15 +434,21 @@ inline void OperatorBase::RequestRun(const Time& time) {
   if (!run_pending_.insert(time).second) return;
   dataflow_->scheduler().Schedule(time, order_, [this, time] {
     run_pending_.erase(time);
+    Timer timer;
     RunAt(time);
+    run_nanos_ += static_cast<uint64_t>(timer.Nanos());
   });
 }
 
 template <typename D>
 void Publisher<D>::Publish(Dataflow* dataflow, const Time& time,
                            Batch<D>&& batch) {
-  Consolidate(&batch);
+  // Empty batches publish nothing and count nothing: no stats, no subscriber
+  // callbacks, no downstream RunAt scheduling. Checked both before and after
+  // consolidation (a batch of cancelling diffs consolidates to empty).
   if (batch.empty() || subscribers_.empty()) return;
+  Consolidate(&batch);
+  if (batch.empty()) return;
   dataflow->stats().updates_published += batch.size();
   dataflow->stats().batches_published += 1;
   // Synchronous fan-out: linear subscribers process (and re-publish)

@@ -7,6 +7,7 @@
 #ifndef GRAPHSURGE_DIFFERENTIAL_DIFFERENTIAL_H_
 #define GRAPHSURGE_DIFFERENTIAL_DIFFERENTIAL_H_
 
+#include "differential/arrange.h"    // IWYU pragma: export
 #include "differential/dataflow.h"   // IWYU pragma: export
 #include "differential/exchange.h"   // IWYU pragma: export
 #include "differential/iterate.h"    // IWYU pragma: export

@@ -41,6 +41,10 @@ class JoinOp : public OperatorBase {
   void OnVersionSealed(uint32_t version) override {
     left_.CompactTo(version);
     right_.CompactTo(version);
+    dataflow_->stats().trace_entries +=
+        left_.total_entries() + right_.total_entries();
+    dataflow_->stats().trace_spine_batches +=
+        left_.num_spine_batches() + right_.num_spine_batches();
   }
 
  private:
@@ -55,26 +59,26 @@ class JoinOp : public OperatorBase {
     // concurrent left batch — each (δl, δr) pair contributes exactly once.
     for (const auto& u : left_batch) {
       const K& key = u.data.first;
-      if (const auto* history = right_.Get(key)) {
-        for (const auto& entry : *history) {
-          dataflow_->stats().join_matches++;
-          dataflow_->stats().AddShardWork(HashValue(key), 1);
-          out[time.Lub(entry.time)].push_back(Update<Out>{
-              fn_(key, u.data.second, entry.value), u.diff * entry.diff});
-        }
-      }
+      const uint64_t key_hash = HashValue(key);
+      right_.ForEach(key, [&](const V2& value, const Time& entry_time,
+                              Diff entry_diff) {
+        dataflow_->stats().join_matches++;
+        dataflow_->stats().AddShardWork(key_hash, 1);
+        out[time.Lub(entry_time)].push_back(Update<Out>{
+            fn_(key, u.data.second, value), u.diff * entry_diff});
+      });
       left_.Insert(key, u.data.second, time, u.diff);
     }
     for (const auto& u : right_batch) {
       const K& key = u.data.first;
-      if (const auto* history = left_.Get(key)) {
-        for (const auto& entry : *history) {
-          dataflow_->stats().join_matches++;
-          dataflow_->stats().AddShardWork(HashValue(key), 1);
-          out[time.Lub(entry.time)].push_back(Update<Out>{
-              fn_(key, entry.value, u.data.second), entry.diff * u.diff});
-        }
-      }
+      const uint64_t key_hash = HashValue(key);
+      left_.ForEach(key, [&](const V1& value, const Time& entry_time,
+                             Diff entry_diff) {
+        dataflow_->stats().join_matches++;
+        dataflow_->stats().AddShardWork(key_hash, 1);
+        out[time.Lub(entry_time)].push_back(Update<Out>{
+            fn_(key, value, u.data.second), entry_diff * u.diff});
+      });
       right_.Insert(key, u.data.second, time, u.diff);
     }
     for (auto& [t, batch] : out) {

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "differential/arrange.h"
 #include "differential/dataflow.h"
 #include "differential/exchange.h"
 #include "differential/trace.h"
@@ -28,12 +29,34 @@ namespace gs::differential {
 /// positive; transiently negative counts are possible mid-fixpoint and must
 /// be tolerated) and `output` receives the desired output multiset.
 /// Keys whose input multiset is empty produce no output (DD convention).
+///
+/// The input history is either owned (stream constructor: the operator
+/// indexes its exchanged input itself) or shared (Arranged constructor: the
+/// operator reads the arrangement's trace and only tracks which keys were
+/// touched — no second copy of the index). The output history doubles as an
+/// arrangement: arranged() exposes it for downstream sharing, which is
+/// sound because the deltas are inserted into the output trace before they
+/// are published.
 template <typename K, typename V, typename Out, typename Fn>
 class ReduceOp : public OperatorBase {
  public:
   ReduceOp(Dataflow* dataflow, Stream<std::pair<K, V>> in, Fn fn)
-      : OperatorBase(dataflow, "reduce"), fn_(std::move(fn)) {
+      : OperatorBase(dataflow, "reduce"),
+        fn_(std::move(fn)),
+        input_(&owned_input_) {
     in.publisher()->Subscribe(
+        order(), [this](const Time& t, const Batch<std::pair<K, V>>& b) {
+          port_.Append(t, b);
+          RequestRun(t);
+        });
+  }
+
+  ReduceOp(Dataflow* dataflow, const Arranged<K, V>& in, Fn fn)
+      : OperatorBase(dataflow, "reduce"),
+        fn_(std::move(fn)),
+        input_(in.trace()) {
+    dataflow->stats().arrangement_shares++;
+    in.deltas().publisher()->Subscribe(
         order(), [this](const Time& t, const Batch<std::pair<K, V>>& b) {
           port_.Append(t, b);
           RequestRun(t);
@@ -44,9 +67,22 @@ class ReduceOp : public OperatorBase {
     return Stream<std::pair<K, Out>>(dataflow_, &output_);
   }
 
+  /// The output history as a shared arrangement (already key-partitioned:
+  /// the input was exchanged by key and the output is keyed the same way).
+  Arranged<K, Out> arranged() {
+    return Arranged<K, Out>(&output_trace_, stream());
+  }
+
   void OnVersionSealed(uint32_t version) override {
-    input_.CompactTo(version);
+    const bool owns_input = input_ == &owned_input_;
+    if (owns_input) owned_input_.CompactTo(version);
     output_trace_.CompactTo(version);
+    dataflow_->stats().trace_entries +=
+        (owns_input ? owned_input_.total_entries() : 0) +
+        output_trace_.total_entries();
+    dataflow_->stats().trace_spine_batches +=
+        (owns_input ? owned_input_.num_spine_batches() : 0) +
+        output_trace_.num_spine_batches();
   }
 
  private:
@@ -66,8 +102,11 @@ class ReduceOp : public OperatorBase {
       pending_keys_.erase(pending);
     }
     keys.reserve(keys.size() + batch.size());
+    const bool owns_input = input_ == &owned_input_;
     for (const auto& u : batch) {
-      input_.Insert(u.data.first, u.data.second, time, u.diff);
+      if (owns_input) {
+        owned_input_.Insert(u.data.first, u.data.second, time, u.diff);
+      }
       keys.push_back(u.data.first);
     }
     std::sort(keys.begin(), keys.end());
@@ -78,7 +117,10 @@ class ReduceOp : public OperatorBase {
     for (const K& key : keys) {
       EvaluateKeyAt(key, time, &out);
     }
-    output_.Publish(dataflow_, time, std::move(out));
+    // All per-key deltas may cancel (e.g. a retraction and re-assertion of
+    // the same minimum); publishing the empty batch would still bump stats
+    // and wake subscribers for nothing.
+    if (!out.empty()) output_.Publish(dataflow_, time, std::move(out));
   }
 
   // Registers a future re-evaluation of `key` at `u`.
@@ -91,20 +133,21 @@ class ReduceOp : public OperatorBase {
   // times.
   void EvaluateKeyAt(const K& key, const Time& time,
                      Batch<std::pair<K, Out>>* out) {
-    const auto* history = input_.Get(key);
-    if (history == nullptr) return;
-
-    for (const auto& entry : *history) {
-      Time lub = time.Lub(entry.time);
+    // No early-out on an empty input history: eager spine consolidation can
+    // cancel a key's input to nothing while an output retraction is still
+    // owed, so the (empty input → empty desired → negative delta) path must
+    // always run.
+    input_->ForEach(key, [&](const V&, const Time& entry_time, Diff) {
+      Time lub = time.Lub(entry_time);
       if (!(lub == time)) ScheduleKeyVisit(lub, key);
-    }
+    });
 
     dataflow_->stats().reduce_evaluations++;
     // Member scratch buffers: EvaluateKeyAt runs millions of times; per-call
     // vector allocations dominate otherwise.
     Batch<V>& in_u = scratch_in_;
     in_u.clear();
-    input_.Accumulate(key, time, &in_u);
+    input_->Accumulate(key, time, &in_u);
 
     Batch<Out>& desired = scratch_desired_;
     desired.clear();
@@ -146,7 +189,8 @@ class ReduceOp : public OperatorBase {
   Fn fn_;
   InputPort<std::pair<K, V>> port_;
   std::map<Time, std::set<K>, TimeLexLess> pending_keys_;
-  Trace<K, V> input_;
+  Trace<K, V> owned_input_;
+  const Trace<K, V>* input_;  // &owned_input_ or a shared arrangement
   Trace<K, Out> output_trace_;
   Publisher<std::pair<K, Out>> output_;
   Batch<V> scratch_in_;
@@ -216,6 +260,53 @@ Stream<D> Distinct(Stream<D> in) {
         if (total > 0) output->push_back(Update<bool>{true, 1});
       });
   return reduced.Map([](const std::pair<D, bool>& p) { return p.first; });
+}
+
+/// Groups a shared arrangement and applies `fn` per key. No input index is
+/// built — the reduce reads the arrangement's trace directly.
+template <typename Out, typename K, typename V, typename Fn>
+Stream<std::pair<K, Out>> ReduceArranged(const Arranged<K, V>& in, Fn fn) {
+  auto* op =
+      in.dataflow()->template AddOperator<ReduceOp<K, V, Out, Fn>>(
+          in, std::move(fn));
+  return op->stream();
+}
+
+/// Per-key set-semantics projection producing a shared arrangement: each
+/// (key, value) with positive net count appears exactly once, and the
+/// deduplicated index is owned by the reduce's output trace — the canonical
+/// way to build a deduplicated adjacency arrangement (key = src,
+/// value = dst) that many joins then probe for free.
+template <typename K, typename V>
+Arranged<K, V> DistinctArranged(Stream<std::pair<K, V>> in) {
+  in = ExchangeByKey(in);
+  auto fn = [](const K&, const Batch<V>& input, Batch<V>* output) {
+    // `input` is consolidated: one entry per distinct value with its net
+    // count.
+    for (const Update<V>& u : input) {
+      if (u.diff > 0) output->push_back(Update<V>{u.data, 1});
+    }
+  };
+  auto* op =
+      in.dataflow()->template AddOperator<ReduceOp<K, V, V, decltype(fn)>>(
+          in, std::move(fn));
+  return op->arranged();
+}
+
+/// Per-key count over a shared arrangement, itself exposed as an
+/// arrangement (e.g. out-degrees over an arranged edge set).
+template <typename K, typename V>
+Arranged<K, int64_t> CountArranged(const Arranged<K, V>& in) {
+  auto fn = [](const K&, const Batch<V>& input, Batch<int64_t>* output) {
+    Diff total = 0;
+    for (const Update<V>& u : input) total += u.diff;
+    if (total != 0) output->push_back(Update<int64_t>{total, 1});
+  };
+  auto* op =
+      in.dataflow()
+          ->template AddOperator<ReduceOp<K, V, int64_t, decltype(fn)>>(
+              in, std::move(fn));
+  return op->arranged();
 }
 
 }  // namespace gs::differential

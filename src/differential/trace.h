@@ -1,136 +1,280 @@
-// Keyed traces (DD "arrangements"): per-key histories of timestamped value
-// updates. Join and Reduce are built on traces; traces compact once a
-// version is sealed (no future batch can carry an earlier version).
+// Keyed traces: per-key histories of timestamped value updates, the storage
+// behind joins, reductions, and shared arrangements (arrange.h).
+//
+// Storage is an LSM-style spine of sorted immutable batches plus a small
+// unsorted tail:
+//
+//   tail_   — recent Inserts, appended in O(1); sealed into a sorted batch
+//             when it reaches a threshold (never by probes, so the
+//             insert/probe interleaving of reduce cannot shatter the spine
+//             into tiny batches).
+//   spine_  — sorted immutable batches ordered by (key, value, lex time).
+//             Sealing maintains a geometric size invariant by merging the
+//             youngest batches, so the spine holds O(log n) batches and
+//             insertion is amortized O(log n) like any LSM.
+//
+// Probes are cursor-based: ForEach/Accumulate binary-search each spine
+// batch for the key's contiguous range and scan the (bounded) tail, so a
+// key's history is read from O(log n) cache-friendly runs instead of a
+// pointer-chased per-key vector. Compaction happens at merge time: once a
+// version is sealed (no future batch can carry an earlier version), any
+// batch still holding older versions is rewritten to the sealed frontier —
+// legal because every future probe or lub time has version ≥ the frontier,
+// so its product-order relation to rewritten entries is unchanged — and
+// equal (key, value, time) entries then cancel. Full-spine merges are
+// amortized: CompactTo runs one only after at least half the trace is new
+// since the last merge, so sealing a version never rescans a quiescent
+// trace. Iteration coordinates are never collapsed: a future probe at
+// (v', j) must still see exactly the entries with iteration ≤ j.
 #ifndef GRAPHSURGE_DIFFERENTIAL_TRACE_H_
 #define GRAPHSURGE_DIFFERENTIAL_TRACE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "common/hash.h"
 #include "differential/time.h"
 #include "differential/update.h"
 
 namespace gs::differential {
 
-/// Per-key history of (value, time, diff) entries.
+/// Keyed multiversioned index of (key, value, time, diff) updates.
+/// Key and value types need operator< and operator==.
 template <typename K, typename V>
 class Trace {
  public:
   struct Entry {
+    K key;
     V value;
     Time time;
     Diff diff;
   };
-  using History = std::vector<Entry>;
 
   void Insert(const K& key, const V& value, const Time& time, Diff diff) {
     if (diff == 0) return;
-    History& h = map_[key];
-    h.push_back(Entry{value, time, diff});
-    total_entries_++;
-    dirty_.push_back(key);
-    // Lazy per-key compaction keeps hot keys bounded between seals.
-    if (h.size() >= 64 && h.size() % 64 == 0) {
-      size_t before = h.size();
-      CompactHistory(&h, sealed_version_);
-      total_entries_ -= before - h.size();
-    }
+    tail_.push_back(Entry{key, value, time, diff});
+    ++total_entries_;
+    ++inserts_since_compaction_;
+    if (tail_.size() >= kTailSealThreshold) SealTail();
   }
 
-  /// Returns the key's history, or nullptr.
-  const History* Get(const K& key) const {
-    auto it = map_.find(key);
-    return it == map_.end() ? nullptr : &it->second;
+  /// Visits every entry of `key` as fn(value, time, diff), in unspecified
+  /// order. The trace must not be mutated during the visit.
+  template <typename Fn>
+  void ForEach(const K& key, Fn&& fn) const {
+    for (const SpineBatch& batch : spine_) {
+      auto [lo, hi] = KeyRange(batch, key);
+      for (auto it = lo; it != hi; ++it) fn(it->value, it->time, it->diff);
+    }
+    for (const Entry& e : tail_) {
+      if (e.key == key) fn(e.value, e.time, e.diff);
+    }
   }
 
   /// Accumulates the key's value multiset at `time` (sum of diffs over all
-  /// entries with entry.time ≤ time in the product order). Appends net
-  /// non-zero (value, count) pairs to `out` (consolidated).
+  /// entries with entry.time ≤ time in the product order). Appends the net
+  /// non-zero (value, count) pairs to `out`, consolidated and sorted by
+  /// value — the appended region is built consolidated, never copied out
+  /// and back.
   void Accumulate(const K& key, const Time& time, Batch<V>* out) const {
-    const History* h = Get(key);
-    if (h == nullptr) return;
-    size_t base = out->size();
-    for (const Entry& e : *h) {
-      if (e.time.LessEq(time)) out->push_back(Update<V>{e.value, e.diff});
-    }
-    if (base == 0) {
-      Consolidate(out);
-    } else if (out->size() - base > 1) {
-      // Consolidate just the appended region.
-      Batch<V> region(out->begin() + base, out->end());
-      Consolidate(&region);
-      out->resize(base);
-      out->insert(out->end(), region.begin(), region.end());
-    } else if (out->size() - base == 1 && out->back().diff == 0) {
-      out->pop_back();
+    Batch<V>& matches = accumulate_scratch_;
+    matches.clear();
+    ForEach(key, [&](const V& value, const Time& t, Diff diff) {
+      if (t.LessEq(time)) matches.push_back(Update<V>{value, diff});
+    });
+    if (matches.empty()) return;
+    std::sort(matches.begin(), matches.end(),
+              [](const Update<V>& a, const Update<V>& b) {
+                return a.data < b.data;
+              });
+    for (size_t i = 0; i < matches.size();) {
+      Diff total = 0;
+      size_t j = i;
+      while (j < matches.size() && matches[j].data == matches[i].data) {
+        total += matches[j].diff;
+        ++j;
+      }
+      if (total != 0) out->push_back(Update<V>{matches[i].data, total});
+      i = j;
     }
   }
 
-  /// Compacts the histories of keys touched since the last compaction:
-  /// entries with version < `sealed_version` are rewritten to
-  /// `sealed_version` (legal because all future query and lub times have
-  /// version ≥ sealed_version and the product-order relation to any such
-  /// time is unchanged), then merged. Converged iterative computations
-  /// collapse to near-minimal size. Restricting the sweep to dirty keys
-  /// keeps per-version maintenance proportional to the update volume —
-  /// untouched keys' histories cannot have changed.
+  /// Seals `sealed_version`: from now on batch merges rewrite earlier
+  /// versions to the sealed frontier, cancelling converged histories.
+  /// A full-spine merge costs O(total entries), so it runs only once enough
+  /// new entries have arrived to pay for it — compaction stays O(1)
+  /// amortized per insert instead of O(total) per sealed version, while a
+  /// quiescent trace is never rescanned.
   void CompactTo(uint32_t sealed_version) {
-    sealed_version_ = sealed_version;
-    std::sort(dirty_.begin(), dirty_.end());
-    dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
-    for (const K& key : dirty_) {
-      auto it = map_.find(key);
-      if (it == map_.end()) continue;
-      size_t before = it->second.size();
-      CompactHistory(&it->second, sealed_version);
-      total_entries_ -= before - it->second.size();
-      if (it->second.empty()) map_.erase(it);
+    sealed_version_ = std::max(sealed_version_, sealed_version);
+    SealTail();
+    if (spine_.empty()) return;
+    if (inserts_since_compaction_ * 2 < total_entries_) return;
+    inserts_since_compaction_ = 0;
+    while (spine_.size() > 1) {
+      SpineBatch b = std::move(spine_.back());
+      spine_.pop_back();
+      SpineBatch a = std::move(spine_.back());
+      spine_.pop_back();
+      SpineBatch merged = MergeBatches(std::move(a), std::move(b));
+      if (!merged.entries.empty()) spine_.push_back(std::move(merged));
     }
-    dirty_.clear();
+    if (!spine_.empty()) {
+      Rewrite(&spine_.front());
+      if (spine_.front().entries.empty()) spine_.clear();
+    }
   }
 
-  size_t num_keys() const { return map_.size(); }
-  size_t total_entries() const { return total_entries_; }
+  /// Distinct keys present (test/diagnostic use; O(n log n)).
+  size_t num_keys() const {
+    std::vector<K> keys;
+    keys.reserve(total_entries_);
+    for (const SpineBatch& batch : spine_) {
+      for (const Entry& e : batch.entries) keys.push_back(e.key);
+    }
+    for (const Entry& e : tail_) keys.push_back(e.key);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys.size();
+  }
 
-  /// Iteration support (tests, capture).
-  auto begin() const { return map_.begin(); }
-  auto end() const { return map_.end(); }
+  size_t total_entries() const { return total_entries_; }
+  size_t num_spine_batches() const { return spine_.size() + !tail_.empty(); }
 
  private:
-  // Rewrites entries older than the sealed frontier to it, then sorts by
-  // (value, lex time) and merges equal (value, time) entries.
-  static void CompactHistory(History* h, uint32_t sealed_version) {
-    for (Entry& e : *h) {
-      if (e.time.version < sealed_version) e.time.version = sealed_version;
+  // Tail seal threshold: bounds the linear tail scan every probe pays and
+  // the batch size below which sorting is pointless.
+  static constexpr size_t kTailSealThreshold = 64;
+
+  struct SpineBatch {
+    std::vector<Entry> entries;  // sorted by (key, value, lex time)
+    uint32_t min_version = 0;    // minimum version in `entries`
+  };
+
+  static bool EntryLess(const Entry& a, const Entry& b) {
+    if (a.key < b.key) return true;
+    if (b.key < a.key) return false;
+    if (a.value < b.value) return true;
+    if (b.value < a.value) return false;
+    return a.time.LexLess(b.time);
+  }
+
+  static std::pair<typename std::vector<Entry>::const_iterator,
+                   typename std::vector<Entry>::const_iterator>
+  KeyRange(const SpineBatch& batch, const K& key) {
+    // Sorted batch: front/back bound the key space, cutting most probes
+    // before the binary search.
+    if (batch.entries.empty() || key < batch.entries.front().key ||
+        batch.entries.back().key < key) {
+      return {batch.entries.end(), batch.entries.end()};
     }
-    std::sort(h->begin(), h->end(), [](const Entry& a, const Entry& b) {
-      if (a.value != b.value) return a.value < b.value;
-      return a.time.LexLess(b.time);
-    });
+    auto lo = std::lower_bound(
+        batch.entries.begin(), batch.entries.end(), key,
+        [](const Entry& e, const K& k) { return e.key < k; });
+    auto hi = lo;
+    while (hi != batch.entries.end() && hi->key == key) ++hi;
+    return {lo, hi};
+  }
+
+  // Sorts and consolidates a run of entries: equal (key, value, time)
+  // triples merge, zero-diff results drop. Returns the minimum version.
+  uint32_t SortAndConsolidate(std::vector<Entry>* entries) {
+    std::sort(entries->begin(), entries->end(), EntryLess);
     size_t out = 0;
-    for (size_t i = 0; i < h->size();) {
+    uint32_t min_version = UINT32_MAX;
+    for (size_t i = 0; i < entries->size();) {
       size_t j = i;
       Diff total = 0;
-      while (j < h->size() && (*h)[j].value == (*h)[i].value &&
-             (*h)[j].time == (*h)[i].time) {
-        total += (*h)[j].diff;
+      while (j < entries->size() && (*entries)[j].key == (*entries)[i].key &&
+             (*entries)[j].value == (*entries)[i].value &&
+             (*entries)[j].time == (*entries)[i].time) {
+        total += (*entries)[j].diff;
         ++j;
       }
       if (total != 0) {
-        (*h)[out] = (*h)[i];
-        (*h)[out].diff = total;
+        (*entries)[out] = std::move((*entries)[i]);
+        (*entries)[out].diff = total;
+        min_version = std::min(min_version, (*entries)[out].time.version);
         ++out;
       }
       i = j;
     }
-    h->resize(out);
+    total_entries_ -= entries->size() - out;
+    entries->resize(out);
+    return min_version == UINT32_MAX ? sealed_version_ : min_version;
   }
 
-  std::unordered_map<K, History, Hasher> map_;
-  std::vector<K> dirty_;  // keys inserted since the last CompactTo
+  void SealTail() {
+    if (tail_.empty()) return;
+    SpineBatch batch;
+    batch.entries = std::move(tail_);
+    tail_.clear();
+    batch.min_version = SortAndConsolidate(&batch.entries);
+    if (batch.entries.empty()) return;
+    spine_.push_back(std::move(batch));
+    // Geometric invariant: each batch at least twice the size of the next
+    // younger one, restored by merging from the young end.
+    while (spine_.size() >= 2 &&
+           spine_[spine_.size() - 2].entries.size() <
+               2 * spine_.back().entries.size()) {
+      SpineBatch b = std::move(spine_.back());
+      spine_.pop_back();
+      SpineBatch a = std::move(spine_.back());
+      spine_.pop_back();
+      SpineBatch merged = MergeBatches(std::move(a), std::move(b));
+      if (!merged.entries.empty()) spine_.push_back(std::move(merged));
+    }
+  }
+
+  // Rewrites versions below the sealed frontier up to it. The rewrite can
+  // reorder and equate entries of the same (key, value) — different
+  // iteration vectors at different old versions land on the same sealed
+  // version — so the batch is re-sorted and re-consolidated.
+  void Rewrite(SpineBatch* batch) {
+    if (batch->min_version >= sealed_version_) return;
+    for (Entry& e : batch->entries) {
+      if (e.time.version < sealed_version_) e.time.version = sealed_version_;
+    }
+    batch->min_version = SortAndConsolidate(&batch->entries);
+  }
+
+  // Merge-time compaction: both inputs are brought to the sealed frontier
+  // first, then merged with cancellation of equal (key, value, time)
+  // entries.
+  SpineBatch MergeBatches(SpineBatch&& a, SpineBatch&& b) {
+    Rewrite(&a);
+    Rewrite(&b);
+    SpineBatch merged;
+    merged.entries.reserve(a.entries.size() + b.entries.size());
+    merged.min_version = std::min(a.min_version, b.min_version);
+    size_t i = 0, j = 0, dropped = 0;
+    while (i < a.entries.size() || j < b.entries.size()) {
+      if (j >= b.entries.size()) {
+        merged.entries.push_back(std::move(a.entries[i++]));
+      } else if (i >= a.entries.size()) {
+        merged.entries.push_back(std::move(b.entries[j++]));
+      } else if (EntryLess(a.entries[i], b.entries[j])) {
+        merged.entries.push_back(std::move(a.entries[i++]));
+      } else if (EntryLess(b.entries[j], a.entries[i])) {
+        merged.entries.push_back(std::move(b.entries[j++]));
+      } else {
+        // Equal (key, value, time): consolidate across the batch boundary.
+        Entry e = std::move(a.entries[i++]);
+        e.diff += b.entries[j++].diff;
+        dropped += 1 + (e.diff == 0);
+        if (e.diff != 0) merged.entries.push_back(std::move(e));
+      }
+    }
+    total_entries_ -= dropped;
+    return merged;
+  }
+
+  std::vector<SpineBatch> spine_;
+  std::vector<Entry> tail_;
+  mutable Batch<V> accumulate_scratch_;
   size_t total_entries_ = 0;
+  size_t inserts_since_compaction_ = 0;
   uint32_t sealed_version_ = 0;
 };
 
