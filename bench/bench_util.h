@@ -16,6 +16,7 @@
 
 #include "api/graphsurge.h"
 #include "algorithms/algorithms.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "graph/generators.h"
@@ -70,8 +71,10 @@ inline std::string Count(uint64_t n) {
 //
 // Every bench binary emits a BENCH_<name>.json next to its table output so
 // the perf trajectory across commits can be tracked without parsing tables.
-// Layout: {"bench": <name>, "meta": {...}, "rows": [{...}, ...]} — one row
-// object per printed table row, fields named by the caller.
+// Layout: {"bench": <name>, "meta": {...}, "metrics": {...},
+// "rows": [{...}, ...]} — one row object per printed table row, fields
+// named by the caller; "metrics" is the process-wide metrics-registry
+// snapshot (common/metrics.h) taken when the report is written.
 
 class BenchReport {
  public:
@@ -155,7 +158,9 @@ class BenchReport {
   /// Writes the report; call once at the end of main().
   void Write() const {
     std::string out = "{\n  \"bench\": " + Row::Quote(name_) + ",\n";
-    out += "  \"meta\": " + meta_.Render() + ",\n  \"rows\": [\n";
+    out += "  \"meta\": " + meta_.Render() + ",\n";
+    out += "  \"metrics\": " + metrics::Registry::Global().JsonSnapshot() +
+           ",\n  \"rows\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       out += "    " + rows_[i].Render();
       out += i + 1 < rows_.size() ? ",\n" : "\n";

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Runs every bench binary and collects the machine-readable BENCH_*.json
 # reports. Usage:
-#   bench/run_all.sh [build_dir] [output_dir]
+#   bench/run_all.sh [--smoke] [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=<build_dir>/bench_json.
+# --smoke runs only the deterministic engine workload (micro_differential
+# with the google-benchmark micros filtered out) — the CI observability
+# check: fast, and the emitted JSON still carries the metrics snapshot.
 # Build first with:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 set -euo pipefail
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}/bench_json}"
@@ -31,6 +40,14 @@ BENCHES=(
   graphbolt_style_pr_baseline
 )
 
+EXTRA_ARGS=()
+if (( SMOKE )); then
+  BENCHES=(micro_differential)
+  # ^$ matches no benchmark name: skip the micros, keep the deterministic
+  # end-to-end engine workload that main() always runs.
+  EXTRA_ARGS=(--benchmark_filter='^$')
+fi
+
 for bench in "${BENCHES[@]}"; do
   bin="${BENCH_DIR}/${bench}"
   if [[ ! -x "${bin}" ]]; then
@@ -38,7 +55,7 @@ for bench in "${BENCHES[@]}"; do
     continue
   fi
   echo "==> ${bench}"
-  "${bin}"
+  "${bin}" ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}
 done
 
 echo

@@ -1,5 +1,7 @@
 #include "api/graphsurge.h"
 
+#include "common/metrics.h"
+
 namespace gs {
 
 Graphsurge::Graphsurge(GraphsurgeOptions options)
@@ -126,7 +128,17 @@ StatusOr<views::ExecutionResult> Graphsurge::RunComputation(
   if (options.dataflow.num_workers == 0) {
     options.dataflow.num_workers = options_.num_workers;
   }
-  return views::RunOnCollection(computation, *base, *collection, options);
+  StatusOr<views::ExecutionResult> result =
+      views::RunOnCollection(computation, *base, *collection, options);
+  if (result.ok()) last_run_profile_ = result.value().Profile();
+  return result;
+}
+
+std::string Graphsurge::Profile() const {
+  std::string report = last_run_profile_;
+  report += "\n";
+  report += metrics::Registry::Global().ExpositionText();
+  return report;
 }
 
 StatusOr<analytics::ResultMap> Graphsurge::RunOnView(

@@ -87,6 +87,13 @@ class Graphsurge {
       const analytics::Computation& computation, const std::string& name,
       views::ExecutionOptions options = views::ExecutionOptions()) const;
 
+  /// Profiling report of the most recent RunComputation on this system:
+  /// the per-view × per-operator wall-time table
+  /// (views::ExecutionResult::Profile) followed by a snapshot of the global
+  /// metrics registry in Prometheus exposition format. Empty-table header
+  /// only before the first run.
+  std::string Profile() const;
+
   ThreadPool* pool() const { return pool_.get(); }
   const GraphsurgeOptions& options() const { return options_; }
 
@@ -99,6 +106,10 @@ class Graphsurge {
 
   GraphsurgeOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Per-view table of the last RunComputation (RunComputation is logically
+  /// const — it mutates no stored graph or collection — so the cached
+  /// report is the one mutable bit).
+  mutable std::string last_run_profile_;
   std::map<std::string, PropertyGraph> graphs_;
   std::map<std::string, views::MaterializedCollection> collections_;
   std::map<std::string, agg::AggregateView> aggregate_views_;

@@ -1,13 +1,13 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <mutex>
 
 namespace gs {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+std::atomic<gs::internal::LogSink> g_log_sink{nullptr};
+thread_local int g_worker_id = -1;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,7 +32,15 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetThreadWorkerId(int id) { g_worker_id = id; }
+
+int GetThreadWorkerId() { return g_worker_id; }
+
 namespace internal {
+
+void SetLogSinkForTest(LogSink sink) {
+  g_log_sink.store(sink, std::memory_order_release);
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     : level_(level), fatal_(fatal) {
@@ -43,15 +51,25 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level_);
+    if (g_worker_id >= 0) stream_ << " W" << g_worker_id;
+    stream_ << " " << base << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    // One fwrite per message: concurrent worker shards emit whole lines,
+    // never interleaved fragments (stderr is unbuffered, so the single
+    // fwrite maps to a single write).
+    stream_ << '\n';
+    std::string line = stream_.str();
+    if (LogSink sink = g_log_sink.load(std::memory_order_acquire)) {
+      sink(line.data(), line.size());
+    } else {
+      std::fwrite(line.data(), 1, line.size(), stderr);
+      std::fflush(stderr);
+    }
   }
   if (fatal_) std::abort();
 }

@@ -15,10 +15,41 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Thread-local worker-shard id tag: when set (>= 0), log lines from this
+/// thread carry a `W<id>` prefix and trace events use it as their Chrome
+/// `tid`. ShardedDataflow sets it around each worker phase. -1 clears.
+void SetThreadWorkerId(int id);
+int GetThreadWorkerId();
+
+/// RAII worker-id tag restoring the previous id on scope exit (pool threads
+/// run phases for several shards in sequence).
+class ScopedWorkerId {
+ public:
+  explicit ScopedWorkerId(int id) : previous_(GetThreadWorkerId()) {
+    SetThreadWorkerId(id);
+  }
+  ~ScopedWorkerId() { SetThreadWorkerId(previous_); }
+
+  ScopedWorkerId(const ScopedWorkerId&) = delete;
+  ScopedWorkerId& operator=(const ScopedWorkerId&) = delete;
+
+ private:
+  int previous_;
+};
+
 namespace internal {
+
+/// Test hook: when set, fully formatted log lines (newline included) are
+/// handed to the sink instead of being written to stderr.
+using LogSink = void (*)(const char* data, size_t size);
+void SetLogSinkForTest(LogSink sink);
 
 /// Stream-style log sink; emits on destruction. `fatal` aborts the process
 /// after emitting (used by GS_CHECK).
+///
+/// Emission is atomic with respect to concurrent shards: the whole line is
+/// formatted into a buffer and written with one fwrite, so worker threads
+/// never interleave partial lines.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
@@ -46,10 +77,20 @@ class LogMessage {
 
 // Invariant check that is active in all build types. Prefer this over assert
 // for engine invariants whose violation would silently corrupt results.
-#define GS_CHECK(cond)                                                        \
-  if (!(cond))                                                                \
-  ::gs::internal::LogMessage(::gs::LogLevel::kError, __FILE__, __LINE__,      \
-                             /*fatal=*/true)                                  \
-      << "Check failed: " #cond " "
+//
+// The `switch (0) case 0: default:` wrapper makes the macro safe to use as
+// the sole statement of an if branch: a following `else` binds to the
+// *enclosing* if, not to the macro's internal one (the classic dangling-else
+// hazard of a bare `if (!(cond)) ...` expansion).
+#define GS_CHECK(cond)                                                       \
+  switch (0)                                                                 \
+  case 0:                                                                    \
+  default:                                                                   \
+    if (cond)                                                                \
+      ;                                                                      \
+    else                                                                     \
+      ::gs::internal::LogMessage(::gs::LogLevel::kError, __FILE__, __LINE__, \
+                                 /*fatal=*/true)                             \
+          << "Check failed: " #cond " "
 
 #endif  // GRAPHSURGE_COMMON_LOGGING_H_

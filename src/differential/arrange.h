@@ -65,6 +65,8 @@ class ArrangeOp : public OperatorBase {
     trace_.CompactTo(version);
     dataflow_->stats().trace_entries += trace_.total_entries();
     dataflow_->stats().trace_spine_batches += trace_.num_spine_batches();
+    dataflow_->stats().trace_spine_merges += trace_.num_merges();
+    dataflow_->stats().trace_compactions += trace_.num_compactions();
   }
 
  private:
@@ -145,6 +147,8 @@ class JoinStreamArrangedOp : public OperatorBase {
     left_.CompactTo(version);
     dataflow_->stats().trace_entries += left_.total_entries();
     dataflow_->stats().trace_spine_batches += left_.num_spine_batches();
+    dataflow_->stats().trace_spine_merges += left_.num_merges();
+    dataflow_->stats().trace_compactions += left_.num_compactions();
   }
 
  private:
@@ -172,6 +176,7 @@ class JoinStreamArrangedOp : public OperatorBase {
     for (const auto& u : left_batch) {
       const K& key = u.data.first;
       const uint64_t key_hash = HashValue(key);
+      dataflow_->stats().arrangement_probes++;
       right_trace_->ForEach(key, [&](const V2& value, const Time& entry_time,
                                      Diff entry_diff) {
         dataflow_->stats().join_matches++;
@@ -233,6 +238,7 @@ class JoinArrangedArrangedOp : public OperatorBase {
     for (const auto& u : left_batch) {
       const K& key = u.data.first;
       const uint64_t key_hash = HashValue(key);
+      dataflow_->stats().arrangement_probes++;
       right_trace_->ForEach(key, [&](const V2& value, const Time& entry_time,
                                      Diff entry_diff) {
         dataflow_->stats().join_matches++;
@@ -244,6 +250,7 @@ class JoinArrangedArrangedOp : public OperatorBase {
     for (const auto& u : right_batch) {
       const K& key = u.data.first;
       const uint64_t key_hash = HashValue(key);
+      dataflow_->stats().arrangement_probes++;
       left_trace_->ForEach(key, [&](const V1& value, const Time& entry_time,
                                     Diff entry_diff) {
         dataflow_->stats().join_matches++;

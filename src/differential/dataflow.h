@@ -28,8 +28,10 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "common/trace_event.h"
 #include "differential/scheduler.h"
 #include "differential/time.h"
 #include "differential/update.h"
@@ -76,6 +78,13 @@ struct DataflowStats {
   uint64_t reduce_evaluations = 0;
   uint64_t batches_published = 0;
   uint64_t exchanged_updates = 0;  // updates routed to a different shard
+  /// Payload bytes pushed into peer shards' exchange inboxes (record size ×
+  /// update count; wire format equals in-memory format in-process).
+  uint64_t exchanged_bytes = 0;
+  /// Reads of a *shared* arrangement trace by a consumer that does not own
+  /// it (JoinArranged probes, reduce-over-arrangement accumulations) — the
+  /// work the pre-arrangement plan would have answered from private copies.
+  uint64_t arrangement_probes = 0;
   /// Consumers attached to a shared arrangement (JoinArranged /
   /// ReduceArranged endpoints), counted at graph construction. Each share is
   /// one private trace the pre-arrangement plan would have built and
@@ -86,9 +95,18 @@ struct DataflowStats {
   /// Merge() sums them, so a sharded aggregate is the fleet-wide total.
   uint64_t trace_entries = 0;
   uint64_t trace_spine_batches = 0;
-  /// Wall time spent inside RunAt per operator name, folded in at each
-  /// SealPhase. A stateful operator's RunAt includes the synchronous linear
-  /// subscribers it feeds (map/filter chains run inside Publish).
+  /// Cumulative spine maintenance counters, re-reported at each seal like
+  /// the gauges above: batch merges performed (geometric invariant + full
+  /// compactions) and full-spine compaction passes run.
+  uint64_t trace_spine_merges = 0;
+  uint64_t trace_compactions = 0;
+  /// Wall time per operator, folded in at each SealPhase: RunAt plus the
+  /// operator's OnStepBegin / OnVersionSealed work (input flushes, trace
+  /// compaction). A stateful operator's RunAt includes the synchronous
+  /// linear subscribers it feeds (map/filter chains run inside Publish).
+  /// Keys follow the `name@shard` convention in sharded execution (see
+  /// NormalizeOpName), so merging shards never conflates distinct shards'
+  /// entries.
   std::map<std::string, uint64_t> op_nanos;
   /// Work attributed to each key shard (hash(key) % num_workers) by keyed
   /// operators. The scalability bench derives the modeled critical-path
@@ -104,16 +122,23 @@ struct DataflowStats {
     }
   }
 
-  /// Folds another stats object into this one (element-wise sums).
+  /// Folds another stats object into this one (element-wise sums). op_nanos
+  /// keys are summed verbatim: worker shards record under distinct
+  /// `name@shard` keys, so a merge across shards is lossless — use
+  /// AggregatedOpNanos() for the per-operator rollup.
   void Merge(const DataflowStats& other) {
     updates_published += other.updates_published;
     join_matches += other.join_matches;
     reduce_evaluations += other.reduce_evaluations;
     batches_published += other.batches_published;
     exchanged_updates += other.exchanged_updates;
+    exchanged_bytes += other.exchanged_bytes;
+    arrangement_probes += other.arrangement_probes;
     arrangement_shares += other.arrangement_shares;
     trace_entries += other.trace_entries;
     trace_spine_batches += other.trace_spine_batches;
+    trace_spine_merges += other.trace_spine_merges;
+    trace_compactions += other.trace_compactions;
     for (const auto& [name, nanos] : other.op_nanos) {
       op_nanos[name] += nanos;
     }
@@ -123,6 +148,36 @@ struct DataflowStats {
     for (size_t i = 0; i < other.shard_work.size(); ++i) {
       shard_work[i] += other.shard_work[i];
     }
+  }
+
+  /// Canonical operator key: lower-cased, with any `@<digits>` shard suffix
+  /// stripped. "Join@3" and "join@0" both normalize to "join".
+  static std::string NormalizeOpName(std::string name) {
+    size_t at = name.rfind('@');
+    if (at != std::string::npos && at + 1 < name.size()) {
+      bool digits = true;
+      for (size_t i = at + 1; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          digits = false;
+          break;
+        }
+      }
+      if (digits) name.resize(at);
+    }
+    for (char& c : name) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    }
+    return name;
+  }
+
+  /// Per-operator wall time rolled up across shards: op_nanos with keys
+  /// normalized (shard suffixes stripped) and equal names summed.
+  std::map<std::string, uint64_t> AggregatedOpNanos() const {
+    std::map<std::string, uint64_t> aggregated;
+    for (const auto& [name, nanos] : op_nanos) {
+      aggregated[NormalizeOpName(name)] += nanos;
+    }
+    return aggregated;
   }
 };
 
@@ -158,6 +213,12 @@ class OperatorBase {
     run_nanos_ = 0;
     return nanos;
   }
+
+  /// Attributes extra wall time to this operator. The Dataflow uses this to
+  /// charge OnStepBegin / OnVersionSealed work (input flushes, compaction)
+  /// to the operator that performed it, so per-operator profiles account
+  /// for (nearly) all engine time, not just RunAt.
+  void AddRunNanos(uint64_t nanos) { run_nanos_ += nanos; }
 
  protected:
   /// Schedules RunAt(t) unless one is already pending for t.
@@ -343,7 +404,11 @@ class Dataflow {
   /// Phase 1: flush input buffers at the current version (OnStepBegin).
   void BeginStepPhase() {
     step_start_events_ = scheduler_.events_processed();
-    for (OperatorBase* op : registered_) op->OnStepBegin(version_);
+    for (OperatorBase* op : registered_) {
+      Timer timer;
+      op->OnStepBegin(version_);
+      op->AddRunNanos(static_cast<uint64_t>(timer.Nanos()));
+    }
   }
 
   /// Phase 2 (standalone / single worker): deliver pending exchange batches
@@ -387,15 +452,39 @@ class Dataflow {
 
   /// Phase 3: seal the version (trace compaction) and advance.
   void SealPhase() {
-    // The trace gauges are re-reported by every trace-owning operator from
-    // its OnVersionSealed (post-compaction), so reset them first.
+    GS_TRACE_SPAN_V("engine", "seal", version_);
+    // The trace gauges and cumulative spine counters are re-reported by
+    // every trace-owning operator from its OnVersionSealed
+    // (post-compaction), so reset them first.
     stats_.trace_entries = 0;
     stats_.trace_spine_batches = 0;
+    stats_.trace_spine_merges = 0;
+    stats_.trace_compactions = 0;
     for (OperatorBase* op : registered_) {
+      Timer timer;
       op->OnVersionSealed(version_);
+      op->AddRunNanos(static_cast<uint64_t>(timer.Nanos()));
       uint64_t nanos = op->TakeRunNanos();
-      if (nanos != 0) stats_.op_nanos[op->name()] += nanos;
+      if (nanos != 0) {
+        // Distinct keys per shard so ShardedDataflow::AggregatedStats keeps
+        // the per-shard breakdown (see DataflowStats::NormalizeOpName).
+        if (sharded()) {
+          stats_.op_nanos[op->name() + "@" + std::to_string(worker_index_)] +=
+              nanos;
+        } else {
+          stats_.op_nanos[op->name()] += nanos;
+        }
+      }
     }
+    // Registry writes happen only here (per version, not per event), so the
+    // hot scheduler loop stays metrics-free.
+    static metrics::Counter* versions_sealed =
+        metrics::Registry::Global().GetCounter("gs_engine_versions_sealed");
+    static metrics::Histogram* version_events =
+        metrics::Registry::Global().GetHistogram("gs_engine_version_events");
+    versions_sealed->Increment();
+    version_events->Observe(scheduler_.events_processed() -
+                            step_start_events_);
     ++version_;
   }
 
@@ -434,6 +523,7 @@ inline void OperatorBase::RequestRun(const Time& time) {
   if (!run_pending_.insert(time).second) return;
   dataflow_->scheduler().Schedule(time, order_, [this, time] {
     run_pending_.erase(time);
+    GS_TRACE_SPAN_V("op", name_, time.version);
     Timer timer;
     RunAt(time);
     run_nanos_ += static_cast<uint64_t>(timer.Nanos());

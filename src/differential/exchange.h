@@ -133,6 +133,8 @@ class ExchangeOp : public OperatorBase {
         RequestRun(time);
       } else {
         dataflow_->stats().exchanged_updates += parts[w].size();
+        dataflow_->stats().exchanged_bytes +=
+            parts[w].size() * sizeof(Update<D>);
         auto* peer = static_cast<ExchangeInbox<D>*>(hub_->inbox(channel_, w));
         GS_CHECK(peer != nullptr) << "peer shard not yet built";
         // Count before pushing: the receiver may drain (and decrement)

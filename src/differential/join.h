@@ -45,6 +45,10 @@ class JoinOp : public OperatorBase {
         left_.total_entries() + right_.total_entries();
     dataflow_->stats().trace_spine_batches +=
         left_.num_spine_batches() + right_.num_spine_batches();
+    dataflow_->stats().trace_spine_merges +=
+        left_.num_merges() + right_.num_merges();
+    dataflow_->stats().trace_compactions +=
+        left_.num_compactions() + right_.num_compactions();
   }
 
  private:

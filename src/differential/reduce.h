@@ -83,6 +83,12 @@ class ReduceOp : public OperatorBase {
     dataflow_->stats().trace_spine_batches +=
         (owns_input ? owned_input_.num_spine_batches() : 0) +
         output_trace_.num_spine_batches();
+    dataflow_->stats().trace_spine_merges +=
+        (owns_input ? owned_input_.num_merges() : 0) +
+        output_trace_.num_merges();
+    dataflow_->stats().trace_compactions +=
+        (owns_input ? owned_input_.num_compactions() : 0) +
+        output_trace_.num_compactions();
   }
 
  private:
@@ -137,6 +143,10 @@ class ReduceOp : public OperatorBase {
     // cancel a key's input to nothing while an output retraction is still
     // owed, so the (empty input → empty desired → negative delta) path must
     // always run.
+    //
+    // Two shared-trace reads per evaluation when the input is an
+    // arrangement: the interesting-times ForEach plus the Accumulate below.
+    if (input_ != &owned_input_) dataflow_->stats().arrangement_probes += 2;
     input_->ForEach(key, [&](const V&, const Time& entry_time, Diff) {
       Time lub = time.Lub(entry_time);
       if (!(lub == time)) ScheduleKeyVisit(lub, key);

@@ -31,12 +31,15 @@
 #define GRAPHSURGE_DIFFERENTIAL_SHARDED_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace_event.h"
 #include "differential/dataflow.h"
 #include "differential/exchange.h"
 
@@ -80,15 +83,22 @@ class ShardedDataflow {
   /// exist).
   Status Step() {
     const size_t w = num_workers();
+    GS_TRACE_SPAN_V("engine", "step", current_version());
     std::vector<Status> statuses(w, Status::Ok());
     std::vector<char> has_pending(w, 0);
     std::vector<Time> min_pending(w);
-    pool_->ParallelFor(w, [&](size_t i) { workers_[i]->BeginStepPhase(); });
+    pool_->ParallelFor(w, [&](size_t i) {
+      ScopedWorkerId tag(static_cast<int>(i));
+      workers_[i]->BeginStepPhase();
+    });
+    static metrics::Counter* frontier_rounds =
+        metrics::Registry::Global().GetCounter("gs_engine_frontier_rounds");
     for (;;) {
       // Drain-and-report phase. Every inbox is drained here, so after the
       // barrier nothing is in flight and the reported minima are complete:
       // all pending work in the system is visible in some shard's scheduler.
       pool_->ParallelFor(w, [&](size_t i) {
+        ScopedWorkerId tag(static_cast<int>(i));
         workers_[i]->DrainExchangeInboxes();
         has_pending[i] = workers_[i]->HasPendingWork() ? 1 : 0;
         if (has_pending[i]) min_pending[i] = workers_[i]->MinPendingTime();
@@ -103,16 +113,32 @@ class ShardedDataflow {
         any = true;
       }
       if (!any) break;  // global quiescence
+      frontier_rounds->Increment();
+      if (trace::Enabled()) {
+        // One instant event per frontier advance: which (version, iteration)
+        // the fleet agreed to run next. Formatting only happens when a trace
+        // is actually being recorded.
+        char name[trace::kNameCapacity];
+        std::snprintf(name, sizeof(name), "frontier v%u d%u i%u",
+                      frontier.version,
+                      static_cast<unsigned>(frontier.depth),
+                      frontier.depth > 0 ? frontier.iters[0] : 0u);
+        trace::AddInstantEvent("engine", name, frontier.version);
+      }
       // Run phase, restricted to the frontier. At least the frontier event
       // itself is consumed, and every dataflow cycle passes through the
       // feedback edge's Delayed() hop, so each round makes progress and the
       // loop terminates.
       pool_->ParallelFor(w, [&](size_t i) {
+        ScopedWorkerId tag(static_cast<int>(i));
         statuses[i] = workers_[i]->RunBoundedPhase(frontier);
       });
       for (const Status& s : statuses) GS_RETURN_IF_ERROR(s);
     }
-    pool_->ParallelFor(w, [&](size_t i) { workers_[i]->SealPhase(); });
+    pool_->ParallelFor(w, [&](size_t i) {
+      ScopedWorkerId tag(static_cast<int>(i));
+      workers_[i]->SealPhase();
+    });
     return Status::Ok();
   }
 

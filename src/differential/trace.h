@@ -112,6 +112,7 @@ class Trace {
     if (spine_.empty()) return;
     if (inserts_since_compaction_ * 2 < total_entries_) return;
     inserts_since_compaction_ = 0;
+    ++num_compactions_;
     while (spine_.size() > 1) {
       SpineBatch b = std::move(spine_.back());
       spine_.pop_back();
@@ -141,6 +142,13 @@ class Trace {
 
   size_t total_entries() const { return total_entries_; }
   size_t num_spine_batches() const { return spine_.size() + !tail_.empty(); }
+
+  /// Cumulative spine-maintenance counters: pairwise batch merges performed
+  /// (geometric invariant restores plus full-compaction passes) and
+  /// full-spine compaction passes run by CompactTo. Trace-owning operators
+  /// re-report these into DataflowStats at each seal.
+  uint64_t num_merges() const { return num_merges_; }
+  uint64_t num_compactions() const { return num_compactions_; }
 
  private:
   // Tail seal threshold: bounds the linear tail scan every probe pays and
@@ -243,6 +251,7 @@ class Trace {
   // first, then merged with cancellation of equal (key, value, time)
   // entries.
   SpineBatch MergeBatches(SpineBatch&& a, SpineBatch&& b) {
+    ++num_merges_;
     Rewrite(&a);
     Rewrite(&b);
     SpineBatch merged;
@@ -275,6 +284,8 @@ class Trace {
   mutable Batch<V> accumulate_scratch_;
   size_t total_entries_ = 0;
   size_t inserts_since_compaction_ = 0;
+  uint64_t num_merges_ = 0;
+  uint64_t num_compactions_ = 0;
   uint32_t sealed_version_ = 0;
 };
 

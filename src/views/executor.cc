@@ -1,9 +1,14 @@
 #include "views/executor.h"
 
+#include <iomanip>
 #include <memory>
+#include <set>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace_event.h"
 
 namespace gs::views {
 
@@ -67,7 +72,76 @@ struct Engine {
   }
 };
 
+// Per-key difference of two monotone op_nanos snapshots (after − before).
+std::map<std::string, uint64_t> OpNanosDelta(
+    const std::map<std::string, uint64_t>& after,
+    const std::map<std::string, uint64_t>& before) {
+  std::map<std::string, uint64_t> delta;
+  for (const auto& [name, nanos] : after) {
+    auto it = before.find(name);
+    const uint64_t prev = it == before.end() ? 0 : it->second;
+    if (nanos > prev) delta[name] = nanos - prev;
+  }
+  return delta;
+}
+
 }  // namespace
+
+std::string ExecutionResult::Profile() const {
+  std::set<std::string> op_set;
+  for (const ViewRunStats& v : per_view) {
+    for (const auto& [name, _] : v.op_nanos) op_set.insert(name);
+  }
+  std::vector<std::string> ops(op_set.begin(), op_set.end());
+
+  std::ostringstream out;
+  out << std::fixed;
+  auto ms = [](uint64_t nanos) { return static_cast<double>(nanos) / 1e6; };
+
+  out << std::left << std::setw(6) << "view" << std::setw(9) << "mode"
+      << std::right << std::setw(11) << "ms";
+  for (const std::string& op : ops) {
+    out << std::setw(std::max<int>(11, static_cast<int>(op.size()) + 2)) << op;
+  }
+  out << "\n";
+
+  std::map<std::string, uint64_t> totals;
+  double total_view_seconds = 0;
+  for (size_t i = 0; i < per_view.size(); ++i) {
+    const ViewRunStats& v = per_view[i];
+    total_view_seconds += v.seconds;
+    out << std::left << std::setw(6) << i << std::setw(9)
+        << (v.ran_scratch ? "scratch" : "diff") << std::right
+        << std::setprecision(3) << std::setw(11) << v.seconds * 1e3;
+    for (const std::string& op : ops) {
+      auto it = v.op_nanos.find(op);
+      const uint64_t nanos = it == v.op_nanos.end() ? 0 : it->second;
+      totals[op] += nanos;
+      out << std::setw(std::max<int>(11, static_cast<int>(op.size()) + 2))
+          << ms(nanos);
+    }
+    out << "\n";
+  }
+
+  out << std::left << std::setw(6) << "TOTAL" << std::setw(9) << ""
+      << std::right << std::setw(11) << total_view_seconds * 1e3;
+  uint64_t op_total_nanos = 0;
+  for (const std::string& op : ops) {
+    op_total_nanos += totals[op];
+    out << std::setw(std::max<int>(11, static_cast<int>(op.size()) + 2))
+        << ms(totals[op]);
+  }
+  out << "\n";
+
+  out << std::setprecision(3) << "end_to_end_ms=" << total_seconds * 1e3
+      << " operator_ms=" << ms(op_total_nanos)
+      << " views=" << per_view.size() << " splits=" << num_splits
+      << " updates=" << engine_stats.updates_published
+      << " exchanged_bytes=" << engine_stats.exchanged_bytes
+      << " arrangement_probes=" << engine_stats.arrangement_probes
+      << " spine_merges=" << engine_stats.trace_spine_merges << "\n";
+  return out.str();
+}
 
 StatusOr<ExecutionResult> RunOnCollection(
     const analytics::Computation& computation, const PropertyGraph& graph,
@@ -153,8 +227,13 @@ StatusOr<ExecutionResult> RunOnCollection(
       // a diff-strategy first view as a (free) scratch run of its diffs.
       bool need_new_engine = scratch || engine == nullptr;
 
+      GS_TRACE_SPAN_V("executor", need_new_engine ? "view_scratch" : "view_diff",
+                      static_cast<uint32_t>(t));
       Timer view_timer;
       ViewRunStats stats;
+      // The engine's op_nanos grow monotonically across Steps; the delta
+      // over this view's Step is the view's per-operator attribution.
+      std::map<std::string, uint64_t> ops_before;
       if (need_new_engine) {
         harvest(engine.get());
         engine = std::make_unique<Engine>(computation, options.dataflow);
@@ -169,6 +248,7 @@ StatusOr<ExecutionResult> RunOnCollection(
         stats.ran_scratch = true;
         stats.input_size = fed;
       } else {
+        ops_before = engine->dataflow.AggregatedStats().AggregatedOpNanos();
         for (const EdgeDiff& d : view_diffs) {
           engine->Send(resolved[d.edge], d.diff);
         }
@@ -176,6 +256,8 @@ StatusOr<ExecutionResult> RunOnCollection(
         stats.ran_scratch = false;
         stats.input_size = view_diffs.size();
       }
+      stats.op_nanos = OpNanosDelta(
+          engine->dataflow.AggregatedStats().AggregatedOpNanos(), ops_before);
       stats.seconds = view_timer.Seconds();
       uint32_t engine_version = engine->dataflow.current_version() - 1;
       stats.output_diffs =
@@ -199,6 +281,16 @@ StatusOr<ExecutionResult> RunOnCollection(
         }
         result.results.push_back(std::move(m));
       }
+      // Registry writes once per view, after the measured region.
+      static metrics::Counter* views_run =
+          metrics::Registry::Global().GetCounter("gs_executor_views_run");
+      static metrics::Counter* scratch_runs =
+          metrics::Registry::Global().GetCounter("gs_executor_scratch_runs");
+      static metrics::Histogram* view_nanos =
+          metrics::Registry::Global().GetHistogram("gs_executor_view_nanos");
+      views_run->Increment();
+      if (stats.ran_scratch) scratch_runs->Increment();
+      view_nanos->Observe(static_cast<uint64_t>(stats.seconds * 1e9));
       result.per_view.push_back(stats);
     }
   }

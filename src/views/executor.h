@@ -5,6 +5,9 @@
 #ifndef GRAPHSURGE_VIEWS_EXECUTOR_H_
 #define GRAPHSURGE_VIEWS_EXECUTOR_H_
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "algorithms/computation.h"
@@ -36,6 +39,11 @@ struct ViewRunStats {
   /// differential) and of the output difference set produced.
   uint64_t input_size = 0;
   uint64_t output_diffs = 0;
+  /// Wall time per operator spent computing this view: the delta of the
+  /// engine's op_nanos over this view's Step(), rolled up across worker
+  /// shards (DataflowStats::AggregatedOpNanos). Keys are normalized
+  /// operator names ("join", "reduce", ...).
+  std::map<std::string, uint64_t> op_nanos;
 };
 
 struct ExecutionResult {
@@ -51,6 +59,12 @@ struct ExecutionResult {
   std::vector<uint64_t> per_worker_events;
   /// Per-view results (only when ExecutionOptions::capture_results).
   std::vector<analytics::ResultMap> results;
+
+  /// Human-readable profiling report: a per-view × per-operator wall-time
+  /// table (milliseconds), one row per view plus a TOTAL row, followed by
+  /// the run's headline engine counters. The per-operator columns cover the
+  /// union of operators seen across views.
+  std::string Profile() const;
 };
 
 /// Runs `computation` over all views of `collection` (defined over

@@ -3,8 +3,12 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -97,6 +101,109 @@ TEST(TimerTest, MeasuresElapsed) {
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.Seconds(), 0.0);
   EXPECT_LT(t.Seconds(), 10.0);
+}
+
+// GS_CHECK used as the sole statement of an if branch must not capture a
+// following else (the classic dangling-else macro hazard). With a bare
+// `if (!(cond)) log` expansion the else below would bind to the macro's
+// internal if and run when the check PASSES; the switch-wrapped expansion
+// makes it bind to the outer if, so it runs only when `outer` is false.
+TEST(CheckMacroTest, ElseBindsToEnclosingIf) {
+  bool else_taken = false;
+  const bool outer = false;
+  if (outer)
+    GS_CHECK(true) << "never evaluated";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+
+  // And when the outer branch is taken, a passing check runs without
+  // touching the else.
+  else_taken = false;
+  const bool outer2 = true;
+  if (outer2)
+    GS_CHECK(1 + 1 == 2) << "passes";
+  else
+    else_taken = true;
+  EXPECT_FALSE(else_taken);
+}
+
+// Captured log lines for the sink tests below. The sink is process-global,
+// so these tests serialize through a static buffer guarded by a mutex.
+std::mutex g_sink_mutex;
+std::vector<std::string>* g_sink_lines = nullptr;
+
+void TestSink(const char* data, size_t size) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink_lines != nullptr) g_sink_lines->emplace_back(data, size);
+}
+
+class LogSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    {
+      std::lock_guard<std::mutex> lock(g_sink_mutex);
+      g_sink_lines = &lines_;
+    }
+    internal::SetLogSinkForTest(&TestSink);
+  }
+  void TearDown() override {
+    internal::SetLogSinkForTest(nullptr);
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    g_sink_lines = nullptr;
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogSinkTest, WorkerIdPrefixesLogLines) {
+  {
+    ScopedWorkerId tag(3);
+    GS_LOG(Info) << "tagged message";
+  }
+  GS_LOG(Info) << "untagged message";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("[INFO W3 "), std::string::npos) << lines_[0];
+  EXPECT_NE(lines_[0].find("tagged message"), std::string::npos);
+  EXPECT_EQ(lines_[1].find("W3"), std::string::npos) << lines_[1];
+}
+
+TEST_F(LogSinkTest, ScopedWorkerIdRestoresPrevious) {
+  SetThreadWorkerId(1);
+  {
+    ScopedWorkerId inner(2);
+    EXPECT_EQ(GetThreadWorkerId(), 2);
+  }
+  EXPECT_EQ(GetThreadWorkerId(), 1);
+  SetThreadWorkerId(-1);
+  EXPECT_EQ(GetThreadWorkerId(), -1);
+}
+
+TEST_F(LogSinkTest, ConcurrentEmissionsAreWholeLines) {
+  // Each message arrives at the sink as one complete, newline-terminated
+  // line — concurrent emitters never interleave fragments.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      ScopedWorkerId tag(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        GS_LOG(Info) << "worker " << t << " line " << i << " payload";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(lines_.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines_) {
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    // Exactly one newline (at the end) and exactly one payload marker:
+    // no torn or merged lines.
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+    size_t first = line.find("payload");
+    ASSERT_NE(first, std::string::npos) << line;
+    EXPECT_EQ(line.find("payload", first + 1), std::string::npos) << line;
+  }
 }
 
 }  // namespace

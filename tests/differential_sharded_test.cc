@@ -224,8 +224,67 @@ TEST(ShardedTest, ExchangeStress) {
     ASSERT_EQ(serial.Accumulated(version), sharded.Accumulated(version))
         << "version " << version;
   }
-  // Cross-shard traffic actually happened.
-  EXPECT_GT(sharded.dataflow().AggregatedStats().exchanged_updates, 0u);
+  // Cross-shard traffic actually happened, and the byte counter moved with
+  // it (it counts sizeof(Update<D>) per routed record).
+  DataflowStats stats = sharded.dataflow().AggregatedStats();
+  EXPECT_GT(stats.exchanged_updates, 0u);
+  EXPECT_GT(stats.exchanged_bytes, 0u);
+  EXPECT_EQ(stats.exchanged_bytes % sizeof(Update<IntPair>), 0u);
+}
+
+TEST(ShardedTest, NormalizeOpNameStripsShardSuffixAndLowercases) {
+  EXPECT_EQ(DataflowStats::NormalizeOpName("Join@3"), "join");
+  EXPECT_EQ(DataflowStats::NormalizeOpName("join@0"), "join");
+  EXPECT_EQ(DataflowStats::NormalizeOpName("ReduceMin@12"), "reducemin");
+  EXPECT_EQ(DataflowStats::NormalizeOpName("Map"), "map");
+  // Non-numeric suffixes are part of the name, not a shard tag.
+  EXPECT_EQ(DataflowStats::NormalizeOpName("join@left"), "join@left");
+  EXPECT_EQ(DataflowStats::NormalizeOpName("join@"), "join@");
+}
+
+TEST(ShardedTest, OpNanosKeysCarryShardSuffixes) {
+  auto build = [](Dataflow*, Stream<IntPair> in) {
+    auto shifted = in.Map([](const IntPair& p) {
+      return IntPair{p.first + 1, p.second};
+    });
+    auto joined =
+        Join(in, shifted,
+             [](const int64_t& k, const int64_t& a, const int64_t& b) {
+               return IntPair{k, a + b};
+             });
+    return ReduceMin<int64_t, int64_t>(joined);
+  };
+  for (size_t workers : {2, 4, 7}) {
+    ShardedHarness<IntPair, IntPair> sharded(workers, build);
+    Rng rng(41);
+    for (int i = 0; i < 500; ++i) {
+      sharded.Send({rng.Uniform(0, 100), rng.Uniform(0, 1000)}, 1);
+    }
+    ASSERT_TRUE(sharded.Step().ok());
+
+    DataflowStats stats = sharded.dataflow().AggregatedStats();
+    ASSERT_FALSE(stats.op_nanos.empty()) << "workers=" << workers;
+    uint64_t raw_total = 0;
+    for (const auto& [name, nanos] : stats.op_nanos) {
+      raw_total += nanos;
+      // Every sharded key names its worker: `name@shard`, shard < workers.
+      size_t at = name.rfind('@');
+      ASSERT_NE(at, std::string::npos) << "workers=" << workers << " " << name;
+      ASSERT_LT(at + 1, name.size()) << name;
+      int shard = std::stoi(name.substr(at + 1));
+      EXPECT_GE(shard, 0) << name;
+      EXPECT_LT(shard, static_cast<int>(workers)) << name;
+    }
+
+    // The rollup strips the suffixes without losing any time.
+    std::map<std::string, uint64_t> rolled = stats.AggregatedOpNanos();
+    uint64_t rolled_total = 0;
+    for (const auto& [name, nanos] : rolled) {
+      rolled_total += nanos;
+      EXPECT_EQ(name.find('@'), std::string::npos) << name;
+    }
+    EXPECT_EQ(rolled_total, raw_total) << "workers=" << workers;
+  }
 }
 
 TEST(ShardedTest, StatsAreMergedPerWorker) {

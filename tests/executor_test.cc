@@ -168,6 +168,83 @@ TEST(ExecutorTest, RunOnGraphMatchesReference) {
   EXPECT_EQ(*result, analytics::PageRankReference(edges, 4));
 }
 
+TEST(ExecutorTest, ProfileAccountsForEndToEndTime) {
+  // The ISSUE acceptance scenario: 8K nodes / 40K edges / 10 views. The
+  // per-operator attribution must cover (nearly) the whole per-view wall
+  // time — operator time is a strict subset of the view timer, so the
+  // ratio is ≤ 1 and must stay within 10% of it.
+  Fixture f;
+  TemporalGraphOptions gopts;
+  gopts.num_nodes = 8000;
+  gopts.num_edges = 40000;
+  gopts.end_time = 1000;
+  f.graph = GenerateTemporalGraph(gopts);
+  std::string text = "create view collection w on G ";
+  for (size_t i = 0; i < 10; ++i) {
+    if (i) text += ", ";
+    text += "[w" + std::to_string(i) + ": timestamp <= " +
+            std::to_string(100 * (i + 1)) + "]";
+  }
+  auto stmt = gvdl::Parse(text);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  MaterializeOptions mopts;
+  auto mc = MaterializeCollection(
+      f.graph, std::get<gvdl::ViewCollectionDef>(*stmt), mopts);
+  ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+  f.collection = std::move(*mc);
+
+  analytics::Wcc wcc;
+  ExecutionOptions opts;
+  opts.strategy = splitting::Strategy::kDiffOnly;
+  auto result = RunOnCollection(wcc, f.graph, f.collection, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->per_view.size(), 10u);
+
+  double view_seconds = 0;
+  double op_seconds = 0;
+  for (const ViewRunStats& v : result->per_view) {
+    view_seconds += v.seconds;
+    EXPECT_FALSE(v.op_nanos.empty());
+    for (const auto& [name, nanos] : v.op_nanos) {
+      EXPECT_EQ(name.find('@'), std::string::npos) << name;
+      op_seconds += static_cast<double>(nanos) * 1e-9;
+    }
+  }
+  ASSERT_GT(view_seconds, 0.0);
+  EXPECT_LE(op_seconds, view_seconds * 1.001);
+  EXPECT_GT(op_seconds, view_seconds * 0.9)
+      << "profiled operator time " << op_seconds << "s accounts for < 90% of "
+      << view_seconds << "s end-to-end";
+
+  // And the rendered report carries the table and the headline counters.
+  std::string report = result->Profile();
+  EXPECT_NE(report.find("view"), std::string::npos);
+  EXPECT_NE(report.find("TOTAL"), std::string::npos);
+  EXPECT_NE(report.find("end_to_end_ms="), std::string::npos);
+  EXPECT_NE(report.find("exchanged_bytes="), std::string::npos);
+}
+
+TEST(ExecutorTest, ProfileCoversScratchAndShardedRuns) {
+  Fixture f = Fixture::ExpandingWindows(5);
+  analytics::Bfs bfs(f.graph.edge(0).src);
+  for (auto strategy :
+       {splitting::Strategy::kScratch, splitting::Strategy::kDiffOnly}) {
+    for (size_t workers : {size_t{1}, size_t{4}}) {
+      ExecutionOptions opts;
+      opts.strategy = strategy;
+      opts.dataflow.num_workers = workers;
+      auto result = RunOnCollection(bfs, f.graph, f.collection, opts);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      for (const ViewRunStats& v : result->per_view) {
+        EXPECT_FALSE(v.op_nanos.empty())
+            << splitting::StrategyName(strategy) << " workers=" << workers;
+      }
+      std::string report = result->Profile();
+      EXPECT_NE(report.find("TOTAL"), std::string::npos);
+    }
+  }
+}
+
 TEST(ExecutorTest, EmptyViewsAreHandled) {
   PropertyGraph g = MakeCallGraphExample();
   auto stmt = gvdl::Parse(

@@ -165,6 +165,31 @@ TEST_F(GraphsurgeApiTest, Errors) {
             StatusCode::kAlreadyExists);
 }
 
+TEST_F(GraphsurgeApiTest, ProfileReportsLastRun) {
+  // Before any computation, Profile carries no per-view table (only the
+  // metrics exposition, possibly fed by other tests in this process).
+  EXPECT_EQ(system_.Profile().find("view  mode"), std::string::npos);
+
+  ASSERT_TRUE(system_
+                  .Execute("create view collection durations on Calls "
+                           "[d5: duration <= 5], [d15: duration <= 15], "
+                           "[d34: duration <= 34]")
+                  .ok());
+  analytics::Wcc wcc;
+  auto result = system_.RunComputation(wcc, "durations");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::string profile = system_.Profile();
+  // The per-view table from the last run...
+  EXPECT_NE(profile.find("view  mode"), std::string::npos);
+  EXPECT_NE(profile.find("TOTAL"), std::string::npos);
+  EXPECT_NE(profile.find("end_to_end_ms="), std::string::npos);
+  // ...followed by the process-wide Prometheus exposition.
+  EXPECT_NE(profile.find("# TYPE gs_engine_versions_sealed counter"),
+            std::string::npos);
+  EXPECT_NE(profile.find("gs_executor_views_run"), std::string::npos);
+}
+
 TEST_F(GraphsurgeApiTest, NameListings) {
   ASSERT_TRUE(
       system_.Execute("create view V2 on Calls edges where year = 2019").ok());

@@ -1,0 +1,254 @@
+// Minimal recursive-descent JSON parser for tests that validate the
+// well-formedness of JSON the system emits (metrics snapshots, Chrome trace
+// dumps, bench reports). Supports the full JSON grammar the emitters use:
+// objects, arrays, strings with escapes, numbers, booleans, null. Not a
+// general-purpose library — no streaming, no error recovery, everything is
+// materialized.
+#ifndef GRAPHSURGE_TESTS_JSON_LITE_H_
+#define GRAPHSURGE_TESTS_JSON_LITE_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gs::json_lite {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const Value* Get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input as one JSON value. Returns false on any syntax
+  /// error or trailing garbage; `error()` then describes the failure.
+  bool Parse(Value* out) {
+    pos_ = 0;
+    error_.clear();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after top-level value");
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ParseValue(Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = Value::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        return ParseBool(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out) {
+    out->type = Value::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      Value member;
+      if (!ParseValue(&member)) return false;
+      out->object.emplace(std::move(key), std::move(member));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    out->type = Value::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Value element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            // Tests only need well-formedness; non-ASCII code points are
+            // replaced rather than UTF-8 encoded.
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape digit");
+              }
+            }
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseBool(Value* out) {
+    out->type = Value::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return Fail("expected boolean");
+  }
+
+  bool ParseNull(Value* out) {
+    out->type = Value::Type::kNull;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return Fail("expected null");
+  }
+
+  bool ParseNumber(Value* out) {
+    out->type = Value::Type::kNumber;
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(start, &end);
+    if (end == start) return Fail("expected number");
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+/// One-shot parse helper.
+inline bool Parse(const std::string& text, Value* out, std::string* error) {
+  Parser parser(text);
+  bool ok = parser.Parse(out);
+  if (!ok && error != nullptr) *error = parser.error();
+  return ok;
+}
+
+}  // namespace gs::json_lite
+
+#endif  // GRAPHSURGE_TESTS_JSON_LITE_H_

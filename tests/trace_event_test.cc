@@ -1,0 +1,205 @@
+#include "common/trace_event.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "differential/differential.h"
+#include "json_lite.h"
+
+namespace gs::trace {
+namespace {
+
+class TraceEventTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    ClearForTest();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    ClearForTest();
+  }
+};
+
+// Parses a trace dump and returns the traceEvents array, failing the test on
+// malformed JSON.
+json_lite::Value ParseTrace(const std::string& text) {
+  json_lite::Value root;
+  std::string error;
+  EXPECT_TRUE(json_lite::Parse(text, &root, &error)) << error;
+  return root;
+}
+
+TEST_F(TraceEventTest, DisabledRecordsNothing) {
+  AddInstantEvent("test", "ignored");
+  { Span span("test", "also_ignored"); }
+  json_lite::Value root = ParseTrace(ToJson());
+  const json_lite::Value* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+TEST_F(TraceEventTest, EmptyDumpIsValidJson) {
+  json_lite::Value root = ParseTrace(ToJson());
+  ASSERT_TRUE(root.is_object());
+  ASSERT_NE(root.Get("traceEvents"), nullptr);
+  EXPECT_TRUE(root.Get("traceEvents")->is_array());
+  ASSERT_NE(root.Get("displayTimeUnit"), nullptr);
+  EXPECT_EQ(root.Get("displayTimeUnit")->string, "ms");
+}
+
+TEST_F(TraceEventTest, RecordsSpanInstantAndCounter) {
+  SetEnabled(true);
+  { Span span("cat_span", "my_span", /*version=*/3); }
+  AddInstantEvent("cat_instant", "my_instant");
+  AddCounterEvent("cat_counter", "my_counter", 42);
+  SetEnabled(false);
+
+  json_lite::Value root = ParseTrace(ToJson());
+  const json_lite::Value* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 3u);
+
+  // Chrome trace-event required fields on every event.
+  for (const json_lite::Value& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_NE(e.Get("name"), nullptr);
+    EXPECT_NE(e.Get("cat"), nullptr);
+    ASSERT_NE(e.Get("ph"), nullptr);
+    EXPECT_NE(e.Get("ts"), nullptr);
+    EXPECT_NE(e.Get("pid"), nullptr);
+    EXPECT_NE(e.Get("tid"), nullptr);
+  }
+
+  const json_lite::Value& span = events->array[0];
+  EXPECT_EQ(span.Get("ph")->string, "X");
+  EXPECT_EQ(span.Get("name")->string, "my_span");
+  ASSERT_NE(span.Get("dur"), nullptr);
+  ASSERT_NE(span.Get("args"), nullptr);
+  EXPECT_EQ(span.Get("args")->Get("version")->number, 3);
+
+  const json_lite::Value& instant = events->array[1];
+  EXPECT_EQ(instant.Get("ph")->string, "i");
+  EXPECT_EQ(instant.Get("name")->string, "my_instant");
+
+  const json_lite::Value& counter = events->array[2];
+  EXPECT_EQ(counter.Get("ph")->string, "C");
+  ASSERT_NE(counter.Get("args"), nullptr);
+  EXPECT_EQ(counter.Get("args")->Get("value")->number, 42);
+}
+
+TEST_F(TraceEventTest, LongNamesAreTruncatedNotCorrupted) {
+  SetEnabled(true);
+  std::string long_name(200, 'x');
+  AddInstantEvent("test", long_name.c_str());
+  SetEnabled(false);
+  json_lite::Value root = ParseTrace(ToJson());
+  const auto& events = root.Get("traceEvents")->array;
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].Get("name")->string, std::string(kNameCapacity - 1, 'x'));
+}
+
+TEST_F(TraceEventTest, TidUsesWorkerIdWhenSet) {
+  SetEnabled(true);
+  {
+    ScopedWorkerId tag(5);
+    AddInstantEvent("test", "tagged");
+  }
+  AddInstantEvent("test", "untagged");
+  SetEnabled(false);
+  json_lite::Value root = ParseTrace(ToJson());
+  const auto& events = root.Get("traceEvents")->array;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].Get("tid")->number, 5);
+  // Untagged threads get a synthetic tid ≥ 1000.
+  EXPECT_GE(events[1].Get("tid")->number, 1000);
+}
+
+TEST_F(TraceEventTest, SpanStartedWhileDisabledStaysDisabled) {
+  {
+    Span span("test", "pre_enable");
+    // The span destructs while recording is enabled but must not record —
+    // it captured no valid start time.
+    SetEnabled(true);
+  }
+  SetEnabled(false);
+  json_lite::Value root = ParseTrace(ToJson());
+  EXPECT_TRUE(root.Get("traceEvents")->array.empty());
+}
+
+TEST_F(TraceEventTest, WriteJsonRoundTripsThroughDisk) {
+  SetEnabled(true);
+  { Span span("test", "disk_span"); }
+  SetEnabled(false);
+  std::string path = ::testing::TempDir() + "/gs_trace_test.json";
+  ASSERT_TRUE(WriteJson(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  json_lite::Value root = ParseTrace(buffer.str());
+  ASSERT_EQ(root.Get("traceEvents")->array.size(), 1u);
+  EXPECT_EQ(root.Get("traceEvents")->array[0].Get("name")->string,
+            "disk_span");
+  std::remove(path.c_str());
+}
+
+// End-to-end: run a real sharded differential computation with tracing on
+// and check the dump is a loadable Chrome/Perfetto trace with the expected
+// engine spans — the programmatic stand-in for "loads in ui.perfetto.dev".
+TEST_F(TraceEventTest, EngineRunProducesLoadablePerfettoTrace) {
+  namespace dd = ::gs::differential;
+  SetEnabled(true);
+  {
+    dd::DataflowOptions options;
+    options.num_workers = 2;
+    dd::ShardedDataflow sharded(options);
+    std::vector<dd::Input<std::pair<uint64_t, int64_t>>> inputs;
+    for (size_t w = 0; w < sharded.num_workers(); ++w) {
+      inputs.emplace_back(sharded.worker(w));
+      dd::Capture(dd::ReduceMin(inputs[w].stream()));
+    }
+    for (int64_t i = 0; i < 1000; ++i) {
+      uint64_t key = static_cast<uint64_t>(i) % 64;
+      inputs[sharded.OwnerOfHash(HashValue(key))].Send({key, i}, 1);
+    }
+    ASSERT_TRUE(sharded.Step().ok());
+  }
+  SetEnabled(false);
+
+  json_lite::Value root = ParseTrace(ToJson());
+  const json_lite::Value* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->array.empty());
+
+  bool saw_step = false;
+  bool saw_seal = false;
+  bool saw_op = false;
+  for (const json_lite::Value& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.Get("ph"), nullptr);
+    ASSERT_NE(e.Get("ts"), nullptr);
+    ASSERT_NE(e.Get("pid"), nullptr);
+    ASSERT_NE(e.Get("tid"), nullptr);
+    const std::string& ph = e.Get("ph")->string;
+    if (ph == "X") {
+      ASSERT_NE(e.Get("dur"), nullptr);
+    }
+    const std::string& cat = e.Get("cat")->string;
+    const std::string& name = e.Get("name")->string;
+    if (cat == "engine" && name == "step") saw_step = true;
+    if (cat == "engine" && name == "seal") saw_seal = true;
+    if (cat == "op") saw_op = true;
+  }
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_seal);
+  EXPECT_TRUE(saw_op);
+}
+
+}  // namespace
+}  // namespace gs::trace
