@@ -20,6 +20,7 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "graph/generators.h"
+#include "server/status_server.h"
 
 namespace gs::bench {
 
@@ -78,7 +79,12 @@ inline std::string Count(uint64_t n) {
 
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    // Every bench binary is scrapeable: GRAPHSURGE_STATUS_PORT starts the
+    // embedded status server even in harnesses that drive the engine
+    // directly without constructing an api::Graphsurge.
+    server::StatusServer::MaybeStartFromEnv();
+  }
 
   /// A single result row; fields keep insertion order.
   class Row {

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json reports against committed baselines.
+
+Usage:
+  bench/compare_baselines.py --fresh <dir> [--baseline bench/baselines]
+                             [--threshold 0.15] [--min-seconds 0.05]
+
+Rows are matched by their identity fields (every string-valued field plus
+the integer fields named in ID_INT_KEYS); wall-time fields ("seconds" and
+anything ending in "_s") are then compared pairwise. A fresh time more than
+--threshold above the baseline is a regression; the script prints every
+comparison and exits 1 if any regression was found. Baselines below
+--min-seconds are skipped — micro-times are dominated by noise.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Integer-valued fields that identify a row rather than measure it.
+ID_INT_KEYS = {"workers", "views"}
+
+
+def row_identity(row):
+    ident = []
+    for key in sorted(row):
+        value = row[key]
+        if isinstance(value, str) or (key in ID_INT_KEYS and
+                                      isinstance(value, int)):
+            ident.append((key, value))
+    return tuple(ident)
+
+
+def time_fields(row):
+    out = {}
+    for key, value in row.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key == "seconds" or key.endswith("_s"):
+            out[key] = float(value)
+    return out
+
+
+def index_rows(report):
+    index = {}
+    for row in report.get("rows", []):
+        ident = row_identity(row)
+        # Duplicate identities (e.g. repeated configs) keep the first row;
+        # benches emit each configuration once.
+        index.setdefault(ident, row)
+    return index
+
+
+def compare_report(name, fresh, baseline, threshold, min_seconds):
+    regressions = []
+    compared = 0
+    fresh_index = index_rows(fresh)
+    base_index = index_rows(baseline)
+    for ident, base_row in base_index.items():
+        fresh_row = fresh_index.get(ident)
+        label = " ".join(f"{k}={v}" for k, v in ident)
+        if fresh_row is None:
+            print(f"  [missing] {label} — row absent from fresh report")
+            continue
+        base_times = time_fields(base_row)
+        fresh_times = time_fields(fresh_row)
+        for key, base_value in sorted(base_times.items()):
+            if key not in fresh_times:
+                continue
+            if base_value < min_seconds:
+                continue
+            fresh_value = fresh_times[key]
+            delta = (fresh_value - base_value) / base_value
+            compared += 1
+            marker = " "
+            if delta > threshold:
+                marker = "!"
+                regressions.append(
+                    f"{name}: {label} {key} {base_value:.3f}s -> "
+                    f"{fresh_value:.3f}s ({delta:+.1%})")
+            print(f"  [{marker}] {label} {key}: "
+                  f"{base_value:.3f}s -> {fresh_value:.3f}s ({delta:+.1%})")
+    return compared, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="directory with freshly generated BENCH_*.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline directory (default: bench/baselines "
+                             "next to this script)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative wall-time regression that fails the "
+                             "comparison (default 0.15 = 15%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="skip baseline times below this (noise floor)")
+    args = parser.parse_args()
+
+    baseline_dir = args.baseline or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "baselines")
+
+    if not os.path.isdir(baseline_dir):
+        print(f"error: baseline directory not found: {baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    baseline_files = sorted(
+        f for f in os.listdir(baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    total_compared = 0
+    all_regressions = []
+    for filename in baseline_files:
+        fresh_path = os.path.join(args.fresh, filename)
+        print(f"== {filename}")
+        if not os.path.isfile(fresh_path):
+            print("  [missing] no fresh report — bench not run, skipping")
+            continue
+        with open(os.path.join(baseline_dir, filename)) as f:
+            baseline = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+        compared, regressions = compare_report(
+            filename, fresh, baseline, args.threshold, args.min_seconds)
+        total_compared += compared
+        all_regressions.extend(regressions)
+
+    print(f"\ncompared {total_compared} wall-time measurements against "
+          f"{len(baseline_files)} baseline report(s); "
+          f"{len(all_regressions)} regression(s) beyond "
+          f"{args.threshold:.0%}")
+    if all_regressions:
+        print("\nregressions:", file=sys.stderr)
+        for r in all_regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,43 @@
 #!/usr/bin/env bash
 # Runs every bench binary and collects the machine-readable BENCH_*.json
 # reports. Usage:
-#   bench/run_all.sh [--smoke] [build_dir] [output_dir]
+#   bench/run_all.sh [--smoke] [--compare [baseline_dir]] [build_dir] [output_dir]
 # Defaults: build_dir=build, output_dir=<build_dir>/bench_json.
 # --smoke runs only the deterministic engine workload (micro_differential
 # with the google-benchmark micros filtered out) — the CI observability
 # check: fast, and the emitted JSON still carries the metrics snapshot.
+# --compare diffs the fresh JSON against bench/baselines/ (or the given
+# directory) with compare_baselines.py and exits nonzero on any wall-time
+# regression beyond 15%.
 # Build first with:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 set -euo pipefail
 
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
 SMOKE=0
-if [[ "${1:-}" == "--smoke" ]]; then
-  SMOKE=1
-  shift
-fi
+COMPARE=0
+BASELINE_DIR="${SCRIPT_DIR}/baselines"
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --smoke)
+      SMOKE=1
+      shift
+      ;;
+    --compare)
+      COMPARE=1
+      shift
+      if [[ -n "${1:-}" && "${1:-}" != --* && -d "${1:-}" ]]; then
+        BASELINE_DIR="$1"
+        shift
+      fi
+      ;;
+    *)
+      echo "unknown option: $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}/bench_json}"
@@ -61,3 +84,10 @@ done
 echo
 echo "JSON reports in ${OUT_DIR}:"
 ls -l "${OUT_DIR}"
+
+if (( COMPARE )); then
+  echo
+  echo "==> comparing against baselines in ${BASELINE_DIR}"
+  python3 "${SCRIPT_DIR}/compare_baselines.py" \
+    --fresh "${OUT_DIR}" --baseline "${BASELINE_DIR}"
+fi

@@ -1,13 +1,52 @@
 #include "api/graphsurge.h"
 
+#include <iomanip>
+#include <sstream>
+
+#include "common/crash_dump.h"
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "server/status_server.h"
 
 namespace gs {
+
+namespace {
+
+/// The Graphsurge instance currently backing /profilez. The handler lambda
+/// registered on the (never-destroyed) global status server must not
+/// capture a raw `this`, so instances check in/out of this slot instead;
+/// the newest live instance wins the endpoint.
+std::mutex g_profilez_mutex;
+const Graphsurge* g_profilez_system = nullptr;
+
+}  // namespace
 
 Graphsurge::Graphsurge(GraphsurgeOptions options)
     : options_(options),
       pool_(std::make_unique<ThreadPool>(
-          options.num_workers == 0 ? 1 : options.num_workers)) {}
+          options.num_workers == 0 ? 1 : options.num_workers)) {
+  // A dying run should leave its flight recorder behind (no-ops under
+  // sanitizer runtimes, which install their own handlers first).
+  InstallCrashHandlers();
+  server::StatusServer::MaybeStartFromEnv();
+  {
+    std::lock_guard<std::mutex> lock(g_profilez_mutex);
+    g_profilez_system = this;
+  }
+  server::StatusServer::Global().Handle("/profilez", [] {
+    server::HttpResponse r;
+    std::lock_guard<std::mutex> lock(g_profilez_mutex);
+    r.body = g_profilez_system != nullptr
+                 ? g_profilez_system->Profile()
+                 : std::string("no live Graphsurge instance\n");
+    return r;
+  });
+}
+
+Graphsurge::~Graphsurge() {
+  std::lock_guard<std::mutex> lock(g_profilez_mutex);
+  if (g_profilez_system == this) g_profilez_system = nullptr;
+}
 
 Status Graphsurge::CheckNameFree(const std::string& name) const {
   if (graphs_.count(name) || collections_.count(name) ||
@@ -71,6 +110,9 @@ Status Graphsurge::Execute(const std::string& gvdl) {
       GS_ASSIGN_OR_RETURN(agg::AggregateView result,
                           agg::ComputeAggregateView(*base, *av, pool_.get()));
       aggregate_views_.emplace(av->name, std::move(result));
+    } else if (const auto* ex = std::get_if<gvdl::ExplainDef>(&statement)) {
+      GS_ASSIGN_OR_RETURN(std::string text, ExplainCollection(ex->target));
+      GS_LOG(Info) << "EXPLAIN " << ex->target << "\n" << text;
     }
   }
   return Status::Ok();
@@ -130,15 +172,144 @@ StatusOr<views::ExecutionResult> Graphsurge::RunComputation(
   }
   StatusOr<views::ExecutionResult> result =
       views::RunOnCollection(computation, *base, *collection, options);
-  if (result.ok()) last_run_profile_ = result.value().Profile();
+  if (result.ok()) {
+    // Keep the run's metadata (not the captured results — those can be the
+    // size of the collection) for Profile() and Explain().
+    views::ExecutionResult trimmed = result.value();
+    trimmed.results.clear();
+    std::lock_guard<std::mutex> lock(run_state_mutex_);
+    last_run_profile_ = trimmed.Profile();
+    last_runs_[collection_name] = std::move(trimmed);
+  }
   return result;
 }
 
 std::string Graphsurge::Profile() const {
-  std::string report = last_run_profile_;
+  std::string report;
+  {
+    std::lock_guard<std::mutex> lock(run_state_mutex_);
+    report = last_run_profile_;
+  }
   report += "\n";
   report += metrics::Registry::Global().ExpositionText();
   return report;
+}
+
+Status Graphsurge::StartStatusServer(uint16_t port) {
+  return server::StatusServer::Global().Start(port);
+}
+
+StatusOr<std::string> Graphsurge::Explain(const std::string& target) const {
+  // Accept either a bare collection name or an `explain <name>` statement.
+  std::string name = target;
+  if (target.find(' ') != std::string::npos ||
+      target.find('\n') != std::string::npos) {
+    GS_ASSIGN_OR_RETURN(gvdl::Statement statement, gvdl::Parse(target));
+    const auto* ex = std::get_if<gvdl::ExplainDef>(&statement);
+    if (ex == nullptr) {
+      return Status::InvalidArgument(
+          "Explain() expects an 'explain <collection>' statement");
+    }
+    name = ex->target;
+  }
+  return ExplainCollection(name);
+}
+
+StatusOr<std::string> Graphsurge::ExplainCollection(
+    const std::string& name) const {
+  GS_ASSIGN_OR_RETURN(const views::MaterializedCollection* collection,
+                      GetCollection(name));
+
+  // Snapshot the last run for this collection, if any.
+  bool has_run = false;
+  views::ExecutionResult run;
+  {
+    std::lock_guard<std::mutex> lock(run_state_mutex_);
+    auto it = last_runs_.find(name);
+    if (it != last_runs_.end()) {
+      has_run = true;
+      run = it->second;
+    }
+  }
+
+  std::ostringstream out;
+  out << std::fixed;
+  out << "collection " << collection->name << " on " << collection->base_graph
+      << " (" << collection->num_views() << " views)\n";
+  out << "order source: " << collection->order_source
+      << "  estimated ds(B,sigma)=" << collection->total_diffs
+      << "  identity ds=" << collection->identity_ds;
+  if (collection->identity_ds > 0 &&
+      collection->total_diffs < collection->identity_ds) {
+    out << std::setprecision(1) << "  ("
+        << 100.0 * (1.0 - static_cast<double>(collection->total_diffs) /
+                              static_cast<double>(collection->identity_ds))
+        << "% fewer diffs than user-given order)";
+  }
+  out << "\n";
+  if (collection->ordering_seconds > 0) {
+    out << std::setprecision(3)
+        << "ordering overhead: " << collection->ordering_seconds * 1e3
+        << " ms of " << collection->creation_seconds * 1e3 << " ms CCT\n";
+  }
+
+  // Per-position plan: the view at each position with the optimizer's
+  // estimated |GV_t| and |δC_t| (the per-adjacent-pair ds contribution),
+  // joined with the last run's actual counts when available.
+  out << "\n" << std::left << std::setw(5) << "pos" << std::setw(14) << "view"
+      << std::setw(7) << "def#" << std::right << std::setw(12) << "est |GV|"
+      << std::setw(12) << "est |dC|";
+  if (has_run) {
+    out << std::setw(10) << "mode" << std::setw(12) << "actual in"
+        << std::setw(12) << "actual out" << std::setw(10) << "ms";
+  }
+  out << "\n";
+  for (size_t t = 0; t < collection->num_views(); ++t) {
+    out << std::left << std::setw(5) << t << std::setw(14)
+        << collection->view_names[t] << std::setw(7) << collection->order[t]
+        << std::right << std::setw(12) << collection->view_sizes[t]
+        << std::setw(12) << collection->diff_sizes[t];
+    if (has_run && t < run.per_view.size()) {
+      const views::ViewRunStats& v = run.per_view[t];
+      out << std::setw(10) << (v.ran_scratch ? "scratch" : "diff")
+          << std::setw(12) << v.input_size << std::setw(12) << v.output_diffs
+          << std::setprecision(3) << std::setw(10) << v.seconds * 1e3;
+    }
+    out << "\n";
+  }
+
+  if (has_run) {
+    out << "\nlast run: strategy=" << splitting::StrategyName(run.strategy)
+        << " chunk_size=" << run.chunk_size << " splits=" << run.num_splits
+        << std::setprecision(3) << " total_ms=" << run.total_seconds * 1e3
+        << "\n";
+    if (!run.chunk_decisions.empty()) {
+      out << std::left << std::setw(12) << "chunk" << std::setw(10)
+          << "choice" << std::right << std::setw(16) << "pred scratch s"
+          << std::setw(14) << "pred diff s" << "  basis\n";
+      for (const views::ChunkDecision& d : run.chunk_decisions) {
+        out << std::left << std::setw(12)
+            << ("[" + std::to_string(d.begin) + "," +
+                std::to_string(d.end) + ")")
+            << std::setw(10) << (d.scratch ? "scratch" : "diff");
+        out << std::right << std::setprecision(6) << std::setw(16);
+        if (d.from_model) {
+          out << d.predicted_scratch_seconds << std::setw(14)
+              << d.predicted_diff_seconds << "  cost-model";
+        } else {
+          out << "-" << std::setw(14) << "-"
+              << (run.strategy == splitting::Strategy::kAdaptive
+                      ? "  bootstrap"
+                      : "  fixed strategy");
+        }
+        out << "\n";
+      }
+    }
+  } else {
+    out << "\nno recorded run for this collection yet — RunComputation() "
+           "fills in actual per-view diff counts and splitting decisions\n";
+  }
+  return out.str();
 }
 
 StatusOr<analytics::ResultMap> Graphsurge::RunOnView(

@@ -12,9 +12,12 @@
 #ifndef GRAPHSURGE_API_GRAPHSURGE_H_
 #define GRAPHSURGE_API_GRAPHSURGE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "agg/aggregate_view.h"
 #include "common/status.h"
@@ -46,6 +49,10 @@ struct GraphsurgeOptions {
 class Graphsurge {
  public:
   explicit Graphsurge(GraphsurgeOptions options = GraphsurgeOptions());
+  ~Graphsurge();
+
+  Graphsurge(const Graphsurge&) = delete;
+  Graphsurge& operator=(const Graphsurge&) = delete;
 
   // --- Graph store ---------------------------------------------------------
   Status LoadGraphCsv(const std::string& name, const std::string& nodes_path,
@@ -94,6 +101,23 @@ class Graphsurge {
   /// only before the first run.
   std::string Profile() const;
 
+  /// Renders the optimizer's plan for a materialized collection: chosen
+  /// view order with the estimated per-position difference-set sizes, the
+  /// ordering decision (ds under the chosen order vs the user-given order),
+  /// and — after a RunComputation over the collection — the splitting
+  /// decision per chunk with both cost-model predictions plus a per-view
+  /// estimated-vs-actual diff-count table. `target` is a collection name or
+  /// a GVDL `explain <collection>` statement.
+  StatusOr<std::string> Explain(const std::string& target) const;
+
+  // --- Live introspection ---------------------------------------------------
+  /// Starts the embedded HTTP status server on 127.0.0.1:`port` (0 picks an
+  /// ephemeral port; see server::StatusServer::Global().port()). Serves
+  /// /metrics, /varz, /healthz, /statusz, /tracez and this system's
+  /// /profilez. Also started automatically when GRAPHSURGE_STATUS_PORT is
+  /// set in the environment.
+  Status StartStatusServer(uint16_t port);
+
   ThreadPool* pool() const { return pool_.get(); }
   const GraphsurgeOptions& options() const { return options_; }
 
@@ -103,13 +127,20 @@ class Graphsurge {
 
  private:
   Status CheckNameFree(const std::string& name) const;
+  StatusOr<std::string> ExplainCollection(const std::string& name) const;
 
   GraphsurgeOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Guards the cached run reports below: the status server's /profilez
+  /// scrapes them from its own thread while RunComputation replaces them.
+  mutable std::mutex run_state_mutex_;
   /// Per-view table of the last RunComputation (RunComputation is logically
   /// const — it mutates no stored graph or collection — so the cached
-  /// report is the one mutable bit).
+  /// reports are the one mutable bit).
   mutable std::string last_run_profile_;
+  /// Last ExecutionResult per collection (results vector cleared — only the
+  /// run metadata is kept), feeding Explain()'s estimated-vs-actual table.
+  mutable std::map<std::string, views::ExecutionResult> last_runs_;
   std::map<std::string, PropertyGraph> graphs_;
   std::map<std::string, views::MaterializedCollection> collections_;
   std::map<std::string, agg::AggregateView> aggregate_views_;

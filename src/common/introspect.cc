@@ -1,0 +1,68 @@
+#include "common/introspect.h"
+
+#include <cstdio>
+
+namespace gs::introspect {
+
+Registry& Registry::Global() {
+  // Leaked: sources may be collected from the status server thread until
+  // process exit.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+uint64_t Registry::Register(std::string name, Producer producer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = next_id_++;
+  sources_.push_back(Source{id, std::move(name), std::move(producer)});
+  return id;
+}
+
+void Registry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i].id == id) {
+      sources_.erase(sources_.begin() + i);
+      return;
+    }
+  }
+}
+
+std::vector<Rendered> Registry::Collect() const {
+  // Rendered under the registry lock: an object unregistering from its
+  // destructor then blocks until any in-flight render of its producer has
+  // finished, so producers can never observe freed state. Producers must
+  // not call back into Register/Unregister (none in-tree do) and should be
+  // cheap snapshot copies.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Rendered> rendered;
+  rendered.reserve(sources_.size());
+  for (const Source& source : sources_) {
+    rendered.push_back(Rendered{source.name, source.producer()});
+  }
+  return rendered;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace gs::introspect

@@ -1,0 +1,74 @@
+// Global registry of live introspection sources for the status server.
+//
+// Long-lived engine objects (ShardedDataflow, views::Executor runs) register
+// a producer callback that renders a point-in-time JSON fragment of their
+// state; the status server's /statusz handler concatenates every registered
+// source into one document. Producers must be safe to invoke from an
+// arbitrary scrape thread at any moment — the convention used in-tree is
+// that the owning object keeps a mutex-protected snapshot it refreshes at
+// safe points (phase barriers) and the producer only copies that snapshot.
+#ifndef GRAPHSURGE_COMMON_INTROSPECT_H_
+#define GRAPHSURGE_COMMON_INTROSPECT_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gs::introspect {
+
+/// A rendered source: `name` identifies the object, `json` is one JSON
+/// value (object) describing its current state.
+struct Rendered {
+  std::string name;
+  std::string json;
+};
+
+/// Thread-safe registry of introspection sources. Register returns an id to
+/// pass to Unregister (or use ScopedSource). Collect() invokes every
+/// producer and returns the rendered fragments.
+class Registry {
+ public:
+  using Producer = std::function<std::string()>;
+
+  static Registry& Global();
+
+  uint64_t Register(std::string name, Producer producer);
+  void Unregister(uint64_t id);
+
+  std::vector<Rendered> Collect() const;
+
+ private:
+  struct Source {
+    uint64_t id;
+    std::string name;
+    Producer producer;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Source> sources_;
+  uint64_t next_id_ = 1;
+};
+
+/// RAII registration handle.
+class ScopedSource {
+ public:
+  ScopedSource(std::string name, Registry::Producer producer)
+      : id_(Registry::Global().Register(std::move(name),
+                                       std::move(producer))) {}
+  ~ScopedSource() { Registry::Global().Unregister(id_); }
+
+  ScopedSource(const ScopedSource&) = delete;
+  ScopedSource& operator=(const ScopedSource&) = delete;
+
+ private:
+  uint64_t id_;
+};
+
+/// Minimal JSON string escaper shared by introspection renderers.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace gs::introspect
+
+#endif  // GRAPHSURGE_COMMON_INTROSPECT_H_

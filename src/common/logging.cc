@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/crash_dump.h"
+
 namespace gs {
 
 namespace {
@@ -71,7 +73,13 @@ LogMessage::~LogMessage() {
       std::fflush(stderr);
     }
   }
-  if (fatal_) std::abort();
+  if (fatal_) {
+    // Keep the flight recorder: a failed GS_CHECK loses the atexit trace
+    // dump otherwise. The guard inside makes the SIGABRT handler's second
+    // attempt a no-op.
+    DumpFlightRecorder("GS_CHECK failure");
+    std::abort();
+  }
 }
 
 }  // namespace internal

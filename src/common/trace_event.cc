@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/crash_dump.h"
 #include "common/logging.h"
 
 namespace gs::trace {
@@ -36,8 +37,10 @@ struct Event {
   uint32_t version = kNoVersion;
 };
 
-/// Per-thread ring buffer. Only the owning thread writes; readers must wait
-/// for quiescence (see ToJson contract in the header).
+/// Per-thread ring buffer. Only the owning thread writes, but readers (the
+/// status server's /tracez, the crash-time flight recorder) may collect at
+/// any moment, so both sides take the buffer's own mutex — uncontended in
+/// steady state, and only held for a copy during a scrape.
 class ThreadBuffer {
  public:
   static constexpr size_t kCapacity = 16384;
@@ -45,25 +48,37 @@ class ThreadBuffer {
   ThreadBuffer() { events_.resize(kCapacity); }
 
   void Add(const Event& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_[next_] = event;
     next_ = (next_ + 1) % kCapacity;
     if (next_ == 0) wrapped_ = true;
   }
 
-  /// Appends the buffered events, oldest first.
-  void CollectInto(std::vector<Event>* out) const {
+  /// Appends the buffered events, oldest first. `max_events` == 0 keeps
+  /// everything; otherwise only the newest `max_events` are appended.
+  void CollectInto(std::vector<Event>* out, size_t max_events = 0) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t begin = out->size();
     if (wrapped_) {
       out->insert(out->end(), events_.begin() + next_, events_.end());
     }
     out->insert(out->end(), events_.begin(), events_.begin() + next_);
+    size_t collected = out->size() - begin;
+    if (max_events != 0 && collected > max_events) {
+      auto first = out->begin() + static_cast<std::ptrdiff_t>(begin);
+      out->erase(first,
+                 first + static_cast<std::ptrdiff_t>(collected - max_events));
+    }
   }
 
   void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
     next_ = 0;
     wrapped_ = false;
   }
 
  private:
+  mutable std::mutex mutex_;
   std::vector<Event> events_;
   size_t next_ = 0;
   bool wrapped_ = false;
@@ -155,6 +170,8 @@ struct EnvTraceDump {
     if (env == nullptr || *env == '\0') return;
     Path() = env;
     SetEnabled(true);
+    // A crash must not lose the recording the user asked for.
+    InstallCrashHandlers();
     std::atexit(+[] {
       SetEnabled(false);
       Status status = WriteJson(Path());
@@ -208,15 +225,19 @@ void AddCounterEvent(const char* category, const char* name, int64_t value) {
   Record('C', category, name, NowNanos(), 0, value, kNoVersion);
 }
 
-std::string ToJson() {
+namespace {
+
+std::vector<Event> CollectEvents(size_t max_events_per_thread) {
   std::vector<Event> events;
-  {
-    BufferRegistry& registry = Buffers();
-    std::lock_guard<std::mutex> lock(registry.mutex);
-    for (const auto& buffer : registry.buffers) {
-      buffer->CollectInto(&events);
-    }
+  BufferRegistry& registry = Buffers();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    buffer->CollectInto(&events, max_events_per_thread);
   }
+  return events;
+}
+
+std::string RenderJson(const std::vector<Event>& events) {
   std::string out = "{\"traceEvents\": [";
   char buf[160];
   for (size_t i = 0; i < events.size(); ++i) {
@@ -247,6 +268,14 @@ std::string ToJson() {
   }
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out;
+}
+
+}  // namespace
+
+std::string ToJson() { return RenderJson(CollectEvents(0)); }
+
+std::string ToJsonTail(size_t max_events_per_thread) {
+  return RenderJson(CollectEvents(max_events_per_thread));
 }
 
 Status WriteJson(const std::string& path) {

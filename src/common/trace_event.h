@@ -1,12 +1,14 @@
 // Low-overhead span/event recorder serializing to the Chrome trace-event
 // JSON format (loadable in chrome://tracing and ui.perfetto.dev).
 //
-// Design: each thread records into its own fixed-capacity ring buffer (no
-// locks, no allocation on the hot path; the newest events win when a buffer
-// wraps). When recording is disabled — the default — every entry point is a
-// single relaxed atomic load, and the GS_TRACE_* macros compile to nothing
-// at all when GRAPHSURGE_ENABLE_TRACE_EVENTS is defined to 0. Timestamps
-// come from the monotonic clock, measured from a process-wide epoch.
+// Design: each thread records into its own fixed-capacity ring buffer under
+// a per-buffer mutex (no allocation on the hot path, no cross-thread
+// contention — the lock is only ever contended by a live scrape; the newest
+// events win when a buffer wraps). When recording is disabled — the default
+// — every entry point is a single relaxed atomic load, and the GS_TRACE_*
+// macros compile to nothing at all when GRAPHSURGE_ENABLE_TRACE_EVENTS is
+// defined to 0. Timestamps come from the monotonic clock, measured from a
+// process-wide epoch.
 //
 // Events carry the worker id set via gs::SetThreadWorkerId (logging.h) as
 // their Chrome `tid`, so per-worker-shard tracks line up in the UI; threads
@@ -67,9 +69,15 @@ void AddInstantEvent(const char* category, const char* name,
 void AddCounterEvent(const char* category, const char* name, int64_t value);
 
 /// Serializes all buffered events (across all threads) to Chrome trace JSON:
-/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Call at quiescence —
-/// concurrent recording during serialization may tear in-flight events.
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Safe to call while
+/// recording continues (each buffer is copied under its mutex), though a
+/// snapshot taken mid-run is naturally a point-in-time view.
 std::string ToJson();
+
+/// Like ToJson(), but keeps only the newest `max_events_per_thread` events
+/// of each thread's ring buffer — the /tracez "last-N spans" view, cheap
+/// enough to serve while a run is recording.
+std::string ToJsonTail(size_t max_events_per_thread);
 
 /// Writes ToJson() to `path`.
 Status WriteJson(const std::string& path);

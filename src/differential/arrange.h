@@ -49,8 +49,10 @@ class ArrangeOp : public OperatorBase {
  public:
   ArrangeOp(Dataflow* dataflow, Stream<std::pair<K, V>> in)
       : OperatorBase(dataflow, "arrange") {
+    RegisterOutput(&output_);
     in.publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V>>& b) {
           port_.Append(t, b);
           RequestRun(t);
         });
@@ -63,10 +65,11 @@ class ArrangeOp : public OperatorBase {
 
   void OnVersionSealed(uint32_t version) override {
     trace_.CompactTo(version);
-    dataflow_->stats().trace_entries += trace_.total_entries();
-    dataflow_->stats().trace_spine_batches += trace_.num_spine_batches();
-    dataflow_->stats().trace_spine_merges += trace_.num_merges();
-    dataflow_->stats().trace_compactions += trace_.num_compactions();
+  }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    out->AddTrace(trace_);
+    out->queued_bytes += port_.buffered_bytes();
   }
 
  private:
@@ -129,13 +132,16 @@ class JoinStreamArrangedOp : public OperatorBase {
         fn_(std::move(fn)),
         right_trace_(right.trace()) {
     dataflow->stats().arrangement_shares++;
+    RegisterOutput(&output_);
     left.publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V1>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V1>>& b) {
           left_port_.Append(t, b);
           RequestRun(t);
         });
     right.deltas().publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V2>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V2>>& b) {
           right_port_.Append(t, b);
           RequestRun(t);
         });
@@ -145,10 +151,12 @@ class JoinStreamArrangedOp : public OperatorBase {
 
   void OnVersionSealed(uint32_t version) override {
     left_.CompactTo(version);
-    dataflow_->stats().trace_entries += left_.total_entries();
-    dataflow_->stats().trace_spine_batches += left_.num_spine_batches();
-    dataflow_->stats().trace_spine_merges += left_.num_merges();
-    dataflow_->stats().trace_compactions += left_.num_compactions();
+  }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    out->AddTrace(left_);
+    out->queued_bytes +=
+        left_port_.buffered_bytes() + right_port_.buffered_bytes();
   }
 
  private:
@@ -214,19 +222,27 @@ class JoinArrangedArrangedOp : public OperatorBase {
         left_trace_(left.trace()),
         right_trace_(right.trace()) {
     dataflow->stats().arrangement_shares += 2;
+    RegisterOutput(&output_);
     left.deltas().publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V1>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V1>>& b) {
           left_port_.Append(t, b);
           RequestRun(t);
         });
     right.deltas().publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V2>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V2>>& b) {
           right_port_.Append(t, b);
           RequestRun(t);
         });
   }
 
   Stream<Out> stream() { return Stream<Out>(dataflow_, &output_); }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    out->queued_bytes +=
+        left_port_.buffered_bytes() + right_port_.buffered_bytes();
+  }
 
  private:
   using OutBuckets = std::map<Time, Batch<Out>, TimeLexLess>;

@@ -19,6 +19,7 @@
 #ifndef GRAPHSURGE_DIFFERENTIAL_DATAFLOW_H_
 #define GRAPHSURGE_DIFFERENTIAL_DATAFLOW_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -95,6 +96,15 @@ struct DataflowStats {
   /// Merge() sums them, so a sharded aggregate is the fleet-wide total.
   uint64_t trace_entries = 0;
   uint64_t trace_spine_batches = 0;
+  /// Memory-accounting gauges, refreshed alongside the trace gauges above:
+  /// live resident bytes across all operator-owned traces (entry count ×
+  /// sizeof(Entry), see Trace::kEntryBytes), the high-water mark of that
+  /// figure, cumulative bytes reclaimed by consolidation/compaction, and
+  /// updates currently buffered in operator input ports + exchange inboxes.
+  uint64_t trace_bytes = 0;
+  uint64_t trace_high_water_bytes = 0;
+  uint64_t trace_reclaimed_bytes = 0;
+  uint64_t queued_update_bytes = 0;
   /// Cumulative spine maintenance counters, re-reported at each seal like
   /// the gauges above: batch merges performed (geometric invariant + full
   /// compactions) and full-spine compaction passes run.
@@ -137,6 +147,10 @@ struct DataflowStats {
     arrangement_shares += other.arrangement_shares;
     trace_entries += other.trace_entries;
     trace_spine_batches += other.trace_spine_batches;
+    trace_bytes += other.trace_bytes;
+    trace_high_water_bytes += other.trace_high_water_bytes;
+    trace_reclaimed_bytes += other.trace_reclaimed_bytes;
+    queued_update_bytes += other.queued_update_bytes;
     trace_spine_merges += other.trace_spine_merges;
     trace_compactions += other.trace_compactions;
     for (const auto& [name, nanos] : other.op_nanos) {
@@ -181,6 +195,36 @@ struct DataflowStats {
   }
 };
 
+/// Point-in-time memory attribution for one operator, filled in by
+/// OperatorBase::CollectMemory overrides. Byte figures are entry counts ×
+/// fixed record sizes (Trace::kEntryBytes, sizeof(Update<D>)), not malloc
+/// capacity — deterministic across execution orders, so serial == sum of
+/// shards holds exactly and /statusz gauges can be checked against a manual
+/// spine-size computation.
+struct OperatorMemory {
+  /// Updates buffered in input ports + exchange inboxes, in bytes.
+  uint64_t queued_bytes = 0;
+  uint64_t trace_entries = 0;
+  uint64_t trace_bytes = 0;
+  uint64_t trace_batches = 0;
+  uint64_t trace_high_water_bytes = 0;
+  uint64_t trace_reclaimed_bytes = 0;
+  uint64_t trace_merges = 0;
+  uint64_t trace_compactions = 0;
+
+  /// Folds one owned trace's accounting into this snapshot.
+  template <typename Tr>
+  void AddTrace(const Tr& trace) {
+    trace_entries += trace.total_entries();
+    trace_bytes += trace.live_bytes();
+    trace_batches += trace.num_spine_batches();
+    trace_high_water_bytes += trace.high_water_bytes();
+    trace_reclaimed_bytes += trace.reclaimed_bytes();
+    trace_merges += trace.num_merges();
+    trace_compactions += trace.num_compactions();
+  }
+};
+
 /// Base class of all operators; concrete operators are created through
 /// Dataflow::AddOperator and owned by the Dataflow.
 ///
@@ -196,7 +240,7 @@ struct DataflowStats {
 class OperatorBase {
  public:
   OperatorBase(Dataflow* dataflow, std::string name);
-  virtual ~OperatorBase() = default;
+  virtual ~OperatorBase();
 
   uint32_t order() const { return order_; }
   const std::string& name() const { return name_; }
@@ -206,19 +250,37 @@ class OperatorBase {
   /// Hook called after a version reaches quiescence (traces compact here).
   virtual void OnVersionSealed(uint32_t version) {}
 
+  /// Stateful operators override this to attribute their resident memory
+  /// (owned traces, buffered input) into `out`. Called from SealPhase on
+  /// the shard's own thread (never concurrently with operator execution),
+  /// then folded into DataflowStats and the per-arrangement gauges.
+  virtual void CollectMemory(OperatorMemory* out) const {}
+
   /// Returns and resets the wall time this operator spent in RunAt since
   /// the last call (folded into DataflowStats::op_nanos at each seal).
   uint64_t TakeRunNanos() {
     uint64_t nanos = run_nanos_;
+    total_run_nanos_ += nanos;
     run_nanos_ = 0;
     return nanos;
   }
+
+  /// Cumulative wall time across the operator's lifetime (advanced by
+  /// TakeRunNanos at each seal; surfaced by /statusz).
+  uint64_t total_run_nanos() const { return total_run_nanos_; }
 
   /// Attributes extra wall time to this operator. The Dataflow uses this to
   /// charge OnStepBegin / OnVersionSealed work (input flushes, compaction)
   /// to the operator that performed it, so per-operator profiles account
   /// for (nearly) all engine time, not just RunAt.
   void AddRunNanos(uint64_t nanos) { run_nanos_ += nanos; }
+
+  /// Refreshes this operator's per-arrangement registry gauges from a
+  /// memory snapshot. Gauges are created lazily on the first snapshot with
+  /// any trace footprint (linear operators never allocate any); the
+  /// destructor zeroes the live gauges so torn-down dataflows stop
+  /// claiming memory in /statusz and /metrics.
+  void UpdateMemoryGauges(const OperatorMemory& memory);
 
  protected:
   /// Schedules RunAt(t) unless one is already pending for t.
@@ -227,12 +289,26 @@ class OperatorBase {
   /// Stateful operators override this to drain their ports at `time`.
   virtual void RunAt(const Time& time) {}
 
+  /// Records this operator as the owner of `publisher` (its output handle)
+  /// so Dataflow::GraphEdges can resolve subscriptions into operator →
+  /// operator channels for /statusz. Call once per output in the ctor.
+  void RegisterOutput(const void* publisher);
+
   Dataflow* dataflow_;
 
  private:
+  struct MemoryGauges {
+    metrics::Gauge* bytes = nullptr;
+    metrics::Gauge* batches = nullptr;
+    metrics::Gauge* high_water = nullptr;
+    metrics::Gauge* reclaimed = nullptr;
+  };
+
   uint32_t order_ = 0;
   std::string name_;
   uint64_t run_nanos_ = 0;
+  uint64_t total_run_nanos_ = 0;
+  MemoryGauges gauges_;
   std::set<Time, TimeLexLess> run_pending_;
 };
 
@@ -255,6 +331,18 @@ class InputPort {
     return batch;
   }
 
+  /// Updates currently buffered across all pending timestamps.
+  size_t buffered_updates() const {
+    size_t n = 0;
+    for (const auto& [time, batch] : buffers_) n += batch.size();
+    return n;
+  }
+  /// Buffered payload bytes (record size × update count), for the
+  /// queued-update memory accounting in /statusz.
+  size_t buffered_bytes() const {
+    return buffered_updates() * sizeof(Update<D>);
+  }
+
  private:
   std::map<Time, Batch<D>, TimeLexLess> buffers_;
 };
@@ -266,10 +354,11 @@ class Publisher {
  public:
   using Callback = std::function<void(const Time&, const Batch<D>&)>;
 
-  void Subscribe(uint32_t op_order, Callback callback) {
-    subscribers_.push_back(
-        std::make_unique<Subscriber>(Subscriber{op_order, std::move(callback)}));
-  }
+  /// Subscribes `op_order`'s callback and records the (publisher →
+  /// consumer) channel in the dataflow's graph topology, so /statusz can
+  /// render operators and channels without walking live operator state.
+  /// Defined after Dataflow (it records the edge there).
+  void Subscribe(Dataflow* dataflow, uint32_t op_order, Callback callback);
 
   void Publish(Dataflow* dataflow, const Time& time, Batch<D>&& batch);
 
@@ -384,6 +473,60 @@ class Dataflow {
     return static_cast<uint32_t>(registered_.size() - 1);
   }
 
+  // --- Graph topology (construction-time only; safe to read at scrape) ----
+
+  /// Records `owner` (an operator order) as the producer behind `publisher`.
+  void NotePublisher(const void* publisher, uint32_t owner) {
+    publisher_owner_[publisher] = owner;
+  }
+  /// Records a subscription of operator `consumer` to `publisher`.
+  void NoteSubscription(const void* publisher, uint32_t consumer) {
+    subscriptions_.emplace_back(publisher, consumer);
+  }
+
+  /// Resolved (producer order, consumer order) channels, deduplicated.
+  /// Subscriptions whose publisher was never registered through
+  /// RegisterOutput (none in-tree) are dropped.
+  std::vector<std::pair<uint32_t, uint32_t>> GraphEdges() const {
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(subscriptions_.size());
+    for (const auto& [publisher, consumer] : subscriptions_) {
+      auto it = publisher_owner_.find(publisher);
+      if (it != publisher_owner_.end()) {
+        edges.emplace_back(it->second, consumer);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+  }
+
+  /// Point-in-time per-operator introspection record (see
+  /// CollectOperatorSnapshots).
+  struct OperatorSnapshot {
+    uint32_t order = 0;
+    std::string name;
+    OperatorMemory memory;
+    uint64_t total_run_nanos = 0;
+  };
+
+  /// Collects one snapshot per operator. Must run on the thread that owns
+  /// this shard's phase (ShardedDataflow calls it after the SealPhase
+  /// barrier); the result is plain data, safe to hand to a scrape thread.
+  std::vector<OperatorSnapshot> CollectOperatorSnapshots() const {
+    std::vector<OperatorSnapshot> snapshots;
+    snapshots.reserve(registered_.size());
+    for (const OperatorBase* op : registered_) {
+      OperatorSnapshot snap;
+      snap.order = op->order();
+      snap.name = op->name();
+      op->CollectMemory(&snap.memory);
+      snap.total_run_nanos = op->total_run_nanos();
+      snapshots.push_back(std::move(snap));
+    }
+    return snapshots;
+  }
+
   /// The version the next Step() will process.
   uint32_t current_version() const { return version_; }
 
@@ -453,13 +596,6 @@ class Dataflow {
   /// Phase 3: seal the version (trace compaction) and advance.
   void SealPhase() {
     GS_TRACE_SPAN_V("engine", "seal", version_);
-    // The trace gauges and cumulative spine counters are re-reported by
-    // every trace-owning operator from its OnVersionSealed
-    // (post-compaction), so reset them first.
-    stats_.trace_entries = 0;
-    stats_.trace_spine_batches = 0;
-    stats_.trace_spine_merges = 0;
-    stats_.trace_compactions = 0;
     for (OperatorBase* op : registered_) {
       Timer timer;
       op->OnVersionSealed(version_);
@@ -475,6 +611,30 @@ class Dataflow {
           stats_.op_nanos[op->name()] += nanos;
         }
       }
+    }
+    // The trace gauges, byte accounting, and cumulative spine counters are
+    // re-collected post-compaction from every operator's CollectMemory, so
+    // reset them first; per-arrangement registry gauges refresh alongside.
+    stats_.trace_entries = 0;
+    stats_.trace_spine_batches = 0;
+    stats_.trace_bytes = 0;
+    stats_.trace_high_water_bytes = 0;
+    stats_.trace_reclaimed_bytes = 0;
+    stats_.queued_update_bytes = 0;
+    stats_.trace_spine_merges = 0;
+    stats_.trace_compactions = 0;
+    for (OperatorBase* op : registered_) {
+      OperatorMemory memory;
+      op->CollectMemory(&memory);
+      stats_.trace_entries += memory.trace_entries;
+      stats_.trace_spine_batches += memory.trace_batches;
+      stats_.trace_bytes += memory.trace_bytes;
+      stats_.trace_high_water_bytes += memory.trace_high_water_bytes;
+      stats_.trace_reclaimed_bytes += memory.trace_reclaimed_bytes;
+      stats_.queued_update_bytes += memory.queued_bytes;
+      stats_.trace_spine_merges += memory.trace_merges;
+      stats_.trace_compactions += memory.trace_compactions;
+      op->UpdateMemoryGauges(memory);
     }
     // Registry writes happen only here (per version, not per event), so the
     // hot scheduler loop stays metrics-free.
@@ -506,6 +666,8 @@ class Dataflow {
   size_t worker_index_ = 0;
   uint32_t next_exchange_channel_ = 0;
   std::vector<std::function<bool()>> inbox_drainers_;
+  std::map<const void*, uint32_t> publisher_owner_;
+  std::vector<std::pair<const void*, uint32_t>> subscriptions_;
   Scheduler scheduler_;
   DataflowStats stats_;
   std::vector<std::unique_ptr<OperatorBase>> operators_;
@@ -517,6 +679,51 @@ class Dataflow {
 inline OperatorBase::OperatorBase(Dataflow* dataflow, std::string name)
     : dataflow_(dataflow), name_(std::move(name)) {
   order_ = dataflow->RegisterOperator(this);
+}
+
+inline OperatorBase::~OperatorBase() {
+  // Zero the live gauges so a torn-down dataflow stops claiming resident
+  // memory (satellite invariant: gauges return to zero after teardown).
+  // High-water and reclaimed are historical marks and are left standing.
+  if (gauges_.bytes != nullptr) gauges_.bytes->Set(0);
+  if (gauges_.batches != nullptr) gauges_.batches->Set(0);
+}
+
+inline void OperatorBase::RegisterOutput(const void* publisher) {
+  dataflow_->NotePublisher(publisher, order_);
+}
+
+inline void OperatorBase::UpdateMemoryGauges(const OperatorMemory& memory) {
+  if (gauges_.bytes == nullptr) {
+    // Linear operators never own a trace; don't pollute the registry with
+    // permanently-zero gauge series for them.
+    if (memory.trace_high_water_bytes == 0 && memory.trace_batches == 0) {
+      return;
+    }
+    metrics::Registry& registry = metrics::Registry::Global();
+    metrics::Registry::Labels labels{
+        {"op", name_},
+        {"shard", std::to_string(dataflow_->worker_index())},
+        {"slot", std::to_string(order_)}};
+    gauges_.bytes = registry.GetGauge("gs_arrangement_bytes", labels);
+    gauges_.batches = registry.GetGauge("gs_arrangement_batches", labels);
+    gauges_.high_water =
+        registry.GetGauge("gs_arrangement_bytes_high_water", labels);
+    gauges_.reclaimed =
+        registry.GetGauge("gs_arrangement_bytes_reclaimed", labels);
+  }
+  gauges_.bytes->Set(static_cast<int64_t>(memory.trace_bytes));
+  gauges_.batches->Set(static_cast<int64_t>(memory.trace_batches));
+  gauges_.high_water->Set(static_cast<int64_t>(memory.trace_high_water_bytes));
+  gauges_.reclaimed->Set(static_cast<int64_t>(memory.trace_reclaimed_bytes));
+}
+
+template <typename D>
+void Publisher<D>::Subscribe(Dataflow* dataflow, uint32_t op_order,
+                             Callback callback) {
+  dataflow->NoteSubscription(this, op_order);
+  subscribers_.push_back(
+      std::make_unique<Subscriber>(Subscriber{op_order, std::move(callback)}));
 }
 
 inline void OperatorBase::RequestRun(const Time& time) {
@@ -554,7 +761,9 @@ void Publisher<D>::Publish(Dataflow* dataflow, const Time& time,
 template <typename D>
 class InputOp : public OperatorBase {
  public:
-  explicit InputOp(Dataflow* dataflow) : OperatorBase(dataflow, "input") {}
+  explicit InputOp(Dataflow* dataflow) : OperatorBase(dataflow, "input") {
+    RegisterOutput(&output_);
+  }
 
   /// Buffers an update for the next Step().
   void Send(D data, Diff diff) {

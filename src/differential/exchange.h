@@ -89,8 +89,17 @@ class ExchangeInbox {
     return std::exchange(items_, {});
   }
 
+  /// Payload bytes currently queued (record size × update count). Takes the
+  /// inbox mutex, so it is safe against concurrent peer pushes.
+  size_t QueuedBytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t updates = 0;
+    for (const auto& [time, batch] : items_) updates += batch.size();
+    return updates * sizeof(Update<D>);
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<std::pair<Time, Batch<D>>> items_;
 };
 
@@ -112,13 +121,18 @@ class ExchangeOp : public OperatorBase {
     GS_CHECK(dataflow->sharded()) << "ExchangeOp outside sharded execution";
     hub_->RegisterInbox(channel_, worker_, &inbox_);
     dataflow->RegisterInboxDrainer([this] { return DrainInbox(); });
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 Route(t, b);
                               });
   }
 
   Stream<D> stream() { return Stream<D>(dataflow_, &output_); }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    out->queued_bytes += port_.buffered_bytes() + inbox_.QueuedBytes();
+  }
 
  private:
   void Route(const Time& time, const Batch<D>& batch) {

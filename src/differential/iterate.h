@@ -31,7 +31,8 @@ class EnterOp : public OperatorBase {
  public:
   EnterOp(Dataflow* dataflow, Stream<D> in)
       : OperatorBase(dataflow, "enter") {
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 Batch<D> copy = b;
                                 output_.Publish(dataflow_, t.Entered(),
@@ -54,13 +55,20 @@ class LeaveOp : public OperatorBase {
  public:
   LeaveOp(Dataflow* dataflow, Stream<D> in)
       : OperatorBase(dataflow, "leave") {
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 OnInput(t, b);
                               });
   }
 
   Stream<D> stream() { return Stream<D>(dataflow_, &output_); }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    size_t pending = 0;
+    for (const auto& [outer, held] : held_) pending += held.pending.size();
+    out->queued_bytes += pending * sizeof(Update<D>);
+  }
 
  private:
   struct Held {
@@ -108,12 +116,14 @@ template <typename D>
 class FeedbackOp : public OperatorBase {
  public:
   FeedbackOp(Dataflow* dataflow, uint32_t max_iterations)
-      : OperatorBase(dataflow, "feedback"), max_iterations_(max_iterations) {}
+      : OperatorBase(dataflow, "feedback"), max_iterations_(max_iterations) {
+    RegisterOutput(&output_);
+  }
 
   Stream<D> stream() { return Stream<D>(dataflow_, &output_); }
 
   void ConnectForward(Stream<D> in) {
-    in.publisher()->Subscribe(order(),
+    in.publisher()->Subscribe(dataflow_, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 port_.Append(t, b);
                                 RequestRun(t);
@@ -121,13 +131,17 @@ class FeedbackOp : public OperatorBase {
   }
 
   void ConnectNegated(Stream<D> in) {
-    in.publisher()->Subscribe(order(),
+    in.publisher()->Subscribe(dataflow_, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 Batch<D> negated = b;
                                 for (Update<D>& u : negated) u.diff = -u.diff;
                                 port_.Append(t, negated);
                                 RequestRun(t);
                               });
+  }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    out->queued_bytes += port_.buffered_bytes();
   }
 
  private:

@@ -24,13 +24,16 @@ class JoinOp : public OperatorBase {
   JoinOp(Dataflow* dataflow, Stream<std::pair<K, V1>> left,
          Stream<std::pair<K, V2>> right, Fn fn)
       : OperatorBase(dataflow, "join"), fn_(std::move(fn)) {
+    RegisterOutput(&output_);
     left.publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V1>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V1>>& b) {
           left_port_.Append(t, b);
           RequestRun(t);
         });
     right.publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V2>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V2>>& b) {
           right_port_.Append(t, b);
           RequestRun(t);
         });
@@ -41,14 +44,13 @@ class JoinOp : public OperatorBase {
   void OnVersionSealed(uint32_t version) override {
     left_.CompactTo(version);
     right_.CompactTo(version);
-    dataflow_->stats().trace_entries +=
-        left_.total_entries() + right_.total_entries();
-    dataflow_->stats().trace_spine_batches +=
-        left_.num_spine_batches() + right_.num_spine_batches();
-    dataflow_->stats().trace_spine_merges +=
-        left_.num_merges() + right_.num_merges();
-    dataflow_->stats().trace_compactions +=
-        left_.num_compactions() + right_.num_compactions();
+  }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    out->AddTrace(left_);
+    out->AddTrace(right_);
+    out->queued_bytes +=
+        left_port_.buffered_bytes() + right_port_.buffered_bytes();
   }
 
  private:

@@ -15,7 +15,8 @@ class MapOp : public OperatorBase {
  public:
   MapOp(Dataflow* dataflow, Stream<In> in, Fn fn)
       : OperatorBase(dataflow, "map"), fn_(std::move(fn)) {
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<In>& b) {
                                 OnInput(t, b);
                               });
@@ -42,7 +43,8 @@ class FilterOp : public OperatorBase {
  public:
   FilterOp(Dataflow* dataflow, Stream<D> in, Fn fn)
       : OperatorBase(dataflow, "filter"), fn_(std::move(fn)) {
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 OnInput(t, b);
                               });
@@ -70,7 +72,8 @@ class FlatMapOp : public OperatorBase {
  public:
   FlatMapOp(Dataflow* dataflow, Stream<In> in, Fn fn)
       : OperatorBase(dataflow, "flat_map"), fn_(std::move(fn)) {
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<In>& b) {
                                 OnInput(t, b);
                               });
@@ -105,8 +108,9 @@ class ConcatOp : public OperatorBase {
       Batch<D> copy = batch;
       output_.Publish(dataflow_, t, std::move(copy));
     };
-    a.publisher()->Subscribe(order(), forward);
-    b.publisher()->Subscribe(order(), forward);
+    RegisterOutput(&output_);
+    a.publisher()->Subscribe(dataflow, order(), forward);
+    b.publisher()->Subscribe(dataflow, order(), forward);
   }
 
   Stream<D> stream() { return Stream<D>(dataflow_, &output_); }
@@ -120,7 +124,8 @@ class NegateOp : public OperatorBase {
  public:
   NegateOp(Dataflow* dataflow, Stream<D> in)
       : OperatorBase(dataflow, "negate") {
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 Batch<D> out = b;
                                 for (Update<D>& u : out) u.diff = -u.diff;
@@ -141,7 +146,8 @@ class InspectOp : public OperatorBase {
   InspectOp(Dataflow* dataflow, Stream<D> in,
             std::function<void(const Time&, const Batch<D>&)> fn)
       : OperatorBase(dataflow, "inspect"), fn_(std::move(fn)) {
-    in.publisher()->Subscribe(order(),
+    RegisterOutput(&output_);
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 fn_(t, b);
                                 Batch<D> copy = b;
@@ -163,7 +169,7 @@ class CaptureOp : public OperatorBase {
  public:
   CaptureOp(Dataflow* dataflow, Stream<D> in)
       : OperatorBase(dataflow, "capture") {
-    in.publisher()->Subscribe(order(),
+    in.publisher()->Subscribe(dataflow, order(),
                               [this](const Time& t, const Batch<D>& b) {
                                 GS_CHECK(t.depth == 0)
                                     << "Capture inside a loop scope";

@@ -44,8 +44,10 @@ class ReduceOp : public OperatorBase {
       : OperatorBase(dataflow, "reduce"),
         fn_(std::move(fn)),
         input_(&owned_input_) {
+    RegisterOutput(&output_);
     in.publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V>>& b) {
           port_.Append(t, b);
           RequestRun(t);
         });
@@ -56,8 +58,10 @@ class ReduceOp : public OperatorBase {
         fn_(std::move(fn)),
         input_(in.trace()) {
     dataflow->stats().arrangement_shares++;
+    RegisterOutput(&output_);
     in.deltas().publisher()->Subscribe(
-        order(), [this](const Time& t, const Batch<std::pair<K, V>>& b) {
+        dataflow, order(),
+        [this](const Time& t, const Batch<std::pair<K, V>>& b) {
           port_.Append(t, b);
           RequestRun(t);
         });
@@ -74,21 +78,16 @@ class ReduceOp : public OperatorBase {
   }
 
   void OnVersionSealed(uint32_t version) override {
-    const bool owns_input = input_ == &owned_input_;
-    if (owns_input) owned_input_.CompactTo(version);
+    if (input_ == &owned_input_) owned_input_.CompactTo(version);
     output_trace_.CompactTo(version);
-    dataflow_->stats().trace_entries +=
-        (owns_input ? owned_input_.total_entries() : 0) +
-        output_trace_.total_entries();
-    dataflow_->stats().trace_spine_batches +=
-        (owns_input ? owned_input_.num_spine_batches() : 0) +
-        output_trace_.num_spine_batches();
-    dataflow_->stats().trace_spine_merges +=
-        (owns_input ? owned_input_.num_merges() : 0) +
-        output_trace_.num_merges();
-    dataflow_->stats().trace_compactions +=
-        (owns_input ? owned_input_.num_compactions() : 0) +
-        output_trace_.num_compactions();
+  }
+
+  void CollectMemory(OperatorMemory* out) const override {
+    // The shared-arrangement input trace is accounted by its owning
+    // ArrangeOp/ReduceOp, never double-counted here.
+    if (input_ == &owned_input_) out->AddTrace(owned_input_);
+    out->AddTrace(output_trace_);
+    out->queued_bytes += port_.buffered_bytes();
   }
 
  private:

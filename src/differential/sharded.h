@@ -31,10 +31,15 @@
 #define GRAPHSURGE_DIFFERENTIAL_SHARDED_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/introspect.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/status.h"
@@ -56,6 +61,14 @@ class ShardedDataflow {
       workers_.push_back(
           std::make_unique<Dataflow>(options_, hub_.get(), w));
     }
+    // Register with the live-introspection registry so /statusz can render
+    // this dataflow. The producer only copies the mutex-protected snapshot
+    // refreshed at phase barriers, so a scrape never touches operator state.
+    static std::atomic<uint64_t> next_instance{0};
+    uint64_t instance = next_instance.fetch_add(1, std::memory_order_relaxed);
+    introspect_source_ = std::make_unique<introspect::ScopedSource>(
+        "dataflow-" + std::to_string(instance),
+        [this] { return RenderStatusJson(); });
   }
 
   ShardedDataflow(const ShardedDataflow&) = delete;
@@ -87,6 +100,15 @@ class ShardedDataflow {
     std::vector<Status> statuses(w, Status::Ok());
     std::vector<char> has_pending(w, 0);
     std::vector<Time> min_pending(w);
+    {
+      // Graph topology is construction-time state and the builder has run
+      // by the first Step; capture it once. The small per-step fields are
+      // refreshed under the same mutex the scrape producer takes.
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      status_.version = current_version();
+      status_.stepping = true;
+      if (status_.edges.empty()) status_.edges = workers_[0]->GraphEdges();
+    }
     pool_->ParallelFor(w, [&](size_t i) {
       ScopedWorkerId tag(static_cast<int>(i));
       workers_[i]->BeginStepPhase();
@@ -114,6 +136,19 @@ class ShardedDataflow {
       }
       if (!any) break;  // global quiescence
       frontier_rounds->Increment();
+      {
+        // Post-barrier: no shard is running, so the schedulers' pending
+        // counts are stable — sum them as "records outstanding".
+        uint64_t outstanding = 0;
+        for (size_t i = 0; i < w; ++i) {
+          outstanding += workers_[i]->scheduler().pending();
+        }
+        std::lock_guard<std::mutex> lock(status_mutex_);
+        status_.frontier = frontier;
+        status_.frontier_valid = true;
+        status_.frontier_rounds += 1;
+        status_.records_outstanding = outstanding;
+      }
       if (trace::Enabled()) {
         // One instant event per frontier advance: which (version, iteration)
         // the fleet agreed to run next. Formatting only happens when a trace
@@ -139,6 +174,24 @@ class ShardedDataflow {
       ScopedWorkerId tag(static_cast<int>(i));
       workers_[i]->SealPhase();
     });
+    // Post-seal barrier: every shard is idle, so per-operator memory and
+    // timing snapshots can be collected without racing operator execution.
+    {
+      std::vector<ShardOperatorStatus> ops;
+      for (size_t i = 0; i < w; ++i) {
+        for (auto& snap : workers_[i]->CollectOperatorSnapshots()) {
+          ops.push_back(ShardOperatorStatus{i, std::move(snap)});
+        }
+      }
+      std::vector<uint64_t> events = PerWorkerEvents();
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      status_.ops = std::move(ops);
+      status_.per_worker_events = std::move(events);
+      status_.version = current_version();
+      status_.stepping = false;
+      status_.frontier_valid = false;
+      status_.records_outstanding = 0;
+    }
     return Status::Ok();
   }
 
@@ -160,7 +213,123 @@ class ShardedDataflow {
     return events;
   }
 
+  /// Renders the current status snapshot as one JSON object: execution
+  /// state (version, frontier, rounds, records outstanding), per-operator
+  /// memory/timing attribution, the operator→operator channels, and a
+  /// Graphviz DOT rendering of the worker-0 graph. Safe to call from any
+  /// thread at any time — it only reads the snapshot refreshed at phase
+  /// barriers.
+  std::string RenderStatusJson() const {
+    StatusSnapshot snap;
+    {
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      snap = status_;
+    }
+    std::string out = "{";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "\"workers\": %zu, \"version\": %u, \"stepping\": %s",
+                  workers_.size(), snap.version,
+                  snap.stepping ? "true" : "false");
+    out += buf;
+    if (snap.frontier_valid) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"frontier\": {\"version\": %u, \"depth\": %u, "
+                    "\"iter\": %u}",
+                    snap.frontier.version,
+                    static_cast<unsigned>(snap.frontier.depth),
+                    snap.frontier.depth > 0 ? snap.frontier.iters[0] : 0u);
+      out += buf;
+    } else {
+      out += ", \"frontier\": null";
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ", \"frontier_rounds\": %llu, "
+                  "\"records_outstanding\": %llu",
+                  static_cast<unsigned long long>(snap.frontier_rounds),
+                  static_cast<unsigned long long>(snap.records_outstanding));
+    out += buf;
+    out += ", \"per_worker_events\": [";
+    for (size_t i = 0; i < snap.per_worker_events.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(snap.per_worker_events[i]);
+    }
+    out += "], \"operators\": [";
+    for (size_t i = 0; i < snap.ops.size(); ++i) {
+      const ShardOperatorStatus& op = snap.ops[i];
+      if (i) out += ", ";
+      out += "{\"shard\": " + std::to_string(op.shard) +
+             ", \"slot\": " + std::to_string(op.snap.order) + ", \"name\": \"" +
+             introspect::JsonEscape(op.snap.name) + "\"";
+      std::snprintf(
+          buf, sizeof(buf),
+          ", \"queued_bytes\": %llu, \"trace_bytes\": %llu, "
+          "\"trace_batches\": %llu",
+          static_cast<unsigned long long>(op.snap.memory.queued_bytes),
+          static_cast<unsigned long long>(op.snap.memory.trace_bytes),
+          static_cast<unsigned long long>(op.snap.memory.trace_batches));
+      out += buf;
+      std::snprintf(
+          buf, sizeof(buf),
+          ", \"trace_high_water_bytes\": %llu, "
+          "\"trace_reclaimed_bytes\": %llu, \"run_nanos\": %llu}",
+          static_cast<unsigned long long>(
+              op.snap.memory.trace_high_water_bytes),
+          static_cast<unsigned long long>(op.snap.memory.trace_reclaimed_bytes),
+          static_cast<unsigned long long>(op.snap.total_run_nanos));
+      out += buf;
+    }
+    out += "], \"channels\": [";
+    for (size_t i = 0; i < snap.edges.size(); ++i) {
+      if (i) out += ", ";
+      out += "[" + std::to_string(snap.edges[i].first) + ", " +
+             std::to_string(snap.edges[i].second) + "]";
+    }
+    out += "], \"dot\": \"" + introspect::JsonEscape(RenderDot(snap)) + "\"}";
+    return out;
+  }
+
  private:
+  struct ShardOperatorStatus {
+    size_t shard = 0;
+    Dataflow::OperatorSnapshot snap;
+  };
+
+  /// Point-in-time execution state, refreshed at Step's phase barriers and
+  /// copied (under status_mutex_) by the scrape producer.
+  struct StatusSnapshot {
+    uint32_t version = 0;
+    bool stepping = false;
+    bool frontier_valid = false;
+    Time frontier;
+    uint64_t frontier_rounds = 0;
+    uint64_t records_outstanding = 0;
+    std::vector<uint64_t> per_worker_events;
+    std::vector<ShardOperatorStatus> ops;
+    std::vector<std::pair<uint32_t, uint32_t>> edges;  // worker-0 topology
+  };
+
+  /// Graphviz digraph of the worker-0 operator graph, labeled with the
+  /// latest memory attribution.
+  static std::string RenderDot(const StatusSnapshot& snap) {
+    std::string dot = "digraph dataflow {\n  rankdir=LR;\n";
+    for (const ShardOperatorStatus& op : snap.ops) {
+      if (op.shard != 0) continue;
+      dot += "  n" + std::to_string(op.snap.order) + " [label=\"" +
+             op.snap.name + " #" + std::to_string(op.snap.order);
+      if (op.snap.memory.trace_bytes > 0) {
+        dot += "\\n" + std::to_string(op.snap.memory.trace_bytes) + "B";
+      }
+      dot += "\"];\n";
+    }
+    for (const auto& [from, to] : snap.edges) {
+      dot += "  n" + std::to_string(from) + " -> n" + std::to_string(to) +
+             ";\n";
+    }
+    dot += "}\n";
+    return dot;
+  }
+
   static DataflowOptions FixupOptions(DataflowOptions options) {
     options.num_workers = std::max<size_t>(1, options.num_workers);
     return options;
@@ -170,6 +339,11 @@ class ShardedDataflow {
   std::unique_ptr<ExchangeHub> hub_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Dataflow>> workers_;
+  mutable std::mutex status_mutex_;
+  StatusSnapshot status_;
+  // Declared last: unregisters first on destruction, so no scrape can reach
+  // a partially-destroyed dataflow.
+  std::unique_ptr<introspect::ScopedSource> introspect_source_;
 };
 
 }  // namespace gs::differential

@@ -55,6 +55,7 @@ class Trace {
     if (diff == 0) return;
     tail_.push_back(Entry{key, value, time, diff});
     ++total_entries_;
+    peak_entries_ = std::max(peak_entries_, total_entries_);
     ++inserts_since_compaction_;
     if (tail_.size() >= kTailSealThreshold) SealTail();
   }
@@ -143,6 +144,21 @@ class Trace {
   size_t total_entries() const { return total_entries_; }
   size_t num_spine_batches() const { return spine_.size() + !tail_.empty(); }
 
+  /// Fixed per-entry footprint used by the byte gauges below. Deliberately
+  /// sizeof(Entry) × entry count (not malloc capacity): entry counts are
+  /// execution-order independent after compaction, so serial == sum of
+  /// shards holds exactly and the /statusz gauges can be cross-checked
+  /// against a manual spine-size computation.
+  static constexpr size_t kEntryBytes = sizeof(Entry);
+
+  /// Live resident entry bytes: (spine + tail entries) × sizeof(Entry).
+  size_t live_bytes() const { return total_entries_ * kEntryBytes; }
+  /// High-water mark of live_bytes() since construction.
+  size_t high_water_bytes() const { return peak_entries_ * kEntryBytes; }
+  /// Cumulative bytes reclaimed by consolidation/compaction (every drop of
+  /// a cancelled or merged entry, wherever it happened).
+  uint64_t reclaimed_bytes() const { return entries_reclaimed_ * kEntryBytes; }
+
   /// Cumulative spine-maintenance counters: pairwise batch merges performed
   /// (geometric invariant restores plus full-compaction passes) and
   /// full-spine compaction passes run by CompactTo. Trace-owning operators
@@ -209,6 +225,7 @@ class Trace {
       i = j;
     }
     total_entries_ -= entries->size() - out;
+    entries_reclaimed_ += entries->size() - out;
     entries->resize(out);
     return min_version == UINT32_MAX ? sealed_version_ : min_version;
   }
@@ -276,6 +293,7 @@ class Trace {
       }
     }
     total_entries_ -= dropped;
+    entries_reclaimed_ += dropped;
     return merged;
   }
 
@@ -283,6 +301,8 @@ class Trace {
   std::vector<Entry> tail_;
   mutable Batch<V> accumulate_scratch_;
   size_t total_entries_ = 0;
+  size_t peak_entries_ = 0;
+  uint64_t entries_reclaimed_ = 0;
   size_t inserts_since_compaction_ = 0;
   uint64_t num_merges_ = 0;
   uint64_t num_compactions_ = 0;

@@ -124,8 +124,16 @@ struct AggregateViewDef {
   std::vector<AggregateSpec> edge_aggregates;
 };
 
-using Statement =
-    std::variant<FilteredViewDef, ViewCollectionDef, AggregateViewDef>;
+/// `explain <collection>` — renders the optimizer's plan for a materialized
+/// view collection: chosen view order, estimated difference-set sizes, and
+/// (after a RunComputation) the splitting decisions with estimated-vs-actual
+/// per-view diff counts. Purely diagnostic; materializes nothing.
+struct ExplainDef {
+  std::string target;
+};
+
+using Statement = std::variant<FilteredViewDef, ViewCollectionDef,
+                               AggregateViewDef, ExplainDef>;
 
 }  // namespace gs::gvdl
 

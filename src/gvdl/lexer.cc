@@ -13,7 +13,7 @@ const std::set<std::string>& Keywords() {
   static const std::set<std::string> kKeywords = {
       "create", "view",  "collection", "on",  "edges", "nodes",
       "where",  "group", "by",         "aggregate",    "and",
-      "or",     "not",   "true",       "false"};
+      "or",     "not",   "true",       "false",        "explain"};
   return kKeywords;
 }
 

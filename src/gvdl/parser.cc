@@ -71,6 +71,14 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   StatusOr<Statement> ParseStatement() {
+    if (PeekKeyword("explain")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(std::string target,
+                          ExpectIdentifier("collection name"));
+      ExplainDef def;
+      def.target = std::move(target);
+      return Statement(std::move(def));
+    }
     GS_RETURN_IF_ERROR(ExpectKeyword("create"));
     GS_RETURN_IF_ERROR(ExpectKeyword("view"));
     if (PeekKeyword("collection")) {
@@ -114,7 +122,7 @@ class Parser {
 
   bool AtEnd() const { return tokens_[pos_].type == TokenType::kEnd; }
   bool AtStatementBoundary() const {
-    return AtEnd() || PeekKeyword("create");
+    return AtEnd() || PeekKeyword("create") || PeekKeyword("explain");
   }
 
  private:

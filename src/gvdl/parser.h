@@ -1,7 +1,8 @@
 // Recursive-descent parser for GVDL statements.
 //
 // Grammar (keywords case-insensitive):
-//   statement   := filtered | collection | aggregate
+//   statement   := filtered | collection | aggregate | explain
+//   explain     := 'explain' name
 //   filtered    := 'create' 'view' name 'on' name 'edges' 'where' pred
 //   collection  := 'create' 'view' 'collection' name 'on' name member
 //                  (','? member)*

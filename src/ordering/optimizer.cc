@@ -42,6 +42,7 @@ OrderingResult OrderCollection(const views::EdgeBooleanMatrix& ebm,
   if (k <= 1) {
     result.order = IdentityOrder(k);
     result.difference_count = ebm.DifferenceCount(result.order);
+    result.identity_difference_count = result.difference_count;
     result.seconds = timer.Seconds();
     return result;
   }
@@ -74,6 +75,7 @@ OrderingResult OrderCollection(const views::EdgeBooleanMatrix& ebm,
   // back something worse than the user-given order.
   std::vector<size_t> identity = IdentityOrder(k);
   uint64_t ds_identity = ebm.DifferenceCount(identity);
+  result.identity_difference_count = ds_identity;
   if (ds_identity < result.difference_count) {
     result.order = std::move(identity);
     result.difference_count = ds_identity;

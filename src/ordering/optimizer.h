@@ -19,6 +19,10 @@ struct OrderingResult {
   std::vector<size_t> order;
   /// ds(EBM, order) — total difference-set size under this order.
   uint64_t difference_count = 0;
+  /// ds(EBM, identity) — the user-given order's cost, computed anyway as
+  /// the optimizer's fallback floor. Kept so EXPLAIN can report the win
+  /// without re-evaluating the matrix.
+  uint64_t identity_difference_count = 0;
   /// Wall time spent ordering (the paper's CCT ordering overhead).
   double seconds = 0;
 };

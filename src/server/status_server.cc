@@ -1,0 +1,312 @@
+#include "server/status_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/introspect.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace_event.h"
+
+namespace gs::server {
+
+namespace {
+
+/// Newest spans per thread served by /tracez. Small enough to render in a
+/// few milliseconds while a run is recording; Perfetto handles the rest.
+constexpr size_t kTracezEventsPerThread = 256;
+
+/// Upper bound on the request head we are willing to buffer. Status-page
+/// GETs are a few hundred bytes; anything larger is not our client.
+constexpr size_t kMaxRequestBytes = 8192;
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                    ReasonPhrase(response.status_code) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+StatusServer::StatusServer() { RegisterBuiltins(); }
+
+StatusServer::~StatusServer() { Stop(); }
+
+void StatusServer::RegisterBuiltins() {
+  Handle("/healthz", [] {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  Handle("/metrics", [] {
+    HttpResponse r;
+    r.body = metrics::Registry::Global().ExpositionText();
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return r;
+  });
+  Handle("/varz", [] {
+    HttpResponse r;
+    r.body = metrics::Registry::Global().JsonSnapshot();
+    r.content_type = "application/json";
+    return r;
+  });
+  Handle("/tracez", [] {
+    HttpResponse r;
+    r.body = trace::ToJsonTail(kTracezEventsPerThread);
+    r.content_type = "application/json";
+    return r;
+  });
+  Handle("/statusz", [] {
+    HttpResponse r;
+    std::string body = "{\n  \"sources\": {";
+    std::vector<introspect::Rendered> sources =
+        introspect::Registry::Global().Collect();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (i) body += ",";
+      body += "\n    \"" + introspect::JsonEscape(sources[i].name) +
+              "\": " + sources[i].json;
+    }
+    body += "\n  }\n}\n";
+    r.body = body;
+    r.content_type = "application/json";
+    return r;
+  });
+}
+
+HttpResponse StatusServer::IndexPage() const {
+  HttpResponse r;
+  r.body = "graphsurge status server\n\nendpoints:\n";
+  std::lock_guard<std::mutex> lock(handlers_mutex_);
+  for (const auto& [path, handler] : handlers_) {
+    r.body += "  " + path + "\n";
+  }
+  return r;
+}
+
+void StatusServer::Handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mutex_);
+  handlers_[path] = std::move(handler);
+}
+
+Status StatusServer::Start(uint16_t port) {
+  if (running()) return Status::InvalidArgument("status server already running");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
+                            ") failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    ::close(fd);
+    return Status::Internal("getsockname() failed");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(fd);
+    return Status::Internal("pipe() failed");
+  }
+
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  running_.store(true, std::memory_order_release);
+  // A dedicated thread, not the worker pool: the serve loop blocks in
+  // poll() indefinitely and must never occupy a compute slot.
+  thread_ = std::thread([this] { ServeLoop(); });
+  GS_LOG(Info) << "status server listening on http://127.0.0.1:" << port_;
+  return Status::Ok();
+}
+
+void StatusServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Self-pipe: wake the poll() so the loop observes running_ == false.
+  char byte = 'q';
+  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = -1;
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void StatusServer::ServeLoop() {
+  while (running()) {
+    pollfd fds[2] = {};
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!running()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // Bound how long a stalled client can hold the (single) serve thread.
+    timeval timeout = {};
+    timeout.tv_sec = 5;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void StatusServer::ServeConnection(int fd) {
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (request.empty()) return;  // client closed without sending anything
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP target SP version CRLF.
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) line_end = request.size();
+  std::string line = request.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    HttpResponse r;
+    r.status_code = 400;
+    r.body = "malformed request line\n";
+    WriteAll(fd, RenderResponse(r));
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET" && method != "HEAD") {
+    HttpResponse r;
+    r.status_code = 405;
+    r.body = "only GET is supported\n";
+    WriteAll(fd, RenderResponse(r));
+    return;
+  }
+  // Drop any query string; handlers are parameterless views.
+  size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  HttpResponse response = Dispatch(target);
+  std::string wire = RenderResponse(response);
+  // HEAD: same headers as GET — Content-Length advertises the GET body —
+  // but no body bytes on the wire (RFC 7231 §4.3.2).
+  if (method == "HEAD") wire.resize(wire.find("\r\n\r\n") + 4);
+  WriteAll(fd, wire);
+}
+
+HttpResponse StatusServer::Dispatch(const std::string& path) const {
+  // Counting scrapes here also guarantees /metrics is never empty: by the
+  // time a scraper reads it, its own request has registered the family.
+  static metrics::Counter* requests =
+      metrics::Registry::Global().GetCounter("gs_status_server_requests");
+  requests->Increment();
+  if (path == "/" || path.empty()) return IndexPage();
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    auto it = handlers_.find(path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    HttpResponse r;
+    r.status_code = 404;
+    r.body = "no handler for " + path + "\n";
+    return r;
+  }
+  // Invoked outside handlers_mutex_ so a slow render never blocks Handle().
+  return handler();
+}
+
+StatusServer& StatusServer::Global() {
+  static StatusServer* server = new StatusServer();
+  return *server;
+}
+
+bool StatusServer::MaybeStartFromEnv() {
+  StatusServer& server = Global();
+  if (server.running()) return true;
+  const char* env = std::getenv("GRAPHSURGE_STATUS_PORT");
+  if (env == nullptr || *env == '\0') return false;
+  char* end = nullptr;
+  long port = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || port < 0 || port > 65535) {
+    GS_LOG(Warning) << "ignoring invalid GRAPHSURGE_STATUS_PORT: " << env;
+    return false;
+  }
+  Status status = server.Start(static_cast<uint16_t>(port));
+  if (!status.ok()) {
+    GS_LOG(Warning) << "status server failed to start: " << status.ToString();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gs::server

@@ -27,13 +27,20 @@ bool AdaptiveSplitter::ShouldRunScratch(size_t view_index, uint64_t view_size,
 
 bool AdaptiveSplitter::ChunkShouldRunScratch(
     const std::vector<uint64_t>& view_sizes,
-    const std::vector<uint64_t>& diff_sizes) {
+    const std::vector<uint64_t>& diff_sizes,
+    ChunkPrediction* prediction) {
   double scratch_cost = 0, diff_cost = 0;
   for (uint64_t s : view_sizes) {
     scratch_cost += scratch_model_.Predict(static_cast<double>(s));
   }
   for (uint64_t s : diff_sizes) {
     diff_cost += diff_model_.Predict(static_cast<double>(s));
+  }
+  if (prediction != nullptr) {
+    prediction->scratch_seconds = scratch_cost;
+    prediction->diff_seconds = diff_cost;
+    prediction->models_ready = scratch_model_.num_observations() > 0 &&
+                               diff_model_.num_observations() > 0;
   }
   return scratch_cost < diff_cost;
 }

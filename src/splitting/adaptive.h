@@ -24,6 +24,15 @@ enum class Strategy {
 
 const char* StrategyName(Strategy s);
 
+/// Both cost models' predictions for one chunk, captured when the decision
+/// is made so EXPLAIN can show exactly the numbers the splitter compared.
+struct ChunkPrediction {
+  double scratch_seconds = 0;
+  double diff_seconds = 0;
+  /// False while a model still predicts infinity (not enough observations).
+  bool models_ready = false;
+};
+
 /// Decision state for one collection run.
 class AdaptiveSplitter {
  public:
@@ -42,8 +51,11 @@ class AdaptiveSplitter {
 
   /// Chunk-granular decision: called at the start of each chunk with the
   /// sizes of all views in it; the same choice applies to the whole chunk.
+  /// When `prediction` is non-null it receives both models' cost estimates
+  /// for the chunk.
   bool ChunkShouldRunScratch(const std::vector<uint64_t>& view_sizes,
-                             const std::vector<uint64_t>& diff_sizes);
+                             const std::vector<uint64_t>& diff_sizes,
+                             ChunkPrediction* prediction = nullptr);
 
   void RecordScratch(uint64_t view_size, double seconds) {
     scratch_model_.Observe(static_cast<double>(view_size), seconds);

@@ -23,14 +23,22 @@ MaterializedCollection Finalize(const PropertyGraph& graph,
 
   double ordering_seconds = 0;
   std::vector<size_t> order;
+  uint64_t identity_ds = 0;
+  bool identity_ds_known = false;
   if (!options.explicit_order.empty()) {
     order = options.explicit_order;
     GS_CHECK(order.size() == ebm.num_views());
+    mc.order_source = "explicit";
+    identity_ds = ebm.DifferenceCount(ordering::IdentityOrder(ebm.num_views()));
+    identity_ds_known = true;
   } else if (options.use_ordering) {
     ordering::OrderingResult ores =
         ordering::OrderCollection(ebm, options.pool);
     order = std::move(ores.order);
     ordering_seconds = ores.seconds;
+    mc.order_source = "ordered";
+    identity_ds = ores.identity_difference_count;
+    identity_ds_known = true;
   } else {
     order = ordering::IdentityOrder(ebm.num_views());
   }
@@ -47,6 +55,7 @@ MaterializedCollection Finalize(const PropertyGraph& graph,
     mc.diff_sizes.push_back(mc.diffs.DiffSize(t));
   }
   mc.total_diffs = mc.diffs.TotalDiffs();
+  mc.identity_ds = identity_ds_known ? identity_ds : mc.total_diffs;
   mc.ordering_seconds = ordering_seconds;
   mc.creation_seconds = timer->Seconds();
   return mc;
@@ -111,6 +120,7 @@ MaterializedCollection CollectionFromDiffBatches(
     mc.order.push_back(t);
   }
   mc.diffs = EdgeDifferenceStream::FromBatches(std::move(batches));
+  mc.identity_ds = mc.total_diffs;
   return mc;
 }
 

@@ -42,6 +42,13 @@ struct MaterializedCollection {
   std::vector<uint64_t> view_sizes;
   std::vector<uint64_t> diff_sizes;
   uint64_t total_diffs = 0;
+  /// How the execution order was chosen ("ordered", "explicit", "identity")
+  /// and the optimizer's estimated difference-set sizes: ds under the
+  /// chosen order (== total_diffs) and under the user-given identity order.
+  /// EXPLAIN reports both; identity_ds == total_diffs when no reordering
+  /// happened.
+  std::string order_source = "identity";
+  uint64_t identity_ds = 0;
   /// Collection creation time (the paper's CCT) and the ordering share.
   double creation_seconds = 0;
   double ordering_seconds = 0;

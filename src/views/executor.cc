@@ -148,6 +148,8 @@ StatusOr<ExecutionResult> RunOnCollection(
     const MaterializedCollection& collection,
     const ExecutionOptions& options) {
   ExecutionResult result;
+  result.strategy = options.strategy;
+  result.chunk_size = options.chunk_size;
   const size_t k = collection.num_views();
   if (k == 0) return result;
 
@@ -165,14 +167,19 @@ StatusOr<ExecutionResult> RunOnCollection(
   std::unique_ptr<Engine> engine;
 
   // Per-chunk decisions (strategy). For fixed strategies every chunk is
-  // the same; adaptive consults the cost models.
+  // the same; adaptive consults the cost models. Each decision is recorded
+  // (with the predictions it compared) for EXPLAIN.
   auto chunk_scratch_decision = [&](size_t chunk_begin,
                                     size_t chunk_end) -> bool {
+    ChunkDecision decision;
+    decision.begin = chunk_begin;
+    decision.end = chunk_end;
     switch (options.strategy) {
       case splitting::Strategy::kDiffOnly:
-        return false;
+        break;
       case splitting::Strategy::kScratch:
-        return true;
+        decision.scratch = true;
+        break;
       case splitting::Strategy::kAdaptive: {
         std::vector<uint64_t> view_sizes(
             collection.view_sizes.begin() + chunk_begin,
@@ -180,10 +187,17 @@ StatusOr<ExecutionResult> RunOnCollection(
         std::vector<uint64_t> diff_sizes(
             collection.diff_sizes.begin() + chunk_begin,
             collection.diff_sizes.begin() + chunk_end);
-        return splitter.ChunkShouldRunScratch(view_sizes, diff_sizes);
+        splitting::ChunkPrediction prediction;
+        decision.scratch = splitter.ChunkShouldRunScratch(
+            view_sizes, diff_sizes, &prediction);
+        decision.from_model = prediction.models_ready;
+        decision.predicted_scratch_seconds = prediction.scratch_seconds;
+        decision.predicted_diff_seconds = prediction.diff_seconds;
+        break;
       }
     }
-    return false;
+    result.chunk_decisions.push_back(decision);
+    return decision.scratch;
   };
 
   // Folds a finished engine's work counters into the result (called before
@@ -209,9 +223,11 @@ StatusOr<ExecutionResult> RunOnCollection(
     if (options.strategy == splitting::Strategy::kAdaptive && t == 0) {
       chunk_end = 1;
       scratch = true;  // bootstrap: GV1 from scratch
+      result.chunk_decisions.push_back({t, chunk_end, scratch, false, 0, 0});
     } else if (options.strategy == splitting::Strategy::kAdaptive && t == 1) {
       chunk_end = 2;
       scratch = false;  // bootstrap: GV2 differentially
+      result.chunk_decisions.push_back({t, chunk_end, scratch, false, 0, 0});
     } else {
       chunk_end = std::min(k, t + options.chunk_size);
       scratch = chunk_scratch_decision(t, chunk_end);
@@ -259,15 +275,19 @@ StatusOr<ExecutionResult> RunOnCollection(
       stats.op_nanos = OpNanosDelta(
           engine->dataflow.AggregatedStats().AggregatedOpNanos(), ops_before);
       stats.seconds = view_timer.Seconds();
+      stats.view_size = collection.view_sizes[t];
+      stats.estimated_diffs = collection.diff_sizes[t];
       uint32_t engine_version = engine->dataflow.current_version() - 1;
       stats.output_diffs =
           dd::UpdateMagnitude(engine->VersionDiffs(engine_version));
 
+      // The cost models learn from the *measured* input sizes in stats —
+      // the same numbers EXPLAIN later shows next to the estimates.
       if (stats.ran_scratch) {
         if (t > 0) ++result.num_splits;
-        splitter.RecordScratch(collection.view_sizes[t], stats.seconds);
+        splitter.RecordScratch(stats.input_size, stats.seconds);
       } else {
-        splitter.RecordDifferential(collection.diff_sizes[t], stats.seconds);
+        splitter.RecordDifferential(stats.input_size, stats.seconds);
       }
 
       if (options.capture_results) {
@@ -288,9 +308,19 @@ StatusOr<ExecutionResult> RunOnCollection(
           metrics::Registry::Global().GetCounter("gs_executor_scratch_runs");
       static metrics::Histogram* view_nanos =
           metrics::Registry::Global().GetHistogram("gs_executor_view_nanos");
+      static metrics::Histogram* input_diffs =
+          metrics::Registry::Global().GetHistogram(
+              "gs_executor_view_input_diffs");
+      static metrics::Histogram* output_diffs =
+          metrics::Registry::Global().GetHistogram(
+              "gs_executor_view_output_diffs");
       views_run->Increment();
       if (stats.ran_scratch) scratch_runs->Increment();
       view_nanos->Observe(static_cast<uint64_t>(stats.seconds * 1e9));
+      // Actual per-view |δC| telemetry: input magnitude fed to the engine
+      // (full |GV| for a scratch run) and output difference-set magnitude.
+      input_diffs->Observe(stats.input_size);
+      output_diffs->Observe(stats.output_diffs);
       result.per_view.push_back(stats);
     }
   }

@@ -36,9 +36,16 @@ struct ViewRunStats {
   double seconds = 0;
   bool ran_scratch = false;
   /// Size of the input fed for this view (|GV| for scratch, |δC| for
-  /// differential) and of the output difference set produced.
+  /// differential) and of the output difference set produced. These are the
+  /// *actual* measured counts; the splitting cost models and EXPLAIN both
+  /// consume them (never re-derived from the collection metadata).
   uint64_t input_size = 0;
   uint64_t output_diffs = 0;
+  /// The collection's ordering-time estimates for the same view: |GV_t|
+  /// from the EBM column and |δC_t| from the difference stream. EXPLAIN
+  /// shows estimated_diffs next to the actual input_size.
+  uint64_t view_size = 0;
+  uint64_t estimated_diffs = 0;
   /// Wall time per operator spent computing this view: the delta of the
   /// engine's op_nanos over this view's Step(), rolled up across worker
   /// shards (DataflowStats::AggregatedOpNanos). Keys are normalized
@@ -46,9 +53,27 @@ struct ViewRunStats {
   std::map<std::string, uint64_t> op_nanos;
 };
 
+/// One splitting decision: the chunk of views it covered, what was chosen,
+/// and the cost-model predictions that drove it (meaningful for the
+/// adaptive strategy; fixed strategies record predictions of 0 with
+/// from_model = false).
+struct ChunkDecision {
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+  bool scratch = false;
+  bool from_model = false;
+  double predicted_scratch_seconds = 0;
+  double predicted_diff_seconds = 0;
+};
+
 struct ExecutionResult {
   double total_seconds = 0;
   std::vector<ViewRunStats> per_view;
+  /// The strategy and chunking this run used, plus every per-chunk
+  /// decision in order — EXPLAIN renders these verbatim.
+  splitting::Strategy strategy = splitting::Strategy::kDiffOnly;
+  size_t chunk_size = 0;
+  std::vector<ChunkDecision> chunk_decisions;
   /// Number of scratch runs after the first view (the paper's "splits").
   size_t num_splits = 0;
   /// Engine work counters summed over all engines used by the run.

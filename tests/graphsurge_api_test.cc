@@ -190,6 +190,43 @@ TEST_F(GraphsurgeApiTest, ProfileReportsLastRun) {
   EXPECT_NE(profile.find("gs_executor_views_run"), std::string::npos);
 }
 
+TEST_F(GraphsurgeApiTest, ExplainBeforeAndAfterRun) {
+  ASSERT_TRUE(system_
+                  .Execute("create view collection durations on Calls "
+                           "[d5: duration <= 5], [d15: duration <= 15], "
+                           "[d34: duration <= 34]")
+                  .ok());
+
+  // Before any run: the plan (order source, estimated per-view sizes) is
+  // there, the actuals are not.
+  auto before = system_.Explain("durations");
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_NE(before->find("order source:"), std::string::npos);
+  EXPECT_NE(before->find("estimated ds(B,sigma)="), std::string::npos);
+  EXPECT_NE(before->find("est |dC|"), std::string::npos);
+  EXPECT_NE(before->find("no recorded run"), std::string::npos);
+  EXPECT_EQ(before->find("actual in"), std::string::npos);
+
+  analytics::Wcc wcc;
+  auto result = system_.RunComputation(wcc, "durations");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // After a run: estimated-vs-actual diff counts plus the splitting
+  // decision table. The statement form must resolve too.
+  auto after = system_.Explain("explain durations");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after->find("actual in"), std::string::npos);
+  EXPECT_NE(after->find("actual out"), std::string::npos);
+  EXPECT_NE(after->find("last run: strategy="), std::string::npos);
+  EXPECT_EQ(after->find("no recorded run"), std::string::npos);
+
+  // EXPLAIN is a GVDL statement: Execute() accepts it (the rendering goes
+  // to the log) and unknown targets error out.
+  EXPECT_TRUE(system_.Execute("explain durations").ok());
+  EXPECT_FALSE(system_.Explain("no_such_collection").ok());
+  EXPECT_FALSE(system_.Execute("explain no_such_collection").ok());
+}
+
 TEST_F(GraphsurgeApiTest, NameListings) {
   ASSERT_TRUE(
       system_.Execute("create view V2 on Calls edges where year = 2019").ok());

@@ -135,6 +135,33 @@ TEST(ParserTest, ScriptWithMultipleStatements) {
   EXPECT_TRUE(std::holds_alternative<ViewCollectionDef>((*script)[2]));
 }
 
+TEST(ParserTest, ExplainStatement) {
+  auto s = Parse("explain C");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_TRUE(std::holds_alternative<ExplainDef>(*s));
+  EXPECT_EQ(std::get<ExplainDef>(*s).target, "C");
+}
+
+TEST(ParserTest, ExplainMixedIntoScript) {
+  auto script = ParseScript(
+      "create view collection C on G [v1: x = 1], [v2: x = 2]\n"
+      "explain C\n"
+      "create view A on G edges where x = 1");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<ViewCollectionDef>((*script)[0]));
+  ASSERT_TRUE(std::holds_alternative<ExplainDef>((*script)[1]));
+  EXPECT_EQ(std::get<ExplainDef>((*script)[1]).target, "C");
+  EXPECT_TRUE(std::holds_alternative<FilteredViewDef>((*script)[2]));
+}
+
+TEST(ParserTest, ExplainErrors) {
+  // Missing collection name.
+  EXPECT_FALSE(Parse("explain").ok());
+  // Trailing garbage after the name.
+  EXPECT_FALSE(Parse("explain C bogus").ok());
+}
+
 TEST(ParserTest, Errors) {
   EXPECT_FALSE(Parse("create view X on").ok());
   EXPECT_FALSE(Parse("create view X on G edges x = 1").ok());
