@@ -33,6 +33,7 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "common/trace_event.h"
+#include "differential/fuzz_hooks.h"
 #include "differential/scheduler.h"
 #include "differential/time.h"
 #include "differential/update.h"
@@ -657,6 +658,18 @@ class Dataflow {
       return Status::Internal(
           "event cap exceeded at version " + std::to_string(version_) +
           " — computation may not converge");
+    }
+    // Fault-injection hook (fuzz_hooks.h): simulate a mid-run resource
+    // failure through the same clean Status path as the event cap. The
+    // fuzzer asserts teardown leaks nothing and a retry succeeds.
+    const fuzz::Hooks& fz = fuzz::GlobalHooks();
+    if (fz.fail_after_events != 0 &&
+        scheduler_.events_processed() - step_start_events_ >=
+            fz.fail_after_events) {
+      return Status::Internal(
+          "injected allocation failure after " +
+          std::to_string(fz.fail_after_events) + " events at version " +
+          std::to_string(version_));
     }
     return Status::Ok();
   }

@@ -14,14 +14,17 @@
 #ifndef GRAPHSURGE_DIFFERENTIAL_EXCHANGE_H_
 #define GRAPHSURGE_DIFFERENTIAL_EXCHANGE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <numeric>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "differential/dataflow.h"
+#include "differential/fuzz_hooks.h"
 
 namespace gs::differential {
 
@@ -163,6 +166,27 @@ class ExchangeOp : public OperatorBase {
   bool DrainInbox() {
     std::vector<std::pair<Time, Batch<D>>> items = inbox_.Drain();
     if (items.empty()) return false;
+    // Fuzz hook (fuzz_hooks.h): delivery order within one drain is
+    // unordered by contract — receivers bucket per timestamp and the
+    // scheduler orders the timestamps — so the fuzzer may permute it. The
+    // permutation is a pure function of (seed, channel, worker, drain
+    // count), so a replayed case perturbs deliveries the same way.
+    const fuzz::Hooks& fz = fuzz::GlobalHooks();
+    if (fz.shuffle_exchange && items.size() > 1) {
+      const uint64_t salt =
+          fuzz::Mix(fz.seed ^ (static_cast<uint64_t>(channel_) << 40) ^
+                    (static_cast<uint64_t>(worker_) << 32) ^ drains_);
+      std::vector<size_t> order(items.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return fuzz::Mix(salt ^ a) < fuzz::Mix(salt ^ b);
+      });
+      std::vector<std::pair<Time, Batch<D>>> shuffled;
+      shuffled.reserve(items.size());
+      for (size_t i : order) shuffled.push_back(std::move(items[i]));
+      items = std::move(shuffled);
+    }
+    ++drains_;
     for (auto& [time, batch] : items) {
       port_.Append(time, batch);
       RequestRun(time);
@@ -180,6 +204,7 @@ class ExchangeOp : public OperatorBase {
   size_t worker_;
   ExchangeHub* hub_;
   uint32_t channel_;
+  uint64_t drains_ = 0;  // salts the fuzz shuffle per drain
   ExchangeInbox<D> inbox_;
   InputPort<D> port_;
   Publisher<D> output_;

@@ -6,6 +6,13 @@
 // stateful operators emit corrections for late-arriving diffs (DESIGN.md
 // §3.1) — the ordering here is an efficiency heuristic.
 //
+// Because the sub-time ordering is a heuristic, Schedule exposes a fuzzing
+// hook (the FuzzScheduler point, fuzz_hooks.h): when installed, the
+// (op_order, seq) tie-breakers are deterministically scrambled from the
+// fuzz seed, perturbing operator activation order among same-time events
+// without ever reordering across distinct times — the frontier protocol's
+// guarantees survive by construction.
+//
 // Threading: a Scheduler is owned by exactly one worker shard and is only
 // ever touched by the thread currently running that shard's phase (see
 // sharded.h); it needs no internal synchronization.
@@ -17,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "differential/fuzz_hooks.h"
 #include "differential/time.h"
 
 namespace gs::differential {
@@ -44,8 +52,18 @@ class Scheduler {
  public:
   void Schedule(const Time& time, uint32_t op_order,
                 std::function<void()> action) {
-    heap_.push_back(Event{EventKey{time, op_order, next_seq_++},
-                          std::move(action)});
+    uint64_t seq = next_seq_++;
+    // Fuzz hook (fuzz_hooks.h): the components below `time` are an
+    // efficiency heuristic, so the fuzzer may scramble them to explore
+    // alternative linear extensions of the time order. `time` itself is
+    // never perturbed — the frontier protocol depends on it.
+    const fuzz::Hooks& fz = fuzz::GlobalHooks();
+    if (fz.scramble_op_order) {
+      op_order = static_cast<uint32_t>(fuzz::Mix(fz.seed ^ (seq << 16) ^
+                                                 op_order));
+    }
+    if (fz.scramble_seq) seq = fuzz::Mix(fz.seed ^ seq);
+    heap_.push_back(Event{EventKey{time, op_order, seq}, std::move(action)});
     std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   }
 

@@ -34,8 +34,13 @@
 #include <utility>
 #include <vector>
 
+#include "differential/fuzz_hooks.h"
 #include "differential/time.h"
 #include "differential/update.h"
+
+#if GRAPHSURGE_PARANOID
+#include "common/logging.h"
+#endif
 
 namespace gs::differential {
 
@@ -53,11 +58,28 @@ class Trace {
 
   void Insert(const K& key, const V& value, const Time& time, Diff diff) {
     if (diff == 0) return;
+    ++insert_seq_;
+    const fuzz::Hooks& fz = fuzz::GlobalHooks();
+    if (fz.drop_insert_at != 0 && insert_seq_ == fz.drop_insert_at) {
+      // Hidden --inject-bug hook: silently lose this update (a simulated
+      // lost-update bug the fuzzer must catch). See fuzz_hooks.h.
+      return;
+    }
     tail_.push_back(Entry{key, value, time, diff});
     ++total_entries_;
     peak_entries_ = std::max(peak_entries_, total_entries_);
     ++inserts_since_compaction_;
-    if (tail_.size() >= kTailSealThreshold) SealTail();
+    const size_t seal_threshold =
+        fz.tail_seal_threshold != 0 ? fz.tail_seal_threshold
+                                    : kTailSealThreshold;
+    if (tail_.size() >= seal_threshold) SealTail();
+    if (fz.compaction_period != 0 && insert_seq_ % fz.compaction_period == 0) {
+      // Injected mid-run compaction point. Insert call sites never hold an
+      // iteration over this trace, so compacting here is legal; the
+      // paranoid check asserts the hook observes a fully-merged spine.
+      CheckSpineInvariants();
+      CompactTo(sealed_version_);
+    }
   }
 
   /// Visits every entry of `key` as fn(value, time, diff), in unspecified
@@ -126,6 +148,59 @@ class Trace {
       Rewrite(&spine_.front());
       if (spine_.front().entries.empty()) spine_.clear();
     }
+    CheckSpineInvariants();
+  }
+
+  /// Asserts every batch-spine invariant; compiled to a no-op unless the
+  /// build defines GRAPHSURGE_PARANOID (CMake option of the same name, on
+  /// in the fuzzer's CI configurations). The invariants a consistent —
+  /// never partially-merged — spine satisfies:
+  ///   1. every batch is sorted strictly by EntryLess — sorted,
+  ///      consolidated, and free of zero diffs;
+  ///   2. each batch's min_version matches its entries, and version ranges
+  ///      respect the sealed frontier: a batch is either untouched history
+  ///      (it may still hold pre-frontier versions awaiting rewrite) or
+  ///      fully rewritten — after a full compaction pass no entry sits
+  ///      below the sealed frontier;
+  ///   3. the geometric size invariant holds across adjacent batches
+  ///      (each ≥ 2× the next younger one);
+  ///   4. the entry accounting (total_entries_) matches the spine + tail.
+  void CheckSpineInvariants() const {
+#if GRAPHSURGE_PARANOID
+    size_t counted = tail_.size();
+    for (size_t b = 0; b < spine_.size(); ++b) {
+      const SpineBatch& batch = spine_[b];
+      GS_CHECK(!batch.entries.empty()) << "empty spine batch " << b;
+      uint32_t min_version = UINT32_MAX;
+      for (size_t i = 0; i < batch.entries.size(); ++i) {
+        const Entry& e = batch.entries[i];
+        GS_CHECK(e.diff != 0)
+            << "zero-diff entry in spine batch " << b << " at " << i;
+        min_version = std::min(min_version, e.time.version);
+        if (i > 0) {
+          // EntryLess is total on distinct (key, value, time) triples, so
+          // sorted-and-consolidated means strictly increasing.
+          GS_CHECK(EntryLess(batch.entries[i - 1], e))
+              << "spine batch " << b << " unsorted or unconsolidated at "
+              << i;
+        }
+      }
+      GS_CHECK(batch.min_version == min_version)
+          << "spine batch " << b << " min_version " << batch.min_version
+          << " != computed " << min_version;
+      if (b + 1 < spine_.size()) {
+        GS_CHECK(batch.entries.size() >=
+                 2 * spine_[b + 1].entries.size())
+            << "geometric invariant violated between batches " << b
+            << " (" << batch.entries.size() << ") and " << b + 1 << " ("
+            << spine_[b + 1].entries.size() << ")";
+      }
+      counted += batch.entries.size();
+    }
+    GS_CHECK(counted == total_entries_)
+        << "entry accounting drift: counted " << counted << " tracked "
+        << total_entries_;
+#endif
   }
 
   /// Distinct keys present (test/diagnostic use; O(n log n)).
@@ -181,7 +256,15 @@ class Trace {
     if (b.key < a.key) return false;
     if (a.value < b.value) return true;
     if (b.value < a.value) return false;
-    return a.time.LexLess(b.time);
+    if (a.time.LexLess(b.time)) return true;
+    if (b.time.LexLess(a.time)) return false;
+    // Distinct times can be LexLess-equal across scope depths (<1> vs
+    // <1,0>, zero-padded). Break the tie on depth so EntryLess is a total
+    // order on distinct (key, value, time) triples: a LexLess tie at equal
+    // depth implies identical iters, hence equal times. Without this,
+    // consolidation in MergeBatches (which treats a two-way LexLess tie as
+    // equality) could merge entries the product order still tells apart.
+    return a.time.depth < b.time.depth;
   }
 
   static std::pair<typename std::vector<Entry>::const_iterator,
@@ -250,6 +333,7 @@ class Trace {
       SpineBatch merged = MergeBatches(std::move(a), std::move(b));
       if (!merged.entries.empty()) spine_.push_back(std::move(merged));
     }
+    CheckSpineInvariants();
   }
 
   // Rewrites versions below the sealed frontier up to it. The rewrite can
@@ -273,7 +357,6 @@ class Trace {
     Rewrite(&b);
     SpineBatch merged;
     merged.entries.reserve(a.entries.size() + b.entries.size());
-    merged.min_version = std::min(a.min_version, b.min_version);
     size_t i = 0, j = 0, dropped = 0;
     while (i < a.entries.size() || j < b.entries.size()) {
       if (j >= b.entries.size()) {
@@ -292,6 +375,14 @@ class Trace {
         if (e.diff != 0) merged.entries.push_back(std::move(e));
       }
     }
+    // min(a.min, b.min) is only a lower bound — cancellation may have
+    // removed the very entries that carried it; recompute exactly so the
+    // metadata stays tight (and the paranoid invariant can be strict).
+    merged.min_version = UINT32_MAX;
+    for (const Entry& e : merged.entries) {
+      merged.min_version = std::min(merged.min_version, e.time.version);
+    }
+    if (merged.entries.empty()) merged.min_version = sealed_version_;
     total_entries_ -= dropped;
     entries_reclaimed_ += dropped;
     return merged;
@@ -304,6 +395,7 @@ class Trace {
   size_t peak_entries_ = 0;
   uint64_t entries_reclaimed_ = 0;
   size_t inserts_since_compaction_ = 0;
+  uint64_t insert_seq_ = 0;  // cumulative inserts; drives the fuzz hooks
   uint64_t num_merges_ = 0;
   uint64_t num_compactions_ = 0;
   uint32_t sealed_version_ = 0;

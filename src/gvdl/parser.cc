@@ -273,6 +273,20 @@ class Parser {
   }
 
   StatusOr<ExprPtr> ParseUnary() {
+    // `not` and `(` recurse; without a depth cap a pathological input
+    // ("not not not ...") overflows the stack instead of returning a
+    // parse error. 200 is far beyond any legitimate predicate.
+    static constexpr int kMaxPredicateDepth = 200;
+    if (depth_ >= kMaxPredicateDepth) {
+      return ErrorHere("predicate nesting too deep");
+    }
+    ++depth_;
+    StatusOr<ExprPtr> result = ParseUnaryInner();
+    --depth_;
+    return result;
+  }
+
+  StatusOr<ExprPtr> ParseUnaryInner() {
     if (PeekKeyword("not")) {
       ++pos_;
       GS_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
@@ -387,6 +401,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  // ParseUnary recursion depth (stack-overflow guard)
 };
 
 }  // namespace

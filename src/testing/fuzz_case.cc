@@ -1,0 +1,175 @@
+#include "testing/fuzz_case.h"
+
+#include <sstream>
+
+namespace gs::testing {
+
+std::string FuzzCase::Serialize() const {
+  std::ostringstream out;
+  out << "# graphsurge fuzz case v1\n";
+  out << "case_seed " << case_seed << "\n";
+  out << "num_nodes " << num_nodes << "\n";
+  out << "use_ordering " << (use_ordering ? 1 : 0) << "\n";
+  out << "workers " << workers << "\n";
+  out << "schedule_seed " << schedule_seed << "\n";
+  out << "compaction_period " << compaction_period << "\n";
+  out << "tail_seal_threshold " << tail_seal_threshold << "\n";
+  out << "drop_insert_at " << drop_insert_at << "\n";
+  out << "fail_after_events " << fail_after_events << "\n";
+  out << "program " << static_cast<int>(program.algo) << " " << program.param
+      << "\n";
+  for (const OpNode& op : program.ops) {
+    out << "op " << static_cast<int>(op.kind) << " " << op.a << " " << op.b
+        << " " << op.child0 << " " << op.child1 << "\n";
+  }
+  for (const FuzzEdge& e : edges) {
+    out << "edge " << e.src << " " << e.dst << " " << e.w << " " << e.kind
+        << "\n";
+  }
+  // Predicates go last and take the rest of the line (they contain spaces).
+  for (const std::string& p : predicates) {
+    out << "predicate " << p << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<FuzzCase> FuzzCase::Parse(const std::string& text) {
+  FuzzCase c;
+  c.num_nodes = 0;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_end = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    auto fail = [&](const std::string& what) {
+      return Status::ParseError("fuzz case line " + std::to_string(line_no) +
+                                ": " + what + " (" + line + ")");
+    };
+    if (key == "end") {
+      saw_end = true;
+      break;
+    } else if (key == "case_seed") {
+      if (!(ls >> c.case_seed)) return fail("bad case_seed");
+    } else if (key == "num_nodes") {
+      if (!(ls >> c.num_nodes)) return fail("bad num_nodes");
+    } else if (key == "use_ordering") {
+      int v = 0;
+      if (!(ls >> v)) return fail("bad use_ordering");
+      c.use_ordering = v != 0;
+    } else if (key == "workers") {
+      if (!(ls >> c.workers)) return fail("bad workers");
+    } else if (key == "schedule_seed") {
+      if (!(ls >> c.schedule_seed)) return fail("bad schedule_seed");
+    } else if (key == "compaction_period") {
+      if (!(ls >> c.compaction_period)) return fail("bad compaction_period");
+    } else if (key == "tail_seal_threshold") {
+      if (!(ls >> c.tail_seal_threshold)) {
+        return fail("bad tail_seal_threshold");
+      }
+    } else if (key == "drop_insert_at") {
+      if (!(ls >> c.drop_insert_at)) return fail("bad drop_insert_at");
+    } else if (key == "fail_after_events") {
+      if (!(ls >> c.fail_after_events)) return fail("bad fail_after_events");
+    } else if (key == "program") {
+      int algo = 0;
+      if (!(ls >> algo >> c.program.param)) return fail("bad program");
+      if (algo < 0 || algo > static_cast<int>(Algo::kRandom)) {
+        return fail("unknown algo");
+      }
+      c.program.algo = static_cast<Algo>(algo);
+    } else if (key == "op") {
+      OpNode op;
+      int kind = 0;
+      if (!(ls >> kind >> op.a >> op.b >> op.child0 >> op.child1)) {
+        return fail("bad op");
+      }
+      if (kind < 0 || kind > static_cast<int>(OpNode::Kind::kIterateMinProp)) {
+        return fail("unknown op kind");
+      }
+      op.kind = static_cast<OpNode::Kind>(kind);
+      c.program.ops.push_back(op);
+    } else if (key == "edge") {
+      FuzzEdge e;
+      if (!(ls >> e.src >> e.dst >> e.w >> e.kind)) return fail("bad edge");
+      c.edges.push_back(e);
+    } else if (key == "predicate") {
+      // The predicate is the remainder of the line after "predicate ".
+      std::string rest;
+      std::getline(ls, rest);
+      size_t start = rest.find_first_not_of(' ');
+      if (start == std::string::npos) return fail("empty predicate");
+      c.predicates.push_back(rest.substr(start));
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_end) {
+    return Status::ParseError("fuzz case missing 'end' marker");
+  }
+  if (c.num_nodes == 0) {
+    return Status::ParseError("fuzz case num_nodes must be >= 1");
+  }
+  for (const FuzzEdge& e : c.edges) {
+    if (e.src >= c.num_nodes || e.dst >= c.num_nodes) {
+      return Status::ParseError("fuzz case edge endpoint out of range");
+    }
+  }
+  if (c.predicates.empty()) {
+    return Status::ParseError("fuzz case needs at least one view predicate");
+  }
+  for (const OpNode& op : c.program.ops) {
+    int index = static_cast<int>(&op - c.program.ops.data());
+    if (op.child0 >= index || op.child1 >= index) {
+      return Status::ParseError("fuzz case op children must precede the op");
+    }
+  }
+  return c;
+}
+
+std::string FuzzCase::ReproSource() const {
+  std::ostringstream out;
+  out << "// Auto-generated reproducer for graphsurge fuzz case "
+      << case_seed << ".\n";
+  out << "// Replays the embedded case through the full execution-mode\n";
+  out << "// oracle (see src/testing/oracle.h). Alternatively feed the\n";
+  out << "// matching .case file to `fuzz_differential --replay`.\n";
+  out << "//\n";
+  out << "// Build: add this file as an executable linked against\n";
+  out << "// gs_testing (see src/testing/CMakeLists.txt).\n";
+  out << "#include <iostream>\n";
+  out << "#include <string>\n";
+  out << "\n";
+  out << "#include \"testing/fuzz_case.h\"\n";
+  out << "#include \"testing/oracle.h\"\n";
+  out << "\n";
+  out << "static const char kCase[] = R\"gsfuzz(\n";
+  out << Serialize();
+  out << ")gsfuzz\";\n";
+  out << "\n";
+  out << "int main() {\n";
+  out << "  auto parsed = gs::testing::FuzzCase::Parse(kCase);\n";
+  out << "  if (!parsed.ok()) {\n";
+  out << "    std::cerr << parsed.status().ToString() << \"\\n\";\n";
+  out << "    return 2;\n";
+  out << "  }\n";
+  out << "  std::string log;\n";
+  out << "  gs::Status s = gs::testing::RunOracle(parsed.value(), &log);\n";
+  out << "  std::cout << log;\n";
+  out << "  if (!s.ok()) {\n";
+  out << "    std::cout << \"FAIL: \" << s.ToString() << \"\\n\";\n";
+  out << "    return 1;\n";
+  out << "  }\n";
+  out << "  std::cout << \"PASS\\n\";\n";
+  out << "  return 0;\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace gs::testing

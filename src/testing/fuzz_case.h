@@ -1,0 +1,106 @@
+// FuzzCase: the complete, self-contained description of one differential
+// fuzzing run — input graph, view collection predicates, the computation to
+// run, and every schedule/fault knob. A case fully determines the run:
+// serializing and re-parsing it reproduces the identical execution
+// (including the perturbed schedules, which derive from schedule_seed via
+// pure mixing — see differential/fuzz_hooks.h).
+#ifndef GRAPHSURGE_TESTING_FUZZ_CASE_H_
+#define GRAPHSURGE_TESTING_FUZZ_CASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gs::testing {
+
+/// One generated edge. `w` and `kind` become the edge properties the view
+/// predicates filter on (`w` doubles as the Bellman-Ford weight).
+struct FuzzEdge {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  int64_t w = 1;     // weight property, non-negative (termination)
+  int64_t kind = 0;  // categorical property in [0, 3]
+
+  friend bool operator==(const FuzzEdge&, const FuzzEdge&) = default;
+};
+
+/// The computation a case runs: one of the paper's named algorithms, or a
+/// random operator DAG drawn from the engine's operator library.
+enum class Algo : int {
+  kWcc = 0,
+  kBfs = 1,
+  kBellmanFord = 2,
+  kPageRank = 3,
+  kRandom = 4,
+};
+
+/// One node of a random operator DAG. Children are indices into the ops
+/// vector and always precede the node (the DAG is stored topologically);
+/// the last node is the program root. `a`/`b` parameterize the operator
+/// (map offsets, filter thresholds, iterate increments).
+struct OpNode {
+  enum class Kind : int {
+    kBaseSrcDst = 0,    // edges -> (src, dst)
+    kBaseDstWeight = 1, // edges -> (dst, weight)
+    kMap = 2,
+    kFilter = 3,
+    kJoin = 4,
+    kReduceMin = 5,
+    kReduceMax = 6,
+    kCount = 7,
+    kDistinct = 8,
+    kConcatNegate = 9,   // x + (-filter(x)): exercises negative diffs
+    kIterateMinProp = 10 // converging min-label propagation over the edges
+  };
+  Kind kind = Kind::kBaseSrcDst;
+  int64_t a = 0;
+  int64_t b = 0;
+  int child0 = -1;
+  int child1 = -1;
+};
+
+struct ProgramSpec {
+  Algo algo = Algo::kWcc;
+  /// BFS / Bellman-Ford source vertex, or PageRank iteration count.
+  int64_t param = 0;
+  /// Random-DAG nodes (only for Algo::kRandom); last entry is the root.
+  std::vector<OpNode> ops;
+};
+
+/// Everything needed to reproduce one fuzz run bit-for-bit.
+struct FuzzCase {
+  uint64_t case_seed = 0;
+
+  // Input graph.
+  uint64_t num_nodes = 1;
+  std::vector<FuzzEdge> edges;
+
+  // View collection: GVDL predicate source per view, in definition order.
+  std::vector<std::string> predicates;
+  bool use_ordering = false;
+
+  // Computation.
+  ProgramSpec program;
+
+  // Execution/schedule knobs (see differential/fuzz_hooks.h).
+  uint64_t workers = 2;             // sharded oracle worker count
+  uint64_t schedule_seed = 0;       // seeds every hook decision
+  uint64_t compaction_period = 0;   // injected CompactTo every Nth insert
+  uint64_t tail_seal_threshold = 0; // trace tail override (0 = default)
+  uint64_t drop_insert_at = 0;      // hidden --inject-bug lost-insert
+  uint64_t fail_after_events = 0;   // injected mid-run failure budget
+
+  /// Line-oriented text form, stable across runs (replayable artifact).
+  std::string Serialize() const;
+  static StatusOr<FuzzCase> Parse(const std::string& text);
+
+  /// A standalone C++ reproducer source embedding the serialized case;
+  /// written next to the .case artifact when a run fails.
+  std::string ReproSource() const;
+};
+
+}  // namespace gs::testing
+
+#endif  // GRAPHSURGE_TESTING_FUZZ_CASE_H_

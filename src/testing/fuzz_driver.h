@@ -1,0 +1,44 @@
+// The fuzz campaign driver behind the `fuzz_differential` binary: generates
+// cases from a seed, runs each through the oracle, and on failure minimizes
+// the case and writes replayable artifacts (repro_<seed>.case plus a
+// standalone repro_<seed>.cc) alongside a flight-recorder crash dump.
+//
+// All output written to the stream is a pure function of the options — no
+// timing, no paths of the machine it ran on — so two invocations with the
+// same options produce byte-identical logs (the determinism the smoke test
+// asserts).
+#ifndef GRAPHSURGE_TESTING_FUZZ_DRIVER_H_
+#define GRAPHSURGE_TESTING_FUZZ_DRIVER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace gs::testing {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  uint64_t runs = 100;
+  uint64_t max_nodes = 24;
+  /// Every Nth case additionally runs the injected-failure mode (0 = off).
+  uint64_t fault_every = 5;
+  /// Hidden: plant a lost-insert bug (fuzz_hooks.h drop_insert_at) in the
+  /// first case; the campaign must catch, minimize, and emit it.
+  bool inject_bug = false;
+  /// Replay a previously written .case file instead of generating cases.
+  std::string replay_path;
+  /// Print the malformed-predicate corpus (tests/gvdl_corpus/) and exit.
+  bool emit_gvdl_corpus = false;
+  /// Directory for repro_* artifacts.
+  std::string out_dir = ".";
+  /// Stop the campaign after this many failing cases.
+  uint64_t max_failures = 3;
+};
+
+/// Runs the campaign (or replay / corpus emission). Returns the process
+/// exit code: 0 = all passed, 1 = failures found, 2 = usage/setup error.
+int RunFuzz(const FuzzOptions& options, std::ostream& out);
+
+}  // namespace gs::testing
+
+#endif  // GRAPHSURGE_TESTING_FUZZ_DRIVER_H_

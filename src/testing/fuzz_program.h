@@ -1,0 +1,32 @@
+// FuzzComputation: turns a ProgramSpec (fuzz_case.h) into a differential
+// dataflow using the real operator library — the named paper algorithms or
+// a random operator DAG (map/filter/join/reduce/distinct/negate/iterate).
+// Like every Computation it is a pure builder: the executor instantiates
+// the plan once per engine (and once per worker shard in sharded mode), and
+// the arranged/unarranged plan shape follows DataflowOptions.
+#ifndef GRAPHSURGE_TESTING_FUZZ_PROGRAM_H_
+#define GRAPHSURGE_TESTING_FUZZ_PROGRAM_H_
+
+#include <string>
+
+#include "algorithms/computation.h"
+#include "testing/fuzz_case.h"
+
+namespace gs::testing {
+
+class FuzzComputation : public analytics::Computation {
+ public:
+  explicit FuzzComputation(ProgramSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override { return "fuzz"; }
+  analytics::ResultStream GraphAnalytics(
+      differential::Dataflow* dataflow,
+      analytics::EdgeStream edges) const override;
+
+ private:
+  ProgramSpec spec_;
+};
+
+}  // namespace gs::testing
+
+#endif  // GRAPHSURGE_TESTING_FUZZ_PROGRAM_H_

@@ -1,0 +1,44 @@
+// Seed-driven generators for the differential fuzzer: random property
+// graphs (power-law degrees, self-loops, multi-edges, isolated nodes),
+// random GVDL view collections over them (including guaranteed-empty views
+// and disjoint consecutive views), and deliberately malformed GVDL
+// predicate strings for parser error-recovery testing.
+#ifndef GRAPHSURGE_TESTING_GENERATORS_H_
+#define GRAPHSURGE_TESTING_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "gvdl/ast.h"
+#include "testing/fuzz_case.h"
+
+namespace gs::testing {
+
+/// Generates a complete fuzz case from a seed: graph, predicates, program,
+/// and schedule knobs. Pure function of (case_seed, max_nodes).
+FuzzCase GenerateCase(uint64_t case_seed, uint64_t max_nodes);
+
+/// Materializes the case's property graph. Node properties: `group` (int,
+/// id % 5) and `hub` (bool, id % 3 == 0). Edge properties: `w` (int,
+/// doubles as the weight column), `kind` (int), `tag` (string).
+StatusOr<PropertyGraph> BuildGraph(const FuzzCase& c);
+
+/// The case's view collection definition. Every predicate in the case is
+/// valid GVDL by construction; this parses them into the AST form the
+/// materializer consumes.
+StatusOr<gvdl::ViewCollectionDef> BuildCollectionDef(const FuzzCase& c);
+
+/// Generates `count` malformed predicate strings by mutating valid ones
+/// (truncation, unbalanced parens, broken quotes, trailing operators, junk
+/// bytes, pathological nesting). Every returned string is verified to be
+/// rejected by gvdl::ParsePredicate — this is the corpus generator behind
+/// tests/gvdl_corpus/.
+std::vector<std::string> GenerateMalformedPredicates(uint64_t seed,
+                                                     size_t count);
+
+}  // namespace gs::testing
+
+#endif  // GRAPHSURGE_TESTING_GENERATORS_H_

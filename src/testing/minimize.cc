@@ -1,0 +1,154 @@
+#include "testing/minimize.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "testing/oracle.h"
+
+namespace gs::testing {
+
+namespace {
+
+/// Re-establishes internal consistency after a structural shrink: node
+/// count covers every endpoint, algorithm sources stay in range.
+void Normalize(FuzzCase* c) {
+  uint64_t max_endpoint = 0;
+  for (const FuzzEdge& e : c->edges) {
+    max_endpoint = std::max({max_endpoint, e.src, e.dst});
+  }
+  if (c->num_nodes < max_endpoint + 1) c->num_nodes = max_endpoint + 1;
+  if (c->num_nodes == 0) c->num_nodes = 1;
+  if ((c->program.algo == Algo::kBfs ||
+       c->program.algo == Algo::kBellmanFord) &&
+      static_cast<uint64_t>(c->program.param) >= c->num_nodes) {
+    c->program.param =
+        static_cast<int64_t>(c->program.param % c->num_nodes);
+  }
+}
+
+class Shrinker {
+ public:
+  Shrinker(FuzzCase best, size_t budget)
+      : best_(std::move(best)), budget_(budget) {}
+
+  /// True iff the candidate still fails the oracle (and budget remains).
+  bool StillFails(FuzzCase candidate) {
+    if (spent_ >= budget_) return false;
+    ++spent_;
+    Normalize(&candidate);
+    std::string log;
+    if (RunOracle(candidate, &log).ok()) return false;
+    best_ = std::move(candidate);
+    return true;
+  }
+
+  /// One full greedy pass; true if anything shrank.
+  bool Pass() {
+    bool progress = false;
+
+    // Drop whole views (keep at least one).
+    for (size_t v = 0; best_.predicates.size() > 1 &&
+                       v < best_.predicates.size();) {
+      FuzzCase candidate = best_;
+      candidate.predicates.erase(candidate.predicates.begin() + v);
+      if (StillFails(std::move(candidate))) {
+        progress = true;  // best_ updated; retry same index
+      } else {
+        ++v;
+      }
+    }
+
+    // ddmin over edges: try removing chunks, halving granularity.
+    for (size_t chunk = std::max<size_t>(best_.edges.size() / 2, 1);
+         chunk >= 1 && !best_.edges.empty(); chunk /= 2) {
+      bool removed_any = false;
+      for (size_t start = 0; start < best_.edges.size();) {
+        FuzzCase candidate = best_;
+        size_t end = std::min(start + chunk, candidate.edges.size());
+        candidate.edges.erase(candidate.edges.begin() + start,
+                              candidate.edges.begin() + end);
+        if (StillFails(std::move(candidate))) {
+          progress = removed_any = true;  // retry same offset
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1 && !removed_any) break;
+    }
+
+    // Shrink the node count to just cover the surviving endpoints.
+    {
+      uint64_t max_endpoint = 0;
+      for (const FuzzEdge& e : best_.edges) {
+        max_endpoint = std::max({max_endpoint, e.src, e.dst});
+      }
+      if (best_.num_nodes > max_endpoint + 1) {
+        FuzzCase candidate = best_;
+        candidate.num_nodes = max_endpoint + 1;
+        progress |= StillFails(std::move(candidate));
+      }
+    }
+
+    // Truncate random programs: try each proper prefix as the whole
+    // program (prefixes are closed under the child-precedes-parent rule).
+    if (best_.program.algo == Algo::kRandom) {
+      for (size_t k = 1; k < best_.program.ops.size();) {
+        FuzzCase candidate = best_;
+        candidate.program.ops.resize(k);
+        if (StillFails(std::move(candidate))) {
+          progress = true;
+          k = 1;  // best_ shrank; restart prefixes
+        } else {
+          ++k;
+        }
+      }
+    }
+
+    // Clear schedule knobs that turn out to be irrelevant to the failure.
+    for (int knob = 0; knob < 4; ++knob) {
+      FuzzCase candidate = best_;
+      switch (knob) {
+        case 0:
+          if (candidate.compaction_period == 0) continue;
+          candidate.compaction_period = 0;
+          break;
+        case 1:
+          if (candidate.tail_seal_threshold == 0) continue;
+          candidate.tail_seal_threshold = 0;
+          break;
+        case 2:
+          if (candidate.fail_after_events == 0) continue;
+          candidate.fail_after_events = 0;
+          break;
+        default:
+          if (!candidate.use_ordering) continue;
+          candidate.use_ordering = false;
+          break;
+      }
+      progress |= StillFails(std::move(candidate));
+    }
+
+    return progress;
+  }
+
+  FuzzCase Run() {
+    while (Pass() && spent_ < budget_) {
+    }
+    Normalize(&best_);
+    return best_;
+  }
+
+ private:
+  FuzzCase best_;
+  size_t budget_;
+  size_t spent_ = 0;
+};
+
+}  // namespace
+
+FuzzCase Minimize(const FuzzCase& input, size_t budget) {
+  return Shrinker(input, budget).Run();
+}
+
+}  // namespace gs::testing

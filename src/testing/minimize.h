@@ -1,0 +1,22 @@
+// Delta-debugging failure minimization: given a FuzzCase that fails the
+// oracle, greedily shrink it — drop views, ddmin the edge list, shrink the
+// node count, truncate random programs, clear schedule knobs — keeping a
+// candidate only if it still fails. The result is the minimal reproducer
+// written into repro_<seed>.case artifacts.
+#ifndef GRAPHSURGE_TESTING_MINIMIZE_H_
+#define GRAPHSURGE_TESTING_MINIMIZE_H_
+
+#include <cstddef>
+
+#include "testing/fuzz_case.h"
+
+namespace gs::testing {
+
+/// Shrinks `input` (which must fail RunOracle) to a smaller failing case.
+/// Runs at most `budget` oracle evaluations; deterministic. Returns the
+/// input unchanged if nothing smaller still fails.
+FuzzCase Minimize(const FuzzCase& input, size_t budget = 300);
+
+}  // namespace gs::testing
+
+#endif  // GRAPHSURGE_TESTING_MINIMIZE_H_

@@ -1,0 +1,315 @@
+#include "testing/oracle.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "differential/fuzz_hooks.h"
+#include "gvdl/predicate.h"
+#include "testing/fuzz_program.h"
+#include "testing/generators.h"
+#include "views/collection.h"
+#include "views/executor.h"
+
+namespace gs::testing {
+
+namespace fuzz = ::gs::differential::fuzz;
+
+namespace {
+
+using analytics::ResultMap;
+
+/// Sums every sample of one metric family in Prometheus exposition text
+/// (same matching rules as the metrics tests: `family{...} v` or
+/// `family v`, prefix families excluded).
+uint64_t SumFamily(const std::string& text, const std::string& family) {
+  uint64_t sum = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(family, 0) != 0 || line.size() <= family.size()) continue;
+    const char next = line[family.size()];
+    if (next != '{' && next != ' ') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    sum += std::strtoull(line.c_str() + space + 1, nullptr, 10);
+  }
+  return sum;
+}
+
+std::string DescribeMap(const ResultMap& m) {
+  std::ostringstream out;
+  out << m.size() << " records";
+  size_t shown = 0;
+  for (const auto& [k, v] : m) {
+    if (++shown > 4) {
+      out << " ...";
+      break;
+    }
+    out << " (" << k << "," << v << ")";
+  }
+  return out.str();
+}
+
+/// First-divergence comparison of two per-view result vectors.
+Status CompareResults(const std::string& mode,
+                      const std::vector<ResultMap>& ref,
+                      const std::vector<ResultMap>& got) {
+  if (ref.size() != got.size()) {
+    return Status::Internal("mode " + mode + ": view count mismatch (ref " +
+                            std::to_string(ref.size()) + ", got " +
+                            std::to_string(got.size()) + ")");
+  }
+  for (size_t t = 0; t < ref.size(); ++t) {
+    if (ref[t] == got[t]) continue;
+    std::ostringstream out;
+    out << "mode " << mode << ": view " << t << " diverged; ref has "
+        << DescribeMap(ref[t]) << ", got " << DescribeMap(got[t]);
+    for (const auto& [k, v] : ref[t]) {
+      auto it = got[t].find(k);
+      if (it == got[t].end()) {
+        out << "; first missing key " << k << " (ref value " << v << ")";
+        break;
+      }
+      if (it->second != v) {
+        out << "; first wrong key " << k << " (ref " << v << ", got "
+            << it->second << ")";
+        break;
+      }
+    }
+    for (const auto& [k, v] : got[t]) {
+      if (!ref[t].count(k)) {
+        out << "; first extra key " << k << " (got value " << v << ")";
+        break;
+      }
+    }
+    return Status::Internal(out.str());
+  }
+  return Status::Ok();
+}
+
+/// The schedule-fuzz hook set shared by the perturbed modes. op_order
+/// scrambling is only legal without shared arrangements (arrange.h relies
+/// on creation-order ties), so it is opt-in per mode.
+fuzz::Hooks PerturbHooks(const FuzzCase& c, bool scramble_op_order,
+                         bool shuffle_exchange) {
+  fuzz::Hooks h;
+  h.seed = c.schedule_seed;
+  h.scramble_seq = true;
+  h.scramble_op_order = scramble_op_order;
+  h.shuffle_exchange = shuffle_exchange;
+  h.compaction_period = c.compaction_period;
+  h.tail_seal_threshold = c.tail_seal_threshold;
+  h.drop_insert_at = c.drop_insert_at;
+  return h;
+}
+
+}  // namespace
+
+uint64_t HashResults(const ResultMap& results) {
+  uint64_t h = fuzz::Mix(results.size());
+  for (const auto& [k, v] : results) {
+    h = fuzz::Mix(h ^ k);
+    h = fuzz::Mix(h ^ static_cast<uint64_t>(v));
+  }
+  return h;
+}
+
+Status CheckArrangementGaugesZero() {
+  const std::string text = metrics::Registry::Global().ExpositionText();
+  const uint64_t bytes = SumFamily(text, "gs_arrangement_bytes");
+  const uint64_t batches = SumFamily(text, "gs_arrangement_batches");
+  if (bytes != 0 || batches != 0) {
+    return Status::Internal(
+        "arrangement gauges nonzero after teardown: bytes=" +
+        std::to_string(bytes) + " batches=" + std::to_string(batches));
+  }
+  return Status::Ok();
+}
+
+Status RunOracle(const FuzzCase& c, std::string* log) {
+  // Header goes straight to *log so even setup failures (graph build,
+  // predicate parse, materialization) are attributed to their case.
+  {
+    std::ostringstream header;
+    header << "case " << c.case_seed << ": nodes=" << c.num_nodes
+           << " edges=" << c.edges.size() << " views=" << c.predicates.size()
+           << " algo=" << static_cast<int>(c.program.algo)
+           << " workers=" << c.workers << "\n";
+    *log += header.str();
+  }
+  std::ostringstream out;
+
+  GS_ASSIGN_OR_RETURN(PropertyGraph graph, BuildGraph(c));
+  GS_ASSIGN_OR_RETURN(gvdl::ViewCollectionDef def, BuildCollectionDef(c));
+  views::MaterializeOptions mopts;
+  mopts.use_ordering = c.use_ordering;
+  GS_ASSIGN_OR_RETURN(views::MaterializedCollection collection,
+                      views::MaterializeCollection(graph, def, mopts));
+  FuzzComputation computation(c.program);
+  const int weight_column = graph.FindWeightColumn("w");
+
+  auto base_options = [&](size_t workers, bool arranged) {
+    views::ExecutionOptions eo;
+    eo.strategy = splitting::Strategy::kDiffOnly;
+    eo.weight_column = weight_column;
+    eo.capture_results = true;
+    eo.dataflow.num_workers = workers;
+    eo.dataflow.use_arrangements = arranged;
+    return eo;
+  };
+
+  // Runs one mode under the given hooks; checks the memory gauges return to
+  // zero afterwards and appends the per-view result hashes to the log.
+  auto run_mode =
+      [&](const std::string& mode, const views::ExecutionOptions& eo,
+          const fuzz::Hooks& hooks) -> StatusOr<std::vector<ResultMap>> {
+    std::vector<ResultMap> results;
+    {
+      fuzz::ScopedHooks scoped(hooks);
+      auto r = views::RunOnCollection(computation, graph, collection, eo);
+      if (!r.ok()) {
+        return Status(r.status().code(),
+                      "mode " + mode + ": " + r.status().message());
+      }
+      results = std::move(r).value().results;
+    }
+    Status gauges = CheckArrangementGaugesZero();
+    if (!gauges.ok()) {
+      return Status::Internal("mode " + mode + ": " + gauges.message());
+    }
+    out << "  " << mode << ":";
+    for (const ResultMap& m : results) out << " " << HashResults(m);
+    out << "\n";
+    return results;
+  };
+
+  auto finish = [&](Status status) {
+    *log += out.str();
+    return status;
+  };
+
+  // ref: the golden serial unarranged run, hooks off.
+  auto ref = run_mode("ref", base_options(1, false), fuzz::Hooks{});
+  if (!ref.ok()) return finish(ref.status());
+
+  // serial-scrambled: every tie-break scrambled, injected compactions,
+  // tiny tail threshold.
+  auto scrambled = run_mode("serial-scrambled", base_options(1, false),
+                            PerturbHooks(c, /*scramble_op_order=*/true,
+                                         /*shuffle_exchange=*/false));
+  if (!scrambled.ok()) return finish(scrambled.status());
+  GS_RETURN_IF_ERROR(
+      finish(CompareResults("serial-scrambled", *ref, *scrambled)));
+  out.str("");
+
+  // serial-arranged: shared arrangements; seq-only scrambling.
+  auto arranged = run_mode("serial-arranged", base_options(1, true),
+                           PerturbHooks(c, false, false));
+  if (!arranged.ok()) return finish(arranged.status());
+  GS_RETURN_IF_ERROR(
+      finish(CompareResults("serial-arranged", *ref, *arranged)));
+  out.str("");
+
+  // sharded: the case's worker count; arranged-or-not by seed coin;
+  // exchange-delivery shuffling on top.
+  const bool sharded_arranged = (fuzz::Mix(c.schedule_seed ^ 0xa44) & 1) != 0;
+  auto sharded =
+      run_mode("sharded-w" + std::to_string(c.workers),
+               base_options(c.workers, sharded_arranged),
+               PerturbHooks(c, false, /*shuffle_exchange=*/true));
+  if (!sharded.ok()) return finish(sharded.status());
+  GS_RETURN_IF_ERROR(finish(CompareResults("sharded", *ref, *sharded)));
+  out.str("");
+
+  // scratch: every view from scratch — no cross-view sharing to hide
+  // state corruption behind.
+  {
+    views::ExecutionOptions eo = base_options(1, false);
+    eo.strategy = splitting::Strategy::kScratch;
+    auto scratch = run_mode("scratch", eo, fuzz::Hooks{});
+    if (!scratch.ok()) return finish(scratch.status());
+    GS_RETURN_IF_ERROR(finish(CompareResults("scratch", *ref, *scratch)));
+    out.str("");
+  }
+
+  // reference: sequential non-dataflow implementations, per view (named
+  // algorithms only — random DAGs have no independent reference).
+  if (c.program.algo != Algo::kRandom) {
+    std::vector<ResultMap> expected;
+    for (size_t t = 0; t < collection.num_views(); ++t) {
+      const gvdl::ExprPtr& predicate =
+          def.views[collection.order[t]].predicate;
+      GS_ASSIGN_OR_RETURN(
+          gvdl::CompiledEdgePredicate compiled,
+          gvdl::CompiledEdgePredicate::Compile(predicate, graph));
+      std::vector<WeightedEdge> view_edges;
+      for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+        if (compiled.Evaluate(id)) {
+          view_edges.push_back(graph.ResolveWeighted(id, weight_column));
+        }
+      }
+      switch (c.program.algo) {
+        case Algo::kWcc:
+          expected.push_back(analytics::WccReference(view_edges));
+          break;
+        case Algo::kBfs:
+          expected.push_back(analytics::BfsReference(
+              view_edges, static_cast<VertexId>(c.program.param)));
+          break;
+        case Algo::kBellmanFord:
+          expected.push_back(analytics::SsspReference(
+              view_edges, static_cast<VertexId>(c.program.param)));
+          break;
+        case Algo::kPageRank:
+          expected.push_back(analytics::PageRankReference(
+              view_edges, static_cast<uint32_t>(c.program.param)));
+          break;
+        case Algo::kRandom:
+          break;
+      }
+    }
+    out << "  reference:";
+    for (const ResultMap& m : expected) out << " " << HashResults(m);
+    out << "\n";
+    GS_RETURN_IF_ERROR(finish(CompareResults("reference", expected, *ref)));
+    out.str("");
+  }
+
+  // fault: injected mid-run failure. The run must fail with a clean
+  // Status (or finish if the budget was never hit), leave the gauges at
+  // zero, and a clean retry must reproduce the golden results.
+  if (c.fail_after_events != 0) {
+    fuzz::Hooks h = PerturbHooks(c, true, false);
+    h.fail_after_events = c.fail_after_events;
+    Status fault_status;
+    {
+      fuzz::ScopedHooks scoped(h);
+      auto r = views::RunOnCollection(computation, graph, collection,
+                                      base_options(1, false));
+      fault_status = r.ok() ? Status::Ok() : r.status();
+    }
+    Status gauges = CheckArrangementGaugesZero();
+    if (!gauges.ok()) {
+      return finish(
+          Status::Internal("mode fault: " + gauges.message()));
+    }
+    out << "  fault: "
+        << (fault_status.ok() ? "not-triggered" : "triggered") << "\n";
+    auto retry = run_mode("fault-retry", base_options(1, false),
+                          fuzz::Hooks{});
+    if (!retry.ok()) return finish(retry.status());
+    GS_RETURN_IF_ERROR(finish(CompareResults("fault-retry", *ref, *retry)));
+    out.str("");
+  }
+
+  return finish(Status::Ok());
+}
+
+}  // namespace gs::testing

@@ -83,6 +83,67 @@ TEST_F(CsvTest, ErrorsAreReported) {
       LoadGraphFromCsv(Path("missing.csv"), Path("e2.csv")).ok());
 }
 
+TEST_F(CsvTest, EdgeCaseTable) {
+  // Formats real-world exports actually produce: CRLF line endings, quoted
+  // commas inside string properties, empty (null) property cells, and the
+  // one that must be rejected — duplicate node ids.
+  struct Case {
+    const char* name;
+    const char* nodes;
+    const char* edges;
+    bool expect_ok;
+    void (*check)(const PropertyGraph&);
+  };
+  const Case kCases[] = {
+      {"crlf_line_endings",
+       "id,city:string\r\n1,LA\r\n2,NY\r\n",
+       "src,dst,w:int\r\n1,2,5\r\n",
+       true,
+       [](const PropertyGraph& g) {
+         EXPECT_EQ(g.num_nodes(), 2u);
+         EXPECT_EQ(g.num_edges(), 1u);
+         // No trailing \r captured into the last field.
+         EXPECT_EQ(g.node_properties().GetByName(0, "city")->AsString(),
+                   "LA");
+         EXPECT_EQ(g.edge_properties().GetByName(0, "w")->AsInt(), 5);
+       }},
+      {"quoted_commas_and_escaped_quotes",
+       "id,note:string\n1,\"hello, world\"\n2,\"say \"\"hi\"\"\"\n",
+       "src,dst\n1,2\n",
+       true,
+       [](const PropertyGraph& g) {
+         EXPECT_EQ(g.node_properties().GetByName(0, "note")->AsString(),
+                   "hello, world");
+         EXPECT_EQ(g.node_properties().GetByName(1, "note")->AsString(),
+                   "say \"hi\"");
+       }},
+      {"empty_property_cells_are_null",
+       "id,city:string,pop:int\n1,,\n2,NY,8\n",
+       "src,dst,w:int\n1,2,\n2,1,3\n",
+       true,
+       [](const PropertyGraph& g) {
+         EXPECT_TRUE(g.node_properties().GetByName(0, "city")->is_null());
+         EXPECT_TRUE(g.node_properties().GetByName(0, "pop")->is_null());
+         EXPECT_EQ(g.node_properties().GetByName(1, "pop")->AsInt(), 8);
+         EXPECT_TRUE(g.edge_properties().GetByName(0, "w")->is_null());
+         EXPECT_EQ(g.edge_properties().GetByName(1, "w")->AsInt(), 3);
+       }},
+      {"duplicate_node_ids_rejected",
+       "id,city:string\n1,LA\n2,NY\n1,SF\n",
+       "src,dst\n1,2\n",
+       false, nullptr},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    WriteFile("tbl_nodes.csv", c.nodes);
+    WriteFile("tbl_edges.csv", c.edges);
+    auto g = LoadGraphFromCsv(Path("tbl_nodes.csv"), Path("tbl_edges.csv"));
+    EXPECT_EQ(g.ok(), c.expect_ok)
+        << (g.ok() ? "unexpectedly loaded" : g.status().ToString());
+    if (g.ok() && c.check) c.check(*g);
+  }
+}
+
 TEST_F(CsvTest, RoundTrip) {
   PropertyGraph g = MakeCallGraphExample();
   ASSERT_TRUE(

@@ -2,6 +2,9 @@
 // listings), error reporting, and compiled predicate evaluation.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "graph/generators.h"
 #include "gvdl/lexer.h"
 #include "gvdl/parser.h"
@@ -254,6 +257,49 @@ TEST_F(PredicateEvalTest, CompileErrors) {
   auto node_expr = ParsePredicate("src.city = 'LA'");
   ASSERT_TRUE(node_expr.ok());
   EXPECT_FALSE(CompiledNodePredicate::Compile(*node_expr, graph_).ok());
+}
+
+TEST(ParserTest, MalformedPredicateCorpusIsRejectedCleanly) {
+  // The committed corpus holds the fuzzer's first 50 rejected predicate
+  // strings (`fuzz_differential --emit-gvdl-corpus --seed 1`). Every line
+  // must come back as a Status — never an abort or a spurious accept.
+  std::ifstream in(GS_TEST_DATA_DIR "/gvdl_corpus/rejected_predicates.txt");
+  ASSERT_TRUE(in.is_open()) << "corpus file missing";
+  std::string line;
+  size_t count = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++count;
+    auto parsed = ParsePredicate(line);
+    EXPECT_FALSE(parsed.ok()) << "corpus line unexpectedly parsed: " << line;
+  }
+  EXPECT_EQ(count, 50u);
+}
+
+TEST(ParserTest, DeepNestingHitsRecursionLimit) {
+  // Unbounded recursive descent would overflow the stack long before the
+  // lexer complains; the parser caps predicate depth instead.
+  std::string deep_not;
+  for (int i = 0; i < 300; ++i) deep_not += "not ";
+  deep_not += "a = 1";
+  auto p1 = ParsePredicate(deep_not);
+  ASSERT_FALSE(p1.ok());
+  EXPECT_NE(p1.status().message().find("nesting too deep"), std::string::npos)
+      << p1.status().ToString();
+
+  std::string deep_paren(300, '(');
+  deep_paren += "a = 1";
+  deep_paren += std::string(300, ')');
+  auto p2 = ParsePredicate(deep_paren);
+  ASSERT_FALSE(p2.ok());
+  EXPECT_NE(p2.status().message().find("nesting too deep"), std::string::npos)
+      << p2.status().ToString();
+
+  // Just-under-the-limit nesting still parses.
+  std::string shallow(50, '(');
+  shallow += "a = 1";
+  shallow += std::string(50, ')');
+  EXPECT_TRUE(ParsePredicate(shallow).ok());
 }
 
 TEST_F(PredicateEvalTest, NodePredicates) {
