@@ -88,6 +88,16 @@ ls -l "${OUT_DIR}"
 if (( COMPARE )); then
   echo
   echo "==> comparing against baselines in ${BASELINE_DIR}"
+  # Capture the exit code explicitly instead of relying on `set -e`: when
+  # this script runs mid-pipeline (`run_all.sh --compare | tee ...`) or in a
+  # conditional context, -e is suppressed and a comparator failure would
+  # otherwise be swallowed — the regression gate must not silently pass.
+  rc=0
   python3 "${SCRIPT_DIR}/compare_baselines.py" \
-    --fresh "${OUT_DIR}" --baseline "${BASELINE_DIR}"
+    --fresh "${OUT_DIR}" --baseline "${BASELINE_DIR}" || rc=$?
+  if (( rc != 0 )); then
+    echo "baseline comparison FAILED (exit ${rc})" >&2
+    exit "${rc}"
+  fi
+  echo "baseline comparison passed"
 fi

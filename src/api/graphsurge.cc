@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/crash_dump.h"
+#include "common/introspect.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "server/status_server.h"
@@ -24,7 +25,11 @@ const Graphsurge* g_profilez_system = nullptr;
 Graphsurge::Graphsurge(GraphsurgeOptions options)
     : options_(options),
       pool_(std::make_unique<ThreadPool>(
-          options.num_workers == 0 ? 1 : options.num_workers)) {
+          options.num_workers == 0 ? 1 : options.num_workers)),
+      ingest_source_("ingest", [this] {
+        std::lock_guard<std::mutex> lock(ingest_status_mutex_);
+        return ingest_status_json_;
+      }) {
   // A dying run should leave its flight recorder behind (no-ops under
   // sanitizer runtimes, which install their own handlers first).
   InstallCrashHandlers();
@@ -320,6 +325,168 @@ StatusOr<analytics::ResultMap> Graphsurge::RunOnView(
     options.dataflow.num_workers = options_.num_workers;
   }
   return views::RunOnGraph(computation, *graph, options);
+}
+
+// --- Streaming ingest ------------------------------------------------------
+
+StatusOr<PropertyGraph*> Graphsurge::GetMutableGraph(const std::string& name) {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no graph named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Graphsurge::ApplyBatchInternal(const std::string& graph_name,
+                                      PropertyGraph* graph,
+                                      const MutationBatch& batch) {
+  MutationEffects effects;
+  GS_RETURN_IF_ERROR(ApplyMutationBatch(graph, batch, &effects));
+
+  // Maintain every collection over this graph before advancing its live
+  // runs: LiveRun::AdvanceEpoch requires the refreshed collection.
+  for (auto& [name, mc] : collections_) {
+    if (mc.base_graph != graph_name) continue;
+    if (!mc.maintainable()) {
+      GS_LOG(Warning) << "collection '" << name
+                      << "' cannot be incrementally maintained (no stored "
+                         "predicates); it is now stale (graph epoch "
+                      << graph->mutation_epoch() << ", collection epoch "
+                      << mc.graph_epoch << ")";
+      continue;
+    }
+    GS_RETURN_IF_ERROR(views::UpdateCollectionForMutations(
+        &mc, *graph, effects.touched_edges));
+  }
+  for (auto& [name, entry] : live_runs_) {
+    if (entry.base_graph != graph_name) continue;
+    GS_RETURN_IF_ERROR(entry.run->AdvanceEpoch(effects.touched_edges));
+  }
+
+  static metrics::Counter* batches =
+      metrics::Registry::Global().GetCounter("gs_ingest_batches");
+  static metrics::Counter* mutations =
+      metrics::Registry::Global().GetCounter("gs_ingest_mutations");
+  batches->Increment();
+  mutations->Increment(batch.size());
+  metrics::Registry::Global()
+      .GetGauge("gs_graph_epoch", {{"graph", graph_name}})
+      ->Set(static_cast<int64_t>(graph->mutation_epoch()));
+  return Status::Ok();
+}
+
+Status Graphsurge::EnableWal(const std::string& graph_name,
+                             const std::string& wal_path,
+                             wal::WalWriterOptions wal_options) {
+  GS_ASSIGN_OR_RETURN(PropertyGraph* graph, GetMutableGraph(graph_name));
+  if (wals_.count(graph_name) > 0) {
+    return Status::AlreadyExists("graph '" + graph_name +
+                                 "' already has a WAL attached");
+  }
+  GS_ASSIGN_OR_RETURN(wal::WalReplayResult replay, wal::ReplayWal(wal_path));
+  for (size_t i = 0; i < replay.batches.size(); ++i) {
+    Status s = ApplyBatchInternal(graph_name, graph, replay.batches[i]);
+    if (!s.ok()) {
+      return Status(s.code(), "WAL replay failed at record " +
+                                  std::to_string(i) + ": " + s.message());
+    }
+  }
+  if (replay.recovered_torn_tail) {
+    GS_LOG(Warning) << "WAL '" << wal_path << "': dropped torn tail after "
+                    << replay.batches.size() << " complete records";
+  }
+  GS_RETURN_IF_ERROR(wals_[graph_name].Open(wal_path, wal_options));
+  RefreshIngestStatus();
+  return Status::Ok();
+}
+
+Status Graphsurge::ApplyMutations(const std::string& graph_name,
+                                  const MutationBatch& batch) {
+  GS_ASSIGN_OR_RETURN(PropertyGraph* graph, GetMutableGraph(graph_name));
+  // Validate up front so the WAL never records a batch the apply rejects
+  // (the write-ahead append must strictly precede an apply that cannot
+  // fail).
+  GS_RETURN_IF_ERROR(CheckMutationBatch(*graph, batch));
+  auto wal_it = wals_.find(graph_name);
+  if (wal_it != wals_.end()) {
+    GS_RETURN_IF_ERROR(wal_it->second.Append(batch));
+  }
+  GS_RETURN_IF_ERROR(ApplyBatchInternal(graph_name, graph, batch));
+  RefreshIngestStatus();
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> Graphsurge::GraphEpoch(const std::string& graph_name) const {
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* graph, GetGraph(graph_name));
+  return graph->mutation_epoch();
+}
+
+Status Graphsurge::StartLiveComputation(
+    const std::string& name, const analytics::Computation& computation,
+    const std::string& collection_name, views::LiveRunOptions options) {
+  if (live_runs_.count(name) > 0) {
+    return Status::AlreadyExists("live computation '" + name +
+                                 "' already exists");
+  }
+  GS_ASSIGN_OR_RETURN(const views::MaterializedCollection* collection,
+                      GetCollection(collection_name));
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* base,
+                      GetGraph(collection->base_graph));
+  if (options.dataflow.num_workers == 0) {
+    options.dataflow.num_workers = options_.num_workers;
+  }
+  GS_ASSIGN_OR_RETURN(
+      std::unique_ptr<views::LiveRun> run,
+      views::LiveRun::Start(computation, *base, collection, options));
+  live_runs_.emplace(name, LiveEntry{collection_name, collection->base_graph,
+                                     std::move(run)});
+  RefreshIngestStatus();
+  return Status::Ok();
+}
+
+StatusOr<const views::LiveRun*> Graphsurge::GetLiveRun(
+    const std::string& name) const {
+  auto it = live_runs_.find(name);
+  if (it == live_runs_.end()) {
+    return Status::NotFound("no live computation named '" + name + "'");
+  }
+  return it->second.run.get();
+}
+
+void Graphsurge::RefreshIngestStatus() {
+  std::ostringstream out;
+  out << "{\"graphs\":{";
+  bool first = true;
+  for (const auto& [name, graph] : graphs_) {
+    // Only graphs on the ingest path (mutated or WAL-attached) are listed.
+    if (graph.mutation_epoch() == 0 && wals_.count(name) == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << introspect::JsonEscape(name)
+        << "\":{\"epoch\":" << graph.mutation_epoch()
+        << ",\"live_nodes\":" << graph.num_live_nodes()
+        << ",\"live_edges\":" << graph.num_live_edges();
+    auto w = wals_.find(name);
+    if (w != wals_.end()) {
+      out << ",\"wal_bytes\":" << w->second.bytes_written();
+    }
+    out << "}";
+  }
+  out << "},\"live_runs\":{";
+  first = true;
+  for (const auto& [name, entry] : live_runs_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << introspect::JsonEscape(name) << "\":{\"collection\":\""
+        << introspect::JsonEscape(entry.collection)
+        << "\",\"epochs_fed\":" << entry.run->epochs_fed()
+        << ",\"views\":" << entry.run->num_views()
+        << ",\"last_epoch_input_diffs\":" << entry.run->last_epoch_input_diffs()
+        << "}";
+  }
+  out << "}}";
+  std::lock_guard<std::mutex> lock(ingest_status_mutex_);
+  ingest_status_json_ = out.str();
 }
 
 std::vector<std::string> Graphsurge::GraphNames() const {

@@ -20,13 +20,17 @@
 #include <vector>
 
 #include "agg/aggregate_view.h"
+#include "common/introspect.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/csv.h"
 #include "graph/graph.h"
+#include "graph/mutation.h"
+#include "graph/wal/wal.h"
 #include "gvdl/parser.h"
 #include "views/collection.h"
 #include "views/executor.h"
+#include "views/live.h"
 
 namespace gs {
 
@@ -110,6 +114,40 @@ class Graphsurge {
   /// a GVDL `explain <collection>` statement.
   StatusOr<std::string> Explain(const std::string& target) const;
 
+  // --- Streaming ingest ----------------------------------------------------
+  /// Attaches a write-ahead log to `graph_name`. Any records already in
+  /// `wal_path` are replayed into the graph first (restart recovery: the
+  /// graph must be the same base snapshot the log was originally written
+  /// against), updating maintainable collections and advancing live
+  /// computations epoch-by-epoch. Subsequent ApplyMutations calls append to
+  /// the log *before* touching the graph (write-ahead).
+  Status EnableWal(const std::string& graph_name, const std::string& wal_path,
+                   wal::WalWriterOptions wal_options = {});
+
+  /// Applies one mutation batch atomically as the graph's next update
+  /// epoch: validate → WAL append + sync (when a log is attached) → apply →
+  /// incrementally update every maintainable collection on the graph →
+  /// advance every live computation over those collections by one epoch.
+  /// Collections that cannot be maintained (diff-batch imports) go stale
+  /// and are logged.
+  Status ApplyMutations(const std::string& graph_name,
+                        const MutationBatch& batch);
+
+  /// The graph's current mutation epoch — the number of batches applied,
+  /// including batches replayed from the WAL.
+  StatusOr<uint64_t> GraphEpoch(const std::string& graph_name) const;
+
+  /// Starts a continuously maintained computation over a maintainable
+  /// collection. ApplyMutations on the collection's base graph advances the
+  /// run automatically; query any (epoch, view) cell via GetLiveRun(name)
+  /// → LiveRun::ResultsAt.
+  Status StartLiveComputation(const std::string& name,
+                              const analytics::Computation& computation,
+                              const std::string& collection_name,
+                              views::LiveRunOptions options =
+                                  views::LiveRunOptions());
+  StatusOr<const views::LiveRun*> GetLiveRun(const std::string& name) const;
+
   // --- Live introspection ---------------------------------------------------
   /// Starts the embedded HTTP status server on 127.0.0.1:`port` (0 picks an
   /// ephemeral port; see server::StatusServer::Global().port()). Serves
@@ -128,6 +166,15 @@ class Graphsurge {
  private:
   Status CheckNameFree(const std::string& name) const;
   StatusOr<std::string> ExplainCollection(const std::string& name) const;
+  /// Non-const lookup for the ingest path (ApplyMutations mutates graphs).
+  StatusOr<PropertyGraph*> GetMutableGraph(const std::string& name);
+  /// Applies one batch end-to-end (no WAL append): graph, collections, live
+  /// runs, metrics. Shared by ApplyMutations and EnableWal's replay.
+  Status ApplyBatchInternal(const std::string& graph_name,
+                            PropertyGraph* graph, const MutationBatch& batch);
+  /// Rebuilds the /statusz "ingest" snapshot (epochs, WAL sizes, live-run
+  /// progress). Called at the end of every ingest-path mutation.
+  void RefreshIngestStatus();
 
   GraphsurgeOptions options_;
   std::unique_ptr<ThreadPool> pool_;
@@ -144,6 +191,23 @@ class Graphsurge {
   std::map<std::string, PropertyGraph> graphs_;
   std::map<std::string, views::MaterializedCollection> collections_;
   std::map<std::string, agg::AggregateView> aggregate_views_;
+
+  // --- Streaming ingest state ---------------------------------------------
+  /// Per-graph WAL appenders (WalWriter is neither copyable nor movable;
+  /// operator[] constructs in place).
+  std::map<std::string, wal::WalWriter> wals_;
+  struct LiveEntry {
+    std::string collection;
+    std::string base_graph;
+    std::unique_ptr<views::LiveRun> run;
+  };
+  std::map<std::string, LiveEntry> live_runs_;
+  /// /statusz snapshot: ingest-path methods rebuild it at safe points; the
+  /// scrape thread's producer only copies it under the mutex.
+  mutable std::mutex ingest_status_mutex_;
+  std::string ingest_status_json_ = "{}";
+  /// Declared last: destroyed (unregistered) before the state it renders.
+  introspect::ScopedSource ingest_source_;
 };
 
 }  // namespace gs

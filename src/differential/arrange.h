@@ -67,6 +67,10 @@ class ArrangeOp : public OperatorBase {
     trace_.CompactTo(version);
   }
 
+  void OnEpochSealed(uint32_t last_version) override {
+    trace_.CompactEpoch(last_version);
+  }
+
   void CollectMemory(OperatorMemory* out) const override {
     out->AddTrace(trace_);
     out->queued_bytes += port_.buffered_bytes();
@@ -151,6 +155,10 @@ class JoinStreamArrangedOp : public OperatorBase {
 
   void OnVersionSealed(uint32_t version) override {
     left_.CompactTo(version);
+  }
+
+  void OnEpochSealed(uint32_t last_version) override {
+    left_.CompactEpoch(last_version);
   }
 
   void CollectMemory(OperatorMemory* out) const override {

@@ -250,6 +250,11 @@ class OperatorBase {
   virtual void OnStepBegin(uint32_t version) {}
   /// Hook called after a version reaches quiescence (traces compact here).
   virtual void OnVersionSealed(uint32_t version) {}
+  /// Hook called when a graph-update epoch is sealed (Dataflow::SealEpoch):
+  /// every version of the finished epoch is final and no future input will
+  /// land at or before `last_version`, so trace-owning operators compact
+  /// their full spines (Trace::CompactEpoch) under the looser epoch guard.
+  virtual void OnEpochSealed(uint32_t last_version) {}
 
   /// Stateful operators override this to attribute their resident memory
   /// (owned traces, buffered input) into `out`. Called from SealPhase on
@@ -649,6 +654,37 @@ class Dataflow {
     ++version_;
   }
 
+  /// Seals a graph-update epoch after its last version was stepped: invokes
+  /// every operator's OnEpochSealed with the last sealed version, forcing
+  /// full spine compaction. Called between Steps (never mid-phase) by the
+  /// live view-collection driver; the epoch counter is only advanced here.
+  void SealEpoch() {
+    GS_CHECK(version_ > 0) << "SealEpoch before any Step";
+    uint32_t last_version = version_ - 1;
+    GS_TRACE_SPAN_V("engine", "seal_epoch", last_version);
+    for (OperatorBase* op : registered_) {
+      Timer timer;
+      op->OnEpochSealed(last_version);
+      op->AddRunNanos(static_cast<uint64_t>(timer.Nanos()));
+      uint64_t nanos = op->TakeRunNanos();
+      if (nanos != 0) {
+        if (sharded()) {
+          stats_.op_nanos[op->name() + "@" + std::to_string(worker_index_)] +=
+              nanos;
+        } else {
+          stats_.op_nanos[op->name()] += nanos;
+        }
+      }
+    }
+    ++epochs_sealed_;
+    static metrics::Counter* epochs_sealed =
+        metrics::Registry::Global().GetCounter("gs_engine_epochs_sealed");
+    epochs_sealed->Increment();
+  }
+
+  /// Graph-update epochs sealed so far on this shard.
+  uint64_t epochs_sealed() const { return epochs_sealed_; }
+
   size_t num_operators() const { return registered_.size(); }
 
  private:
@@ -687,6 +723,7 @@ class Dataflow {
   std::vector<OperatorBase*> registered_;
   uint32_t version_ = 0;
   uint64_t step_start_events_ = 0;
+  uint64_t epochs_sealed_ = 0;
 };
 
 inline OperatorBase::OperatorBase(Dataflow* dataflow, std::string name)

@@ -46,6 +46,11 @@ class JoinOp : public OperatorBase {
     right_.CompactTo(version);
   }
 
+  void OnEpochSealed(uint32_t last_version) override {
+    left_.CompactEpoch(last_version);
+    right_.CompactEpoch(last_version);
+  }
+
   void CollectMemory(OperatorMemory* out) const override {
     out->AddTrace(left_);
     out->AddTrace(right_);

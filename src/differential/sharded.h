@@ -195,6 +195,30 @@ class ShardedDataflow {
     return Status::Ok();
   }
 
+  /// Seals a graph-update epoch on every shard (full spine compaction; see
+  /// Dataflow::SealEpoch). Call between Steps, after the last version of the
+  /// epoch was stepped. The barrier semantics match SealPhase: no shard is
+  /// running when this executes, and snapshots refresh afterwards.
+  void SealEpoch() {
+    const size_t w = num_workers();
+    pool_->ParallelFor(w, [&](size_t i) {
+      ScopedWorkerId tag(static_cast<int>(i));
+      workers_[i]->SealEpoch();
+    });
+    std::vector<ShardOperatorStatus> ops;
+    for (size_t i = 0; i < w; ++i) {
+      for (auto& snap : workers_[i]->CollectOperatorSnapshots()) {
+        ops.push_back(ShardOperatorStatus{i, std::move(snap)});
+      }
+    }
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    status_.ops = std::move(ops);
+    status_.epochs_sealed = workers_[0]->epochs_sealed();
+  }
+
+  /// Graph-update epochs sealed so far (identical on all shards).
+  uint64_t epochs_sealed() const { return workers_[0]->epochs_sealed(); }
+
   /// Sum of all shards' work counters (call between Steps).
   DataflowStats AggregatedStats() const {
     DataflowStats total;
@@ -245,9 +269,10 @@ class ShardedDataflow {
     }
     std::snprintf(buf, sizeof(buf),
                   ", \"frontier_rounds\": %llu, "
-                  "\"records_outstanding\": %llu",
+                  "\"records_outstanding\": %llu, \"epochs_sealed\": %llu",
                   static_cast<unsigned long long>(snap.frontier_rounds),
-                  static_cast<unsigned long long>(snap.records_outstanding));
+                  static_cast<unsigned long long>(snap.records_outstanding),
+                  static_cast<unsigned long long>(snap.epochs_sealed));
     out += buf;
     out += ", \"per_worker_events\": [";
     for (size_t i = 0; i < snap.per_worker_events.size(); ++i) {
@@ -304,6 +329,7 @@ class ShardedDataflow {
     Time frontier;
     uint64_t frontier_rounds = 0;
     uint64_t records_outstanding = 0;
+    uint64_t epochs_sealed = 0;
     std::vector<uint64_t> per_worker_events;
     std::vector<ShardOperatorStatus> ops;
     std::vector<std::pair<uint32_t, uint32_t>> edges;  // worker-0 topology

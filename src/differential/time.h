@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -117,6 +118,30 @@ struct Time {
     }
     s += ">";
     return s;
+  }
+};
+
+/// Mapping between the engine's flat version axis and the two logical
+/// dimensions of a *live* view collection: graph-update epoch (outer) and
+/// view position within the collection (inner).
+///
+/// The engine's versions are totally ordered; a live collection's logical
+/// time is the product (epoch, view) where both components are themselves
+/// totally ordered and epochs dominate. Epoch-major flattening
+///   version = epoch * num_views + view
+/// is exactly the lexicographic order on (epoch, view), i.e. a linear
+/// extension of that product order — so feeding flattened versions through
+/// the existing differential machinery computes the right accumulations at
+/// every (epoch, view) pair without widening Time itself.
+struct EpochVersion {
+  static uint32_t Flatten(uint32_t epoch, uint32_t view, uint32_t num_views) {
+    GS_CHECK(view < num_views);
+    return epoch * num_views + view;
+  }
+  /// Inverse of Flatten: (epoch, view).
+  static std::pair<uint32_t, uint32_t> Unflatten(uint32_t version,
+                                                 uint32_t num_views) {
+    return {version / num_views, version % num_views};
   }
 };
 

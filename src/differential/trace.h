@@ -100,27 +100,93 @@ class Trace {
   /// non-zero (value, count) pairs to `out`, consolidated and sorted by
   /// value — the appended region is built consolidated, never copied out
   /// and back.
+  ///
+  /// Spine batches are sorted by (key, value, lex time), so a key's matches
+  /// from one batch already form a value-sorted run; only the bounded tail
+  /// needs sorting. The net multiset comes from a k-way merge of those runs
+  /// (k = O(log n) batches) instead of re-sorting the whole history on
+  /// every probe — probes dominate reduce-heavy incremental workloads.
   void Accumulate(const K& key, const Time& time, Batch<V>* out) const {
     Batch<V>& matches = accumulate_scratch_;
     matches.clear();
-    ForEach(key, [&](const V& value, const Time& t, Diff diff) {
-      if (t.LessEq(time)) matches.push_back(Update<V>{value, diff});
-    });
-    if (matches.empty()) return;
-    std::sort(matches.begin(), matches.end(),
-              [](const Update<V>& a, const Update<V>& b) {
-                return a.data < b.data;
-              });
-    for (size_t i = 0; i < matches.size();) {
-      Diff total = 0;
-      size_t j = i;
-      while (j < matches.size() && matches[j].data == matches[i].data) {
-        total += matches[j].diff;
-        ++j;
+    auto& runs = accumulate_runs_;
+    runs.clear();
+    size_t run_start = 0;
+    for (const SpineBatch& batch : spine_) {
+      auto [lo, hi] = KeyRange(batch, key);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->time.LessEq(time)) {
+          matches.push_back(Update<V>{it->value, it->diff});
+        }
       }
-      if (total != 0) out->push_back(Update<V>{matches[i].data, total});
-      i = j;
+      if (matches.size() > run_start) {
+        runs.push_back({run_start, matches.size()});
+        run_start = matches.size();
+      }
     }
+    for (const Entry& e : tail_) {
+      if (e.key == key && e.time.LessEq(time)) {
+        matches.push_back(Update<V>{e.value, e.diff});
+      }
+    }
+    if (matches.size() > run_start) {
+      std::sort(matches.begin() + run_start, matches.end(),
+                [](const Update<V>& a, const Update<V>& b) {
+                  return a.data < b.data;
+                });
+      runs.push_back({run_start, matches.size()});
+    }
+    MergeRuns(out);
+  }
+
+  /// Accumulate plus a full capture of the rest of the history in one walk
+  /// — the rebuild probe behind reduce's per-(version, key) memo. Entries
+  /// partition exactly: an entry with time ≤ `time` joins the consolidated
+  /// accumulation appended to `out` (its lub with `time` is `time` itself —
+  /// nothing to schedule); any other entry is appended to `futures` with
+  /// its full timestamp, from which the caller derives both the interesting
+  /// times to schedule (lub(time, entry.time)) and the deltas to fold into
+  /// the running accumulation when those times mature. Equivalent to
+  /// ForEach followed by Accumulate, but pays a single pass over the key's
+  /// spine ranges and tail.
+  void AccumulateWithFutures(
+      const K& key, const Time& time, Batch<V>* out,
+      std::vector<std::pair<Time, Update<V>>>* futures) const {
+    Batch<V>& matches = accumulate_scratch_;
+    matches.clear();
+    auto& runs = accumulate_runs_;
+    runs.clear();
+    size_t run_start = 0;
+    for (const SpineBatch& batch : spine_) {
+      auto [lo, hi] = KeyRange(batch, key);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->time.LessEq(time)) {
+          matches.push_back(Update<V>{it->value, it->diff});
+        } else {
+          futures->push_back({it->time, Update<V>{it->value, it->diff}});
+        }
+      }
+      if (matches.size() > run_start) {
+        runs.push_back({run_start, matches.size()});
+        run_start = matches.size();
+      }
+    }
+    for (const Entry& e : tail_) {
+      if (!(e.key == key)) continue;
+      if (e.time.LessEq(time)) {
+        matches.push_back(Update<V>{e.value, e.diff});
+      } else {
+        futures->push_back({e.time, Update<V>{e.value, e.diff}});
+      }
+    }
+    if (matches.size() > run_start) {
+      std::sort(matches.begin() + run_start, matches.end(),
+                [](const Update<V>& a, const Update<V>& b) {
+                  return a.data < b.data;
+                });
+      runs.push_back({run_start, matches.size()});
+    }
+    MergeRuns(out);
   }
 
   /// Seals `sealed_version`: from now on batch merges rewrite earlier
@@ -134,21 +200,33 @@ class Trace {
     SealTail();
     if (spine_.empty()) return;
     if (inserts_since_compaction_ * 2 < total_entries_) return;
-    inserts_since_compaction_ = 0;
-    ++num_compactions_;
-    while (spine_.size() > 1) {
-      SpineBatch b = std::move(spine_.back());
-      spine_.pop_back();
-      SpineBatch a = std::move(spine_.back());
-      spine_.pop_back();
-      SpineBatch merged = MergeBatches(std::move(a), std::move(b));
-      if (!merged.entries.empty()) spine_.push_back(std::move(merged));
-    }
-    if (!spine_.empty()) {
-      Rewrite(&spine_.front());
-      if (spine_.front().entries.empty()) spine_.clear();
-    }
-    CheckSpineInvariants();
+    FullMerge();
+  }
+
+  /// Epoch-seal compaction: like CompactTo but with a looser amortization
+  /// guard. An epoch boundary makes the *whole* pre-epoch history
+  /// collapsible (no future input can land at or before it), so a merge
+  /// pays off much earlier than the per-version 1/2 threshold — but an
+  /// unconditional merge would rescan large quiescent traces (e.g. a stable
+  /// adjacency arrangement) at every epoch for nothing. 1/8 new entries is
+  /// the compromise: insert-heavy traces — exactly the ones whose per-key
+  /// histories probes walk — re-collapse nearly every epoch, near-static
+  /// ones are left alone.
+  void CompactEpoch(uint32_t sealed_version) {
+    sealed_version_ = std::max(sealed_version_, sealed_version);
+    SealTail();
+    if (spine_.empty()) return;
+    if (inserts_since_compaction_ * 8 < total_entries_) return;
+    FullMerge();
+  }
+
+  /// Unconditional full compaction to `sealed_version`, skipping every
+  /// amortization guard. Quiescent traces (empty spine) stay untouched.
+  void CompactFully(uint32_t sealed_version) {
+    sealed_version_ = std::max(sealed_version_, sealed_version);
+    SealTail();
+    if (spine_.empty()) return;
+    FullMerge();
   }
 
   /// Asserts every batch-spine invariant; compiled to a no-op unless the
@@ -172,11 +250,13 @@ class Trace {
       const SpineBatch& batch = spine_[b];
       GS_CHECK(!batch.entries.empty()) << "empty spine batch " << b;
       uint32_t min_version = UINT32_MAX;
+      uint32_t max_version = 0;
       for (size_t i = 0; i < batch.entries.size(); ++i) {
         const Entry& e = batch.entries[i];
         GS_CHECK(e.diff != 0)
             << "zero-diff entry in spine batch " << b << " at " << i;
         min_version = std::min(min_version, e.time.version);
+        max_version = std::max(max_version, e.time.version);
         if (i > 0) {
           // EntryLess is total on distinct (key, value, time) triples, so
           // sorted-and-consolidated means strictly increasing.
@@ -188,6 +268,9 @@ class Trace {
       GS_CHECK(batch.min_version == min_version)
           << "spine batch " << b << " min_version " << batch.min_version
           << " != computed " << min_version;
+      GS_CHECK(batch.max_version == max_version)
+          << "spine batch " << b << " max_version " << batch.max_version
+          << " != computed " << max_version;
       if (b + 1 < spine_.size()) {
         GS_CHECK(batch.entries.size() >=
                  2 * spine_[b + 1].entries.size())
@@ -249,7 +332,69 @@ class Trace {
   struct SpineBatch {
     std::vector<Entry> entries;  // sorted by (key, value, lex time)
     uint32_t min_version = 0;    // minimum version in `entries`
+    uint32_t max_version = 0;    // maximum version in `entries`
   };
+
+  // Merges the whole spine into one batch rewritten to the sealed frontier.
+  void FullMerge() {
+    inserts_since_compaction_ = 0;
+    ++num_compactions_;
+    while (spine_.size() > 1) {
+      SpineBatch b = std::move(spine_.back());
+      spine_.pop_back();
+      SpineBatch a = std::move(spine_.back());
+      spine_.pop_back();
+      SpineBatch merged = MergeBatches(std::move(a), std::move(b));
+      if (!merged.entries.empty()) spine_.push_back(std::move(merged));
+    }
+    if (!spine_.empty()) {
+      Rewrite(&spine_.front());
+      if (spine_.front().entries.empty()) spine_.clear();
+    }
+    CheckSpineInvariants();
+  }
+
+  // Merges accumulate_runs_ (value-sorted runs inside accumulate_scratch_)
+  // into net non-zero (value, count) pairs appended to `out`.
+  void MergeRuns(Batch<V>* out) const {
+    const Batch<V>& matches = accumulate_scratch_;
+    auto& runs = accumulate_runs_;
+    if (runs.empty()) return;
+    if (runs.size() == 1) {
+      // Common case after compaction: one spine batch holds the whole
+      // history — consolidate adjacent equal values directly.
+      for (size_t i = runs[0].first; i < runs[0].second;) {
+        Diff total = 0;
+        size_t j = i;
+        while (j < runs[0].second && matches[j].data == matches[i].data) {
+          total += matches[j].diff;
+          ++j;
+        }
+        if (total != 0) out->push_back(Update<V>{matches[i].data, total});
+        i = j;
+      }
+      return;
+    }
+    // k is small: a linear scan over run heads beats a heap.
+    for (;;) {
+      const V* min_value = nullptr;
+      for (const auto& [pos, end] : runs) {
+        if (pos < end &&
+            (min_value == nullptr || matches[pos].data < *min_value)) {
+          min_value = &matches[pos].data;
+        }
+      }
+      if (min_value == nullptr) return;
+      Diff total = 0;
+      for (auto& [pos, end] : runs) {
+        while (pos < end && matches[pos].data == *min_value) {
+          total += matches[pos].diff;
+          ++pos;
+        }
+      }
+      if (total != 0) out->push_back(Update<V>{*min_value, total});
+    }
+  }
 
   static bool EntryLess(const Entry& a, const Entry& b) {
     if (a.key < b.key) return true;
@@ -284,12 +429,14 @@ class Trace {
     return {lo, hi};
   }
 
-  // Sorts and consolidates a run of entries: equal (key, value, time)
-  // triples merge, zero-diff results drop. Returns the minimum version.
-  uint32_t SortAndConsolidate(std::vector<Entry>* entries) {
+  // Sorts and consolidates a batch's entries: equal (key, value, time)
+  // triples merge, zero-diff results drop. Recomputes the version range.
+  void SortAndConsolidate(SpineBatch* batch) {
+    std::vector<Entry>* entries = &batch->entries;
     std::sort(entries->begin(), entries->end(), EntryLess);
     size_t out = 0;
     uint32_t min_version = UINT32_MAX;
+    uint32_t max_version = 0;
     for (size_t i = 0; i < entries->size();) {
       size_t j = i;
       Diff total = 0;
@@ -303,6 +450,7 @@ class Trace {
         (*entries)[out] = std::move((*entries)[i]);
         (*entries)[out].diff = total;
         min_version = std::min(min_version, (*entries)[out].time.version);
+        max_version = std::max(max_version, (*entries)[out].time.version);
         ++out;
       }
       i = j;
@@ -310,7 +458,9 @@ class Trace {
     total_entries_ -= entries->size() - out;
     entries_reclaimed_ += entries->size() - out;
     entries->resize(out);
-    return min_version == UINT32_MAX ? sealed_version_ : min_version;
+    batch->min_version =
+        min_version == UINT32_MAX ? sealed_version_ : min_version;
+    batch->max_version = out == 0 ? sealed_version_ : max_version;
   }
 
   void SealTail() {
@@ -318,7 +468,7 @@ class Trace {
     SpineBatch batch;
     batch.entries = std::move(tail_);
     tail_.clear();
-    batch.min_version = SortAndConsolidate(&batch.entries);
+    SortAndConsolidate(&batch);
     if (batch.entries.empty()) return;
     spine_.push_back(std::move(batch));
     // Geometric invariant: each batch at least twice the size of the next
@@ -339,13 +489,23 @@ class Trace {
   // Rewrites versions below the sealed frontier up to it. The rewrite can
   // reorder and equate entries of the same (key, value) — different
   // iteration vectors at different old versions land on the same sealed
-  // version — so the batch is re-sorted and re-consolidated.
+  // version — so in general the batch is re-sorted and re-consolidated.
+  // A batch whose entries all sit at one version (the usual shape after a
+  // previous full compaction brought it to the then-frontier) is exempt:
+  // clamping a uniform version preserves the (key, value, lex time) order
+  // (ties already broke on iterations) and can equate no two entries, so
+  // resealing a quiescent spine is O(n) instead of O(n log n).
   void Rewrite(SpineBatch* batch) {
     if (batch->min_version >= sealed_version_) return;
+    if (batch->min_version == batch->max_version) {
+      for (Entry& e : batch->entries) e.time.version = sealed_version_;
+      batch->min_version = batch->max_version = sealed_version_;
+      return;
+    }
     for (Entry& e : batch->entries) {
       if (e.time.version < sealed_version_) e.time.version = sealed_version_;
     }
-    batch->min_version = SortAndConsolidate(&batch->entries);
+    SortAndConsolidate(batch);
   }
 
   // Merge-time compaction: both inputs are brought to the sealed frontier
@@ -379,10 +539,14 @@ class Trace {
     // removed the very entries that carried it; recompute exactly so the
     // metadata stays tight (and the paranoid invariant can be strict).
     merged.min_version = UINT32_MAX;
+    merged.max_version = 0;
     for (const Entry& e : merged.entries) {
       merged.min_version = std::min(merged.min_version, e.time.version);
+      merged.max_version = std::max(merged.max_version, e.time.version);
     }
-    if (merged.entries.empty()) merged.min_version = sealed_version_;
+    if (merged.entries.empty()) {
+      merged.min_version = merged.max_version = sealed_version_;
+    }
     total_entries_ -= dropped;
     entries_reclaimed_ += dropped;
     return merged;
@@ -391,6 +555,8 @@ class Trace {
   std::vector<SpineBatch> spine_;
   std::vector<Entry> tail_;
   mutable Batch<V> accumulate_scratch_;
+  // (pos, end) cursors of the value-sorted runs Accumulate merges.
+  mutable std::vector<std::pair<size_t, size_t>> accumulate_runs_;
   size_t total_entries_ = 0;
   size_t peak_entries_ = 0;
   uint64_t entries_reclaimed_ = 0;

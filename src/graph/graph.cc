@@ -5,6 +5,7 @@ namespace gs {
 VertexId PropertyGraph::AddNodes(size_t n) {
   VertexId first = num_nodes_;
   num_nodes_ += n;
+  if (!node_alive_.empty()) node_alive_.resize(num_nodes_, 1);
   return first;
 }
 
@@ -14,8 +15,42 @@ StatusOr<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst) {
                               std::to_string(src) + "->" +
                               std::to_string(dst));
   }
+  if (!node_alive(src) || !node_alive(dst)) {
+    return Status::FailedPrecondition("edge endpoint is a removed node: " +
+                                      std::to_string(src) + "->" +
+                                      std::to_string(dst));
+  }
   edges_.push_back(Edge{src, dst});
+  if (!edge_alive_.empty()) edge_alive_.push_back(1);
   return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Status PropertyGraph::RemoveEdge(EdgeId id) {
+  if (id >= edges_.size()) {
+    return Status::OutOfRange("edge id out of range: " + std::to_string(id));
+  }
+  if (edge_alive_.empty()) edge_alive_.assign(edges_.size(), 1);
+  if (!edge_alive_[id]) {
+    return Status::FailedPrecondition("edge " + std::to_string(id) +
+                                      " already removed");
+  }
+  edge_alive_[id] = 0;
+  ++dead_edges_;
+  return Status::Ok();
+}
+
+Status PropertyGraph::RemoveNode(VertexId id) {
+  if (id >= num_nodes_) {
+    return Status::OutOfRange("node id out of range: " + std::to_string(id));
+  }
+  if (node_alive_.empty()) node_alive_.assign(num_nodes_, 1);
+  if (!node_alive_[id]) {
+    return Status::FailedPrecondition("node " + std::to_string(id) +
+                                      " already removed");
+  }
+  node_alive_[id] = 0;
+  ++dead_nodes_;
+  return Status::Ok();
 }
 
 WeightedEdge PropertyGraph::ResolveWeighted(EdgeId id,

@@ -15,6 +15,12 @@ namespace gs {
 /// A directed property graph with dense internal vertex IDs [0, num_nodes).
 /// Edges are stored as a stream (insertion order preserved) and referenced
 /// by dense EdgeId; views and difference streams are defined over EdgeIds.
+///
+/// Streaming mutations (graph/mutation.h) never renumber: removed nodes and
+/// edges are tombstoned in place so every EdgeId/VertexId stays valid for
+/// the lifetime of the graph, and view collections keyed by EdgeId survive
+/// graph-update epochs unchanged. A graph with no removals carries no
+/// tombstone storage at all.
 class PropertyGraph {
  public:
   PropertyGraph() = default;
@@ -24,6 +30,28 @@ class PropertyGraph {
 
   /// Appends an edge and returns its EdgeId. Endpoints must exist.
   StatusOr<EdgeId> AddEdge(VertexId src, VertexId dst);
+
+  /// Tombstones an edge (the id stays valid; edge_alive turns false).
+  Status RemoveEdge(EdgeId id);
+  /// Tombstones a node. Incident edges are NOT removed here — the mutation
+  /// applier (graph/mutation.h) removes them so the effects are observable.
+  Status RemoveNode(VertexId id);
+
+  bool edge_alive(EdgeId id) const {
+    return edge_alive_.empty() || edge_alive_[id];
+  }
+  bool node_alive(VertexId id) const {
+    return node_alive_.empty() || node_alive_[id];
+  }
+  /// Edges minus tombstones (num_edges() counts all ids ever allocated).
+  size_t num_live_edges() const { return edges_.size() - dead_edges_; }
+  size_t num_live_nodes() const { return num_nodes_ - dead_nodes_; }
+
+  /// Graph-update epoch: the number of mutation batches applied so far
+  /// (bumped by graph/mutation.h's ApplyMutationBatch). Epoch 0 is the
+  /// as-loaded snapshot.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+  void BumpMutationEpoch() { ++mutation_epoch_; }
 
   size_t num_nodes() const { return num_nodes_; }
   size_t num_edges() const { return edges_.size(); }
@@ -52,6 +80,12 @@ class PropertyGraph {
   std::vector<Edge> edges_;
   PropertyTable node_props_;
   PropertyTable edge_props_;
+  /// Tombstone bitmaps; empty means "all alive" (the common static case).
+  std::vector<uint8_t> edge_alive_;
+  std::vector<uint8_t> node_alive_;
+  size_t dead_edges_ = 0;
+  size_t dead_nodes_ = 0;
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace gs

@@ -1,0 +1,96 @@
+// Typed streaming mutations over a PropertyGraph and their batch applier.
+//
+// A MutationBatch is the unit of graph-update time: applying one batch
+// advances the graph by exactly one mutation epoch (PropertyGraph::
+// mutation_epoch), and the WAL (graph/wal/) logs one record per batch.
+// Mutations never renumber ids — removals tombstone in place — so the
+// EdgeId-keyed view-collection machinery survives epochs unchanged.
+#ifndef GRAPHSURGE_GRAPH_MUTATION_H_
+#define GRAPHSURGE_GRAPH_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/property.h"
+#include "graph/types.h"
+
+namespace gs {
+
+enum class MutationKind : uint8_t {
+  kAddNode = 0,
+  kRemoveNode = 1,
+  kAddEdge = 2,
+  kRemoveEdge = 3,
+  kSetNodeProperty = 4,
+  kSetEdgeProperty = 5,
+};
+
+/// One typed mutation. Fields beyond `kind` are meaningful per kind:
+///   kAddNode          row (node property row; may be empty → all nulls)
+///   kRemoveNode       node
+///   kAddEdge          src, dst, row (edge property row; may be empty)
+///   kRemoveEdge       edge
+///   kSetNodeProperty  node, column, value
+///   kSetEdgeProperty  edge, column, value
+struct Mutation {
+  MutationKind kind = MutationKind::kAddNode;
+  VertexId node = 0;
+  VertexId src = 0;
+  VertexId dst = 0;
+  EdgeId edge = 0;
+  std::string column;
+  PropertyValue value;
+  std::vector<PropertyValue> row;
+
+  // Named constructors (the API surface applications use).
+  static Mutation AddNode(std::vector<PropertyValue> row = {});
+  static Mutation RemoveNode(VertexId node);
+  static Mutation AddEdge(VertexId src, VertexId dst,
+                          std::vector<PropertyValue> row = {});
+  static Mutation RemoveEdge(EdgeId edge);
+  static Mutation SetNodeProperty(VertexId node, std::string column,
+                                  PropertyValue value);
+  static Mutation SetEdgeProperty(EdgeId edge, std::string column,
+                                  PropertyValue value);
+};
+
+/// One graph-update epoch's worth of mutations, applied atomically.
+using MutationBatch = std::vector<Mutation>;
+
+/// What a batch actually did, in terms the incremental view-collection
+/// maintainer consumes. `touched_edges` is the sorted, deduplicated set of
+/// edge ids whose view membership or resolved record may have changed:
+/// added edges, removed edges (incident-to-removed-node removals included),
+/// edges with updated properties, and — because GVDL edge predicates may
+/// reference src./dst. node columns — every live edge incident to a node
+/// whose properties changed.
+struct MutationEffects {
+  std::vector<EdgeId> touched_edges;
+  size_t nodes_added = 0;
+  size_t nodes_removed = 0;
+  size_t edges_added = 0;
+  size_t edges_removed = 0;
+  size_t properties_updated = 0;
+};
+
+/// Validates `batch` against the current graph state without mutating it:
+/// endpoints exist and are alive, removal targets are alive, property rows
+/// match the schema, property columns exist with compatible types. A batch
+/// that passes cannot fail mid-apply, which is what lets the WAL append
+/// strictly before application (write-ahead).
+Status CheckMutationBatch(const PropertyGraph& graph,
+                          const MutationBatch& batch);
+
+/// Applies `batch` atomically (validates first, then applies — an invalid
+/// batch leaves the graph untouched) and bumps the graph's mutation epoch.
+/// Removing a node removes its incident live edges. `effects` (optional)
+/// receives the applied diff summary.
+Status ApplyMutationBatch(PropertyGraph* graph, const MutationBatch& batch,
+                          MutationEffects* effects = nullptr);
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_GRAPH_MUTATION_H_

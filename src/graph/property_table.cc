@@ -23,6 +23,27 @@ void Column::Append(const PropertyValue& v) {
   }
 }
 
+void Column::Set(size_t row, const PropertyValue& v) {
+  bool is_valid = !v.is_null();
+  valid_[row] = is_valid ? 1 : 0;
+  switch (type_) {
+    case PropertyType::kInt:
+      ints_[row] = is_valid ? v.AsInt() : 0;
+      break;
+    case PropertyType::kDouble:
+      doubles_[row] = is_valid ? v.AsDouble() : 0.0;
+      break;
+    case PropertyType::kBool:
+      bools_[row] = is_valid && v.AsBool() ? 1 : 0;
+      break;
+    case PropertyType::kString:
+      strings_[row] = is_valid ? v.AsString() : std::string();
+      break;
+    case PropertyType::kNull:
+      break;
+  }
+}
+
 PropertyValue Column::Get(size_t row) const {
   if (!valid_[row]) return PropertyValue::Null();
   switch (type_) {
@@ -86,6 +107,28 @@ StatusOr<size_t> PropertyTable::ColumnIndex(const std::string& name) const {
     return Status::NotFound("no column named '" + name + "'");
   }
   return it->second;
+}
+
+Status PropertyTable::SetCell(size_t row, const std::string& column,
+                              const PropertyValue& value) {
+  GS_ASSIGN_OR_RETURN(size_t col, ColumnIndex(column));
+  if (row >= num_rows_) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range for column '" + column + "'");
+  }
+  Column& c = columns_[col];
+  if (!value.is_null() && value.type() != c.type()) {
+    if (c.type() == PropertyType::kDouble &&
+        value.type() == PropertyType::kInt) {
+      c.Set(row, PropertyValue(static_cast<double>(value.AsInt())));
+      return Status::Ok();
+    }
+    return Status::InvalidArgument(
+        "type mismatch in column '" + column + "': expected " +
+        PropertyTypeName(c.type()) + ", got " + PropertyTypeName(value.type()));
+  }
+  c.Set(row, value);
+  return Status::Ok();
 }
 
 StatusOr<PropertyValue> PropertyTable::GetByName(

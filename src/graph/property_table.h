@@ -25,6 +25,10 @@ class Column {
   PropertyValue Get(size_t row) const;
   bool IsNull(size_t row) const { return !valid_[row]; }
 
+  /// Overwrites an existing row in place (streaming property-update
+  /// mutations). The value must match the column type or be null.
+  void Set(size_t row, const PropertyValue& v);
+
   /// Typed fast paths; undefined if type mismatches or value is null —
   /// callers (the compiled predicate evaluator) check the schema first.
   int64_t GetInt(size_t row) const { return ints_[row]; }
@@ -67,6 +71,12 @@ class PropertyTable {
     return columns_[col].Get(row);
   }
   StatusOr<PropertyValue> GetByName(size_t row, const std::string& name) const;
+
+  /// Overwrites one cell (streaming property-update mutations). Fails on an
+  /// unknown column, an out-of-range row, or a type mismatch; int literals
+  /// are widened into double columns like AppendRow.
+  Status SetCell(size_t row, const std::string& column,
+                 const PropertyValue& value);
 
  private:
   std::vector<std::string> names_;

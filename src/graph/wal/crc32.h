@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for WAL record checksums.
+#ifndef GRAPHSURGE_GRAPH_WAL_CRC32_H_
+#define GRAPHSURGE_GRAPH_WAL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gs::wal {
+
+/// CRC-32 of `data[0, len)`. `seed` chains partial computations:
+/// Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace gs::wal
+
+#endif  // GRAPHSURGE_GRAPH_WAL_CRC32_H_

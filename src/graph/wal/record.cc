@@ -1,0 +1,230 @@
+#include "graph/wal/record.h"
+
+#include <cstring>
+
+namespace gs::wal {
+
+namespace {
+
+// PropertyValue wire tags. Deliberately decoupled from PropertyType's
+// numeric values so the enum can evolve without breaking old logs.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagBool = 1;
+constexpr uint8_t kTagInt = 2;
+constexpr uint8_t kTagDouble = 3;
+constexpr uint8_t kTagString = 4;
+
+constexpr uint8_t kMaxMutationKind =
+    static_cast<uint8_t>(MutationKind::kSetEdgeProperty);
+
+}  // namespace
+
+void RecordWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void RecordWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void RecordWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void RecordWriter::PutValue(const PropertyValue& v) {
+  switch (v.type()) {
+    case PropertyType::kNull:
+      PutU8(kTagNull);
+      break;
+    case PropertyType::kBool:
+      PutU8(kTagBool);
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case PropertyType::kInt:
+      PutU8(kTagInt);
+      PutU64(static_cast<uint64_t>(v.AsInt()));
+      break;
+    case PropertyType::kDouble: {
+      PutU8(kTagDouble);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(bits);
+      break;
+    }
+    case PropertyType::kString:
+      PutU8(kTagString);
+      PutString(v.AsString());
+      break;
+  }
+}
+
+void RecordWriter::PutMutation(const Mutation& m) {
+  PutU8(static_cast<uint8_t>(m.kind));
+  switch (m.kind) {
+    case MutationKind::kAddNode:
+      PutU32(static_cast<uint32_t>(m.row.size()));
+      for (const PropertyValue& v : m.row) PutValue(v);
+      break;
+    case MutationKind::kRemoveNode:
+      PutU64(m.node);
+      break;
+    case MutationKind::kAddEdge:
+      PutU64(m.src);
+      PutU64(m.dst);
+      PutU32(static_cast<uint32_t>(m.row.size()));
+      for (const PropertyValue& v : m.row) PutValue(v);
+      break;
+    case MutationKind::kRemoveEdge:
+      PutU64(m.edge);
+      break;
+    case MutationKind::kSetNodeProperty:
+      PutU64(m.node);
+      PutString(m.column);
+      PutValue(m.value);
+      break;
+    case MutationKind::kSetEdgeProperty:
+      PutU64(m.edge);
+      PutString(m.column);
+      PutValue(m.value);
+      break;
+  }
+}
+
+StatusOr<uint8_t> RecordReader::GetU8() {
+  if (remaining() < 1) return Status::ParseError("wal record truncated (u8)");
+  return data_[pos_++];
+}
+
+StatusOr<uint32_t> RecordReader::GetU32() {
+  if (remaining() < 4) return Status::ParseError("wal record truncated (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> RecordReader::GetU64() {
+  if (remaining() < 8) return Status::ParseError("wal record truncated (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::string> RecordReader::GetString() {
+  GS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (remaining() < len) {
+    return Status::ParseError("wal record truncated (string)");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+StatusOr<PropertyValue> RecordReader::GetValue() {
+  GS_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  switch (tag) {
+    case kTagNull:
+      return PropertyValue::Null();
+    case kTagBool: {
+      GS_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+      return PropertyValue(b != 0);
+    }
+    case kTagInt: {
+      GS_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+      return PropertyValue(static_cast<int64_t>(v));
+    }
+    case kTagDouble: {
+      GS_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return PropertyValue(d);
+    }
+    case kTagString: {
+      GS_ASSIGN_OR_RETURN(std::string s, GetString());
+      return PropertyValue(std::move(s));
+    }
+    default:
+      return Status::ParseError("wal record: unknown value tag " +
+                                std::to_string(tag));
+  }
+}
+
+StatusOr<Mutation> RecordReader::GetMutation() {
+  GS_ASSIGN_OR_RETURN(uint8_t kind_byte, GetU8());
+  if (kind_byte > kMaxMutationKind) {
+    return Status::ParseError("wal record: unknown mutation kind " +
+                              std::to_string(kind_byte));
+  }
+  Mutation m;
+  m.kind = static_cast<MutationKind>(kind_byte);
+  switch (m.kind) {
+    case MutationKind::kAddNode: {
+      GS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+      m.row.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        GS_ASSIGN_OR_RETURN(PropertyValue v, GetValue());
+        m.row.push_back(std::move(v));
+      }
+      break;
+    }
+    case MutationKind::kRemoveNode: {
+      GS_ASSIGN_OR_RETURN(m.node, GetU64());
+      break;
+    }
+    case MutationKind::kAddEdge: {
+      GS_ASSIGN_OR_RETURN(m.src, GetU64());
+      GS_ASSIGN_OR_RETURN(m.dst, GetU64());
+      GS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+      m.row.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        GS_ASSIGN_OR_RETURN(PropertyValue v, GetValue());
+        m.row.push_back(std::move(v));
+      }
+      break;
+    }
+    case MutationKind::kRemoveEdge: {
+      GS_ASSIGN_OR_RETURN(m.edge, GetU64());
+      break;
+    }
+    case MutationKind::kSetNodeProperty: {
+      GS_ASSIGN_OR_RETURN(m.node, GetU64());
+      GS_ASSIGN_OR_RETURN(m.column, GetString());
+      GS_ASSIGN_OR_RETURN(m.value, GetValue());
+      break;
+    }
+    case MutationKind::kSetEdgeProperty: {
+      GS_ASSIGN_OR_RETURN(m.edge, GetU64());
+      GS_ASSIGN_OR_RETURN(m.column, GetString());
+      GS_ASSIGN_OR_RETURN(m.value, GetValue());
+      break;
+    }
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeMutationBatch(const MutationBatch& batch) {
+  RecordWriter w;
+  w.PutU32(static_cast<uint32_t>(batch.size()));
+  for (const Mutation& m : batch) w.PutMutation(m);
+  return w.Take();
+}
+
+StatusOr<MutationBatch> DecodeMutationBatch(const uint8_t* data, size_t len) {
+  RecordReader r(data, len);
+  GS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  MutationBatch batch;
+  batch.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GS_ASSIGN_OR_RETURN(Mutation m, r.GetMutation());
+    batch.push_back(std::move(m));
+  }
+  if (r.remaining() != 0) {
+    return Status::ParseError("wal record: trailing bytes after batch");
+  }
+  return batch;
+}
+
+}  // namespace gs::wal

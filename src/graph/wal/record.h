@@ -1,0 +1,66 @@
+// Binary (little-endian) serialization of mutation batches for WAL records.
+//
+// The encoding is self-contained per record: a batch round-trips through
+// EncodeMutationBatch/DecodeMutationBatch independently of graph state. The
+// framing (length prefix + CRC) lives in wal.h; this file only encodes the
+// payload.
+#ifndef GRAPHSURGE_GRAPH_WAL_RECORD_H_
+#define GRAPHSURGE_GRAPH_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/mutation.h"
+#include "graph/property.h"
+
+namespace gs::wal {
+
+/// Append-only encoder over a byte buffer. All integers little-endian.
+class RecordWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutString(const std::string& s);       // u32 length + bytes
+  void PutValue(const PropertyValue& v);      // tag byte + typed payload
+  void PutMutation(const Mutation& m);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Cursor-based decoder; every Get checks remaining length and returns
+/// ParseError on truncation or a malformed tag.
+class RecordReader {
+ public:
+  RecordReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<std::string> GetString();
+  StatusOr<PropertyValue> GetValue();
+  StatusOr<Mutation> GetMutation();
+
+  size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Encodes a whole batch: u32 mutation count, then each mutation.
+std::vector<uint8_t> EncodeMutationBatch(const MutationBatch& batch);
+
+/// Inverse of EncodeMutationBatch; rejects trailing garbage.
+StatusOr<MutationBatch> DecodeMutationBatch(const uint8_t* data, size_t len);
+
+}  // namespace gs::wal
+
+#endif  // GRAPHSURGE_GRAPH_WAL_RECORD_H_

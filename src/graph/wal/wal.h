@@ -1,0 +1,93 @@
+// Append-only write-ahead log for streaming graph mutations.
+//
+// File layout:
+//   [8-byte magic "GSWAL\x01\0\0"]
+//   repeated records: [u32 payload_len LE][u32 crc32(payload) LE][payload]
+// where each payload is one EncodeMutationBatch (graph/wal/record.h) — one
+// record per graph-update epoch.
+//
+// Durability contract: WalWriter::Append writes length + CRC + payload with
+// a single write(2) and fsyncs every `sync_every_n_appends` records (default
+// every record). Replay distinguishes two failure shapes:
+//   - torn tail: the file ends mid-record (a crash between write and the
+//     next append). The tail is silently ignored and `recovered_torn_tail`
+//     is set — this is the expected crash artifact, not corruption.
+//   - checksum mismatch on a complete record: real corruption; replay stops
+//     with an IoError rather than guessing.
+#ifndef GRAPHSURGE_GRAPH_WAL_WAL_H_
+#define GRAPHSURGE_GRAPH_WAL_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/mutation.h"
+
+namespace gs::wal {
+
+/// The 8-byte file header. Version byte after the name lets the format
+/// evolve; the trailing NULs keep records 4-byte aligned after the header.
+inline constexpr char kWalMagic[8] = {'G', 'S', 'W', 'A', 'L', 1, 0, 0};
+
+struct WalWriterOptions {
+  /// fsync after every Nth Append (1 = every append, the durable default;
+  /// larger values batch fsyncs for ingest throughput at the cost of the
+  /// last N-1 batches on power loss). Close() always syncs.
+  uint32_t sync_every_n_appends = 1;
+};
+
+/// Appender for one WAL file. Not thread-safe; the API layer serializes
+/// mutations per graph already.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, creating it (with header) if absent. An
+  /// existing file must start with the magic. Call ReplayWal first when
+  /// recovering: Open truncates a torn tail so appends land on a record
+  /// boundary.
+  Status Open(const std::string& path, WalWriterOptions options = {});
+
+  /// Appends one framed, checksummed record. Returns after the write (and
+  /// the fsync, when this append hits the sync cadence) completes.
+  Status Append(const MutationBatch& batch);
+
+  /// Forces an fsync now regardless of cadence.
+  Status Sync();
+
+  /// Syncs and closes. Safe to call twice.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  WalWriterOptions options_;
+  uint32_t appends_since_sync_ = 0;
+  uint64_t bytes_written_ = 0;  // total file size, including header
+};
+
+struct WalReplayResult {
+  /// The logged batches, in append (= epoch) order.
+  std::vector<MutationBatch> batches;
+  /// True if the file ended mid-record and the tail was dropped.
+  bool recovered_torn_tail = false;
+  /// Bytes of valid log consumed (header + complete records).
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads every complete record from `path`. A missing file yields zero
+/// batches (a fresh log). Torn tails recover silently (see file comment);
+/// checksum mismatches and header corruption are errors.
+StatusOr<WalReplayResult> ReplayWal(const std::string& path);
+
+}  // namespace gs::wal
+
+#endif  // GRAPHSURGE_GRAPH_WAL_WAL_H_

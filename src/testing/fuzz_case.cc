@@ -26,6 +26,12 @@ std::string FuzzCase::Serialize() const {
     out << "edge " << e.src << " " << e.dst << " " << e.w << " " << e.kind
         << "\n";
   }
+  for (size_t epoch = 0; epoch < mutation_epochs.size(); ++epoch) {
+    for (const FuzzMutation& m : mutation_epochs[epoch]) {
+      out << "mutation " << epoch << " " << m.kind << " " << m.a << " " << m.b
+          << " " << m.c << "\n";
+    }
+  }
   // Predicates go last and take the rest of the line (they contain spaces).
   for (const std::string& p : predicates) {
     out << "predicate " << p << "\n";
@@ -99,6 +105,18 @@ StatusOr<FuzzCase> FuzzCase::Parse(const std::string& text) {
       FuzzEdge e;
       if (!(ls >> e.src >> e.dst >> e.w >> e.kind)) return fail("bad edge");
       c.edges.push_back(e);
+    } else if (key == "mutation") {
+      size_t epoch = 0;
+      FuzzMutation m;
+      if (!(ls >> epoch >> m.kind >> m.a >> m.b >> m.c)) {
+        return fail("bad mutation");
+      }
+      if (m.kind < 0 || m.kind > 5) return fail("unknown mutation kind");
+      if (epoch > 1024) return fail("mutation epoch out of range");
+      if (c.mutation_epochs.size() <= epoch) {
+        c.mutation_epochs.resize(epoch + 1);
+      }
+      c.mutation_epochs[epoch].push_back(m);
     } else if (key == "predicate") {
       // The predicate is the remainder of the line after "predicate ".
       std::string rest;

@@ -69,6 +69,20 @@ struct ProgramSpec {
   std::vector<OpNode> ops;
 };
 
+/// One raw streaming mutation for the mutate oracle mode. Deliberately
+/// untyped: `kind` selects the graph/mutation.h kind and `a`/`b`/`c` are
+/// resolved against the *current* graph state (modulo node/edge counts,
+/// infeasible mutations skipped) by ResolveFuzzBatch — so shrinking edges
+/// or nodes never invalidates a mutation line.
+struct FuzzMutation {
+  int64_t kind = 0;  // 0..5, mirrors gs::MutationKind
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+
+  friend bool operator==(const FuzzMutation&, const FuzzMutation&) = default;
+};
+
 /// Everything needed to reproduce one fuzz run bit-for-bit.
 struct FuzzCase {
   uint64_t case_seed = 0;
@@ -83,6 +97,10 @@ struct FuzzCase {
 
   // Computation.
   ProgramSpec program;
+
+  // Streaming mutations: one inner vector per graph-update epoch, applied
+  // in order by the mutate oracle mode (empty → mode skipped).
+  std::vector<std::vector<FuzzMutation>> mutation_epochs;
 
   // Execution/schedule knobs (see differential/fuzz_hooks.h).
   uint64_t workers = 2;             // sharded oracle worker count

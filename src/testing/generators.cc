@@ -205,6 +205,25 @@ FuzzCase GenerateCase(uint64_t case_seed, uint64_t max_nodes) {
   c.compaction_period = kCompactionChoices[rng.Index(5)];
   static const uint64_t kSealChoices[] = {0, 0, 1, 2, 8};
   c.tail_seal_threshold = kSealChoices[rng.Index(5)];
+
+  // Streaming mutations (mutate oracle mode) half the time: 1–3 epochs of
+  // 1–8 raw mutations each, resolved against the live graph at run time.
+  if (rng.Bernoulli(0.5)) {
+    size_t n_epochs = 1 + rng.Index(3);
+    for (size_t e = 0; e < n_epochs; ++e) {
+      std::vector<FuzzMutation> epoch;
+      size_t n_mutations = 1 + rng.Index(8);
+      for (size_t m = 0; m < n_mutations; ++m) {
+        FuzzMutation mut;
+        mut.kind = static_cast<int64_t>(rng.Index(6));
+        mut.a = rng.Index(1 << 16);
+        mut.b = rng.Index(1 << 16);
+        mut.c = rng.Index(1 << 16);
+        epoch.push_back(mut);
+      }
+      c.mutation_epochs.push_back(std::move(epoch));
+    }
+  }
   return c;
 }
 
@@ -244,6 +263,78 @@ StatusOr<gvdl::ViewCollectionDef> BuildCollectionDef(const FuzzCase& c) {
     def.views.push_back({std::move(view_name), std::move(expr)});
   }
   return def;
+}
+
+MutationBatch ResolveFuzzBatch(const PropertyGraph& graph,
+                               const std::vector<FuzzMutation>& raw) {
+  MutationBatch batch;
+  // Resolve against the graph *before* the batch: ids are stable (removals
+  // tombstone), so modulo the pre-batch counts stays meaningful, and
+  // CheckMutationBatch tracks batch-internal adds/removes for us.
+  const uint64_t n = graph.num_nodes();
+  const uint64_t m = graph.num_edges();
+  for (const FuzzMutation& r : raw) {
+    Mutation candidate;
+    switch (r.kind) {
+      case 0: {  // add node, BuildGraph node schema (grp, hub)
+        candidate = Mutation::AddNode(
+            {PropertyValue(static_cast<int64_t>(r.a % 5)),
+             PropertyValue(r.b % 3 == 0)});
+        break;
+      }
+      case 1: {  // remove node
+        candidate = Mutation::RemoveNode(r.a % n);
+        break;
+      }
+      case 2: {  // add edge, BuildGraph edge schema (w, kind, tag)
+        const int64_t kind = static_cast<int64_t>(r.c % 3);
+        candidate = Mutation::AddEdge(
+            r.a % n, r.b % n,
+            {PropertyValue(static_cast<int64_t>(r.c % 16)),
+             PropertyValue(kind), PropertyValue(std::string(kTags[kind]))});
+        break;
+      }
+      case 3: {  // remove edge
+        if (m == 0) continue;
+        candidate = Mutation::RemoveEdge(r.a % m);
+        break;
+      }
+      case 4: {  // set node property
+        if (r.b % 2 == 0) {
+          candidate = Mutation::SetNodeProperty(
+              r.a % n, "grp", PropertyValue(static_cast<int64_t>(r.c % 5)));
+        } else {
+          candidate = Mutation::SetNodeProperty(r.a % n, "hub",
+                                                PropertyValue(r.c % 2 == 0));
+        }
+        break;
+      }
+      default: {  // set edge property
+        if (m == 0) continue;
+        const EdgeId target = r.a % m;
+        switch (r.b % 3) {
+          case 0:
+            candidate = Mutation::SetEdgeProperty(
+                target, "w", PropertyValue(static_cast<int64_t>(r.c % 16)));
+            break;
+          case 1:
+            candidate = Mutation::SetEdgeProperty(
+                target, "kind", PropertyValue(static_cast<int64_t>(r.c % 3)));
+            break;
+          default:
+            candidate = Mutation::SetEdgeProperty(
+                target, "tag", PropertyValue(std::string(kTags[r.c % 3])));
+            break;
+        }
+        break;
+      }
+    }
+    // Keep the mutation only if the whole batch stays valid (e.g. a target
+    // may be dead, or removed earlier in this very batch).
+    batch.push_back(std::move(candidate));
+    if (!CheckMutationBatch(graph, batch).ok()) batch.pop_back();
+  }
+  return batch;
 }
 
 std::vector<std::string> GenerateMalformedPredicates(uint64_t seed,

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/mutation.h"
 #include "gvdl/ast.h"
 #include "testing/fuzz_case.h"
 
@@ -30,6 +31,15 @@ StatusOr<PropertyGraph> BuildGraph(const FuzzCase& c);
 /// valid GVDL by construction; this parses them into the AST form the
 /// materializer consumes.
 StatusOr<gvdl::ViewCollectionDef> BuildCollectionDef(const FuzzCase& c);
+
+/// Resolves one epoch's raw fuzz mutations into a valid MutationBatch
+/// against the *current* graph state: targets are taken modulo the node /
+/// edge counts, property rows/values follow the BuildGraph schema, and any
+/// mutation that cannot be made valid (dead target, dead endpoint, empty
+/// graph) is skipped. Pure function of (graph state, raw) — the mutate
+/// oracle's incremental and reload paths resolve identical batches.
+MutationBatch ResolveFuzzBatch(const PropertyGraph& graph,
+                               const std::vector<FuzzMutation>& raw);
 
 /// Generates `count` malformed predicate strings by mutating valid ones
 /// (truncation, unbalanced parens, broken quotes, trailing operators, junk

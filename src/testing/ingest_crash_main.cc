@@ -1,0 +1,257 @@
+// wal_crash_tool: the crash-recovery harness behind CI's kill -9 job.
+//
+// Three modes over one deterministic workload (fixed base graph, per-epoch
+// batches that are a pure function of (graph state, epoch index)):
+//
+//   --ingest N --wal PATH [--pause-ms M] [--sync-every K]
+//       WAL-backed streaming ingest through the Graphsurge facade: applies
+//       N mutation batches, maintaining a 4-view collection and a live WCC
+//       run, printing "batch <i> applied epoch=<e>" after each (flushed, so
+//       a kill -9 leaves an honest high-water mark on stdout).
+//
+//   --verify --wal PATH --out FILE
+//       Restart recovery: rebuilds the base graph, replays the WAL (torn
+//       tails recover silently), and dumps the recovered epoch plus
+//       per-view analytics results to FILE.
+//
+//   --reference E --out FILE
+//       Ground truth: applies the first E epochs in-process with no WAL and
+//       dumps the same format. CI asserts `diff` of the two dumps is empty:
+//       WAL replay reconstructs graph and per-view results byte-identically.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "api/graphsurge.h"
+#include "common/random.h"
+#include "graph/graph.h"
+#include "graph/mutation.h"
+#include "testing/oracle.h"
+#include "views/collection.h"
+#include "views/executor.h"
+
+namespace gs {
+namespace {
+
+constexpr uint64_t kNodes = 64;
+constexpr uint64_t kEdges = 256;
+constexpr uint64_t kGraphSeed = 20260809;
+
+PropertyGraph BuildBaseGraph() {
+  PropertyGraph g;
+  g.AddNodes(kNodes);
+  Status s = g.edge_properties().AddColumn("w", PropertyType::kInt);
+  if (!s.ok()) std::abort();
+  Rng rng(kGraphSeed);
+  for (uint64_t i = 0; i < kEdges; ++i) {
+    uint64_t src = rng.Index(kNodes);
+    uint64_t dst = rng.Index(kNodes);
+    if (!g.AddEdge(src, dst).ok()) std::abort();
+    s = g.edge_properties().AppendRow({PropertyValue(rng.Uniform(0, 15))});
+    if (!s.ok()) std::abort();
+  }
+  return g;
+}
+
+std::vector<std::function<bool(EdgeId)>> MakePredicates(
+    const PropertyGraph& g, int wcol) {
+  std::vector<std::function<bool(EdgeId)>> preds;
+  for (int64_t threshold : {4, 8, 12}) {
+    preds.push_back([&g, wcol, threshold](EdgeId e) {
+      return g.ResolveWeighted(e, wcol).weight <= threshold;
+    });
+  }
+  preds.push_back([](EdgeId) { return true; });
+  return preds;
+}
+
+/// Epoch `epoch`'s batch — a pure function of (current graph, epoch), so
+/// the ingest and reference runs generate identical mutation streams.
+MutationBatch MakeBatch(const PropertyGraph& g, uint64_t epoch) {
+  Rng rng(1000 + epoch);
+  MutationBatch b;
+  auto keep_if_valid = [&](Mutation m) {
+    b.push_back(std::move(m));
+    if (!CheckMutationBatch(g, b).ok()) b.pop_back();
+  };
+  const uint64_t n = g.num_nodes();
+  const uint64_t m = g.num_edges();
+  for (int i = 0; i < 3; ++i) {
+    keep_if_valid(Mutation::SetEdgeProperty(rng.Index(m), "w",
+                                            PropertyValue(rng.Uniform(0, 15))));
+  }
+  for (int i = 0; i < 2; ++i) {
+    keep_if_valid(Mutation::AddEdge(rng.Index(n), rng.Index(n),
+                                    {PropertyValue(rng.Uniform(0, 15))}));
+  }
+  keep_if_valid(Mutation::RemoveEdge(rng.Index(m)));
+  if (epoch % 5 == 4) keep_if_valid(Mutation::RemoveNode(rng.Index(n)));
+  return b;
+}
+
+Status SetUpSystem(Graphsurge* system, const std::string& wal_path) {
+  GS_RETURN_IF_ERROR(system->AddGraph("g", BuildBaseGraph()));
+  if (!wal_path.empty()) {
+    GS_RETURN_IF_ERROR(system->EnableWal("g", wal_path));
+  }
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* g, system->GetGraph("g"));
+  const int wcol = g->FindWeightColumn("w");
+  return system->CreateCollection("c", "g", {"w4", "w8", "w12", "all"},
+                                  MakePredicates(*g, wcol));
+}
+
+/// The deterministic state dump both --verify and --reference produce.
+Status DumpState(Graphsurge* system, const std::string& out_path) {
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* g, system->GetGraph("g"));
+  GS_ASSIGN_OR_RETURN(uint64_t epoch, system->GraphEpoch("g"));
+  GS_ASSIGN_OR_RETURN(const views::MaterializedCollection* col,
+                      system->GetCollection("c"));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out.good()) {
+    return Status::IoError("cannot write '" + out_path + "'");
+  }
+  out << "epoch " << epoch << "\n";
+  out << "nodes " << g->num_live_nodes() << " edges " << g->num_live_edges()
+      << "\n";
+  out << "collection total_diffs " << col->total_diffs << "\n";
+  for (size_t t = 0; t < col->num_views(); ++t) {
+    out << "view " << t << " size " << col->view_sizes[t] << " diffs "
+        << col->diff_sizes[t] << "\n";
+  }
+
+  analytics::Wcc wcc;
+  analytics::PageRank pagerank(5);
+  analytics::Bfs bfs(0);
+  const analytics::Computation* algos[] = {&wcc, &pagerank, &bfs};
+  for (const analytics::Computation* algo : algos) {
+    views::ExecutionOptions eo;
+    eo.capture_results = true;
+    GS_ASSIGN_OR_RETURN(views::ExecutionResult run,
+                        system->RunComputation(*algo, "c", eo));
+    out << algo->name();
+    for (const analytics::ResultMap& m : run.results) {
+      out << " " << testing::HashResults(m);
+    }
+    out << "\n";
+  }
+  out.flush();
+  return out.good() ? Status::Ok()
+                    : Status::IoError("write failed for '" + out_path + "'");
+}
+
+Status RunIngest(const std::string& wal_path, uint64_t n_batches,
+                 uint64_t pause_ms, uint32_t sync_every) {
+  Graphsurge system;
+  GS_RETURN_IF_ERROR(system.AddGraph("g", BuildBaseGraph()));
+  wal::WalWriterOptions wopts;
+  wopts.sync_every_n_appends = sync_every;
+  GS_RETURN_IF_ERROR(system.EnableWal("g", wal_path, wopts));
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* g, system.GetGraph("g"));
+  const int wcol = g->FindWeightColumn("w");
+  GS_RETURN_IF_ERROR(system.CreateCollection(
+      "c", "g", {"w4", "w8", "w12", "all"}, MakePredicates(*g, wcol)));
+  analytics::Wcc wcc;
+  GS_RETURN_IF_ERROR(system.StartLiveComputation("live", wcc, "c"));
+
+  for (uint64_t i = 0; i < n_batches; ++i) {
+    GS_ASSIGN_OR_RETURN(uint64_t epoch, system.GraphEpoch("g"));
+    GS_RETURN_IF_ERROR(system.ApplyMutations("g", MakeBatch(*g, epoch)));
+    std::printf("batch %llu applied epoch=%llu\n",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(epoch + 1));
+    std::fflush(stdout);
+    if (pause_ms > 0) ::usleep(pause_ms * 1000);
+  }
+  return Status::Ok();
+}
+
+Status RunVerify(const std::string& wal_path, const std::string& out_path) {
+  Graphsurge system;
+  GS_RETURN_IF_ERROR(SetUpSystem(&system, wal_path));
+  return DumpState(&system, out_path);
+}
+
+Status RunReference(uint64_t epochs, const std::string& out_path) {
+  Graphsurge system;
+  GS_RETURN_IF_ERROR(SetUpSystem(&system, /*wal_path=*/""));
+  GS_ASSIGN_OR_RETURN(const PropertyGraph* g, system.GetGraph("g"));
+  for (uint64_t e = 0; e < epochs; ++e) {
+    GS_RETURN_IF_ERROR(system.ApplyMutations("g", MakeBatch(*g, e)));
+  }
+  return DumpState(&system, out_path);
+}
+
+int Main(int argc, char** argv) {
+  std::string wal_path;
+  std::string out_path;
+  uint64_t ingest = 0;
+  bool verify = false;
+  uint64_t reference = 0;
+  bool has_reference = false;
+  uint64_t pause_ms = 0;
+  uint32_t sync_every = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--wal") {
+      wal_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--ingest") {
+      ingest = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--reference") {
+      reference = std::strtoull(next(), nullptr, 10);
+      has_reference = true;
+    } else if (arg == "--pause-ms") {
+      pause_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--sync-every") {
+      sync_every = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  Status status;
+  if (ingest > 0) {
+    status = RunIngest(wal_path, ingest, pause_ms, sync_every);
+  } else if (verify) {
+    status = RunVerify(wal_path, out_path);
+  } else if (has_reference) {
+    status = RunReference(reference, out_path);
+  } else {
+    std::fprintf(stderr,
+                 "usage: wal_crash_tool --ingest N --wal PATH [--pause-ms M] "
+                 "[--sync-every K]\n"
+                 "       wal_crash_tool --verify --wal PATH --out FILE\n"
+                 "       wal_crash_tool --reference E --out FILE\n");
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gs
+
+int main(int argc, char** argv) { return gs::Main(argc, argv); }

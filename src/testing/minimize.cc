@@ -105,6 +105,31 @@ class Shrinker {
       }
     }
 
+    // Drop whole mutation epochs, then single mutations. Raw mutations
+    // resolve modulo the live graph, so no normalization is needed (and an
+    // emptied epoch stays a legal empty batch).
+    for (size_t e = 0; e < best_.mutation_epochs.size();) {
+      FuzzCase candidate = best_;
+      candidate.mutation_epochs.erase(candidate.mutation_epochs.begin() + e);
+      if (StillFails(std::move(candidate))) {
+        progress = true;
+      } else {
+        ++e;
+      }
+    }
+    for (size_t e = 0; e < best_.mutation_epochs.size(); ++e) {
+      for (size_t m = 0; m < best_.mutation_epochs[e].size();) {
+        FuzzCase candidate = best_;
+        candidate.mutation_epochs[e].erase(
+            candidate.mutation_epochs[e].begin() + m);
+        if (StillFails(std::move(candidate))) {
+          progress = true;
+        } else {
+          ++m;
+        }
+      }
+    }
+
     // Clear schedule knobs that turn out to be irrelevant to the failure.
     for (int knob = 0; knob < 4; ++knob) {
       FuzzCase candidate = best_;

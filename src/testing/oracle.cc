@@ -6,13 +6,17 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "common/metrics.h"
 #include "differential/fuzz_hooks.h"
+#include "graph/mutation.h"
 #include "gvdl/predicate.h"
 #include "testing/fuzz_program.h"
 #include "testing/generators.h"
 #include "views/collection.h"
 #include "views/executor.h"
+#include "views/live.h"
 
 namespace gs::testing {
 
@@ -108,6 +112,98 @@ fuzz::Hooks PerturbHooks(const FuzzCase& c, bool scramble_op_order,
   h.tail_seal_threshold = c.tail_seal_threshold;
   h.drop_insert_at = c.drop_insert_at;
   return h;
+}
+
+/// mutate: the streaming-ingest oracle. Applies the case's mutation epochs
+/// through the incremental path — ApplyMutationBatch + collection
+/// maintenance (UpdateCollectionForMutations) + a LiveRun fed
+/// epoch-by-epoch — then rebuilds every epoch from scratch (fresh graph,
+/// replayed batches, fresh materialization, batch executor) and requires
+/// every (epoch, view) result cell to match. At the final epoch the
+/// maintained difference stream must also be bit-identical to the scratch
+/// rematerialization (identity order only: the ordering optimizer may
+/// legitimately pick a different permutation on the mutated graph).
+Status MutateMode(const FuzzCase& c, const gvdl::ViewCollectionDef& def,
+                  const analytics::Computation& computation,
+                  std::ostringstream& out) {
+  GS_ASSIGN_OR_RETURN(PropertyGraph live_graph, BuildGraph(c));
+  views::MaterializeOptions mopts;
+  mopts.use_ordering = c.use_ordering;
+  GS_ASSIGN_OR_RETURN(views::MaterializedCollection live_col,
+                      views::MaterializeCollection(live_graph, def, mopts));
+  const int weight_column = live_graph.FindWeightColumn("w");
+
+  views::LiveRunOptions lopts;
+  lopts.weight_column = weight_column;
+  lopts.dataflow.num_workers =
+      (fuzz::Mix(c.schedule_seed ^ 0x717) & 1) != 0 ? c.workers : 1;
+  GS_ASSIGN_OR_RETURN(
+      std::unique_ptr<views::LiveRun> live,
+      views::LiveRun::Start(computation, live_graph, &live_col, lopts));
+
+  // Incremental side: resolve + apply each epoch once, recording the
+  // resolved batches so the reload side replays the identical mutations.
+  std::vector<MutationBatch> resolved;
+  for (const std::vector<FuzzMutation>& raw : c.mutation_epochs) {
+    MutationBatch batch = ResolveFuzzBatch(live_graph, raw);
+    MutationEffects effects;
+    GS_RETURN_IF_ERROR(ApplyMutationBatch(&live_graph, batch, &effects));
+    GS_RETURN_IF_ERROR(views::UpdateCollectionForMutations(
+        &live_col, live_graph, effects.touched_edges));
+    GS_RETURN_IF_ERROR(live->AdvanceEpoch(effects.touched_edges));
+    resolved.push_back(std::move(batch));
+  }
+
+  // Reload side, every epoch from scratch.
+  for (uint32_t epoch = 0; epoch <= resolved.size(); ++epoch) {
+    GS_ASSIGN_OR_RETURN(PropertyGraph fresh, BuildGraph(c));
+    for (uint32_t b = 0; b < epoch; ++b) {
+      GS_RETURN_IF_ERROR(ApplyMutationBatch(&fresh, resolved[b]));
+    }
+    GS_ASSIGN_OR_RETURN(views::MaterializedCollection fresh_col,
+                        views::MaterializeCollection(fresh, def, mopts));
+    views::ExecutionOptions eo;
+    eo.strategy = splitting::Strategy::kDiffOnly;
+    eo.weight_column = weight_column;
+    eo.capture_results = true;
+    eo.dataflow.num_workers = 1;
+    GS_ASSIGN_OR_RETURN(
+        views::ExecutionResult scratch,
+        views::RunOnCollection(computation, fresh, fresh_col, eo));
+
+    // Positions may be permuted differently on the two sides; compare per
+    // view *definition*.
+    std::vector<ResultMap> ref_by_def(def.views.size());
+    for (size_t s = 0; s < fresh_col.num_views(); ++s) {
+      ref_by_def[fresh_col.order[s]] = std::move(scratch.results[s]);
+    }
+    std::vector<ResultMap> live_by_def(def.views.size());
+    for (size_t t = 0; t < live_col.num_views(); ++t) {
+      auto cell = live->ResultsAt(epoch, t);
+      if (!cell.ok()) {
+        return Status(cell.status().code(), "mutate epoch " +
+                                                std::to_string(epoch) +
+                                                ": " + cell.status().message());
+      }
+      live_by_def[live_col.order[t]] = std::move(cell).value();
+    }
+    out << "  mutate-e" << epoch << ":";
+    for (const ResultMap& m : live_by_def) out << " " << HashResults(m);
+    out << "\n";
+    GS_RETURN_IF_ERROR(CompareResults("mutate epoch " + std::to_string(epoch),
+                                      ref_by_def, live_by_def));
+
+    if (epoch == resolved.size() && !c.use_ordering) {
+      for (size_t t = 0; t < fresh_col.num_views(); ++t) {
+        if (live_col.diffs.ViewDiffs(t) != fresh_col.diffs.ViewDiffs(t)) {
+          return Status::Internal(
+              "mutate: maintained diff stream for view " + std::to_string(t) +
+              " differs from scratch rematerialization");
+        }
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -279,6 +375,19 @@ Status RunOracle(const FuzzCase& c, std::string* log) {
     for (const ResultMap& m : expected) out << " " << HashResults(m);
     out << "\n";
     GS_RETURN_IF_ERROR(finish(CompareResults("reference", expected, *ref)));
+    out.str("");
+  }
+
+  // mutate: streaming mutation epochs — incremental maintenance + live
+  // differential feed vs reload-from-scratch at every epoch.
+  if (!c.mutation_epochs.empty()) {
+    Status mutate = MutateMode(c, def, computation, out);
+    if (!mutate.ok()) return finish(mutate);
+    Status gauges = CheckArrangementGaugesZero();
+    if (!gauges.ok()) {
+      return finish(Status::Internal("mode mutate: " + gauges.message()));
+    }
+    *log += out.str();
     out.str("");
   }
 

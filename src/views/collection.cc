@@ -11,15 +11,23 @@ namespace gs::views {
 
 namespace {
 
-// Shared tail of materialization: order → diff stream → metadata.
+// Shared tail of materialization: order → diff stream → metadata. Takes the
+// EBM by value and retains it (with `predicates`, definition order) on the
+// result so the collection stays incrementally maintainable.
 MaterializedCollection Finalize(const PropertyGraph& graph,
                                 std::string name,
                                 std::vector<std::string> def_names,
-                                const EdgeBooleanMatrix& ebm,
+                                EdgeBooleanMatrix ebm_in,
+                                std::vector<std::function<bool(EdgeId)>>
+                                    predicates,
                                 const MaterializeOptions& options,
                                 Timer* timer) {
   MaterializedCollection mc;
   mc.name = std::move(name);
+  mc.ebm = std::make_shared<EdgeBooleanMatrix>(std::move(ebm_in));
+  mc.predicates = std::move(predicates);
+  mc.graph_epoch = graph.mutation_epoch();
+  const EdgeBooleanMatrix& ebm = *mc.ebm;
 
   double ordering_seconds = 0;
   std::vector<size_t> order;
@@ -77,8 +85,19 @@ StatusOr<MaterializedCollection> MaterializeCollection(
   GS_ASSIGN_OR_RETURN(
       EdgeBooleanMatrix ebm,
       EdgeBooleanMatrix::Compute(graph, predicates, options.pool));
+  // Re-compile each view predicate into a retained closure for incremental
+  // maintenance (compilation is cheap; evaluation state lives in the graph).
+  std::vector<std::function<bool(EdgeId)>> retained;
+  retained.reserve(predicates.size());
+  for (const gvdl::ExprPtr& p : predicates) {
+    GS_ASSIGN_OR_RETURN(gvdl::CompiledEdgePredicate c,
+                        gvdl::CompiledEdgePredicate::Compile(p, graph));
+    retained.push_back(
+        [compiled = std::move(c)](EdgeId e) { return compiled.Evaluate(e); });
+  }
   MaterializedCollection mc =
-      Finalize(graph, def.name, std::move(names), ebm, options, &timer);
+      Finalize(graph, def.name, std::move(names), std::move(ebm),
+               std::move(retained), options, &timer);
   mc.base_graph = def.on;
   return mc;
 }
@@ -97,7 +116,8 @@ StatusOr<MaterializedCollection> MaterializeCollectionWith(
   Timer timer;
   EdgeBooleanMatrix ebm =
       EdgeBooleanMatrix::ComputeWith(graph, predicates, options.pool);
-  return Finalize(graph, name, view_names, ebm, options, &timer);
+  return Finalize(graph, name, view_names, std::move(ebm), predicates,
+                  options, &timer);
 }
 
 MaterializedCollection CollectionFromDiffBatches(
@@ -122,6 +142,42 @@ MaterializedCollection CollectionFromDiffBatches(
   mc.diffs = EdgeDifferenceStream::FromBatches(std::move(batches));
   mc.identity_ds = mc.total_diffs;
   return mc;
+}
+
+Status UpdateCollectionForMutations(MaterializedCollection* mc,
+                                    const PropertyGraph& graph,
+                                    const std::vector<EdgeId>& touched_edges) {
+  if (!mc->maintainable()) {
+    return Status::FailedPrecondition(
+        "collection '" + mc->name +
+        "' is not maintainable (no retained predicates/EBM)");
+  }
+  if (mc->predicates.size() != mc->ebm->num_views()) {
+    return Status::Internal("collection '" + mc->name +
+                            "': predicate/EBM view count mismatch");
+  }
+  EdgeBooleanMatrix& ebm = *mc->ebm;
+  if (graph.num_edges() > ebm.num_edges()) ebm.Resize(graph.num_edges());
+
+  // Re-evaluate every view membership for exactly the touched edges; dead
+  // edges leave every view.
+  for (EdgeId e : touched_edges) {
+    bool alive = graph.edge_alive(e);
+    for (size_t v = 0; v < mc->predicates.size(); ++v) {
+      ebm.Set(e, v, alive && mc->predicates[v](e));
+    }
+  }
+
+  mc->diffs.UpdateEdges(touched_edges, ebm, mc->order);
+
+  // Refresh metadata: sizes change with membership, the order does not.
+  for (size_t t = 0; t < mc->order.size(); ++t) {
+    mc->view_sizes[t] = ebm.ColumnOnes(mc->order[t]);
+    mc->diff_sizes[t] = mc->diffs.DiffSize(t);
+  }
+  mc->total_diffs = mc->diffs.TotalDiffs();
+  mc->graph_epoch = graph.mutation_epoch();
+  return Status::Ok();
 }
 
 StatusOr<PropertyGraph> MaterializeFilteredView(
@@ -151,7 +207,7 @@ StatusOr<PropertyGraph> MaterializeFilteredView(
         et.column_name(c), et.column(c).type()));
   }
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    if (!compiled.Evaluate(e)) continue;
+    if (!graph.edge_alive(e) || !compiled.Evaluate(e)) continue;
     GS_RETURN_IF_ERROR(view.AddEdge(graph.edge(e).src, graph.edge(e).dst)
                            .status());
     if (et.num_columns() > 0) {

@@ -6,6 +6,7 @@
 #define GRAPHSURGE_VIEWS_COLLECTION_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,8 +54,39 @@ struct MaterializedCollection {
   double creation_seconds = 0;
   double ordering_seconds = 0;
 
+  // --- Incremental maintenance state (streaming mutations) ---------------
+  /// Per-view membership predicates in *definition* order (the predicate of
+  /// the view at execution position t is predicates[order[t]]), retained so
+  /// touched edges can be re-evaluated after a mutation batch. GVDL views
+  /// store their compiled predicates wrapped; the compiled closures hold
+  /// column references into the base graph's property tables, which are
+  /// append-stable — so they stay valid across mutation epochs.
+  std::vector<std::function<bool(EdgeId)>> predicates;
+  /// The EBM the collection was materialized from, kept alive for in-place
+  /// row updates. Null for diff-batch collections (not maintainable).
+  std::shared_ptr<EdgeBooleanMatrix> ebm;
+  /// The graph mutation epoch this materialization reflects.
+  uint64_t graph_epoch = 0;
+
+  /// True when the collection can be incrementally maintained through
+  /// UpdateCollectionForMutations (predicate-defined; EBM retained).
+  bool maintainable() const { return ebm != nullptr; }
+
   size_t num_views() const { return view_names.size(); }
 };
+
+/// Incrementally refreshes a maintainable collection after a mutation batch
+/// on its base graph: re-evaluates every view predicate on the touched
+/// edges only, patches the retained EBM in place (growing it for appended
+/// edges), rewrites exactly those edges' difference-stream entries, and
+/// refreshes the per-view size/diff metadata. The resulting collection is
+/// bit-identical to a from-scratch rematerialization over the mutated graph
+/// under the same execution order, at O(|touched| × views) predicate cost.
+/// `touched_edges` must be sorted and deduplicated (MutationEffects
+/// provides this). Fails on non-maintainable collections.
+Status UpdateCollectionForMutations(MaterializedCollection* mc,
+                                    const PropertyGraph& graph,
+                                    const std::vector<EdgeId>& touched_edges);
 
 /// Materializes a GVDL-defined collection over `graph`.
 StatusOr<MaterializedCollection> MaterializeCollection(

@@ -60,6 +60,50 @@ EdgeDifferenceStream EdgeDifferenceStream::FromBatches(
   return stream;
 }
 
+void EdgeDifferenceStream::UpdateEdges(
+    const std::vector<EdgeId>& touched_edges, const EdgeBooleanMatrix& ebm,
+    const std::vector<size_t>& order) {
+  GS_CHECK(order.size() == diffs_.size());
+  if (touched_edges.empty()) return;
+
+  // Fresh alternation contributions of every touched edge, computed exactly
+  // as FromMatrix's row scan does (touched_edges is ascending, so each
+  // per-view list comes out in ascending edge order).
+  std::vector<std::vector<EdgeDiff>> fresh(order.size());
+  for (EdgeId e : touched_edges) {
+    bool prev = false;
+    for (size_t t = 0; t < order.size(); ++t) {
+      bool now = e < ebm.num_edges() && ebm.Get(e, order[t]);
+      if (now != prev) {
+        fresh[t].push_back(EdgeDiff{e, static_cast<int8_t>(now ? 1 : -1)});
+      }
+      prev = now;
+    }
+  }
+
+  // Per view: drop the touched edges' stale entries, then merge the fresh
+  // ones back in by edge id — both inputs are ascending, so one linear merge
+  // reproduces FromMatrix's output exactly.
+  for (size_t t = 0; t < order.size(); ++t) {
+    std::vector<EdgeDiff>& old = diffs_[t];
+    std::vector<EdgeDiff> merged;
+    merged.reserve(old.size() + fresh[t].size());
+    size_t fi = 0;
+    for (const EdgeDiff& d : old) {
+      if (std::binary_search(touched_edges.begin(), touched_edges.end(),
+                             d.edge)) {
+        continue;  // stale entry for a touched edge
+      }
+      while (fi < fresh[t].size() && fresh[t][fi].edge < d.edge) {
+        merged.push_back(fresh[t][fi++]);
+      }
+      merged.push_back(d);
+    }
+    while (fi < fresh[t].size()) merged.push_back(fresh[t][fi++]);
+    old = std::move(merged);
+  }
+}
+
 uint64_t EdgeDifferenceStream::TotalDiffs() const {
   uint64_t total = 0;
   for (const auto& d : diffs_) total += d.size();

@@ -42,6 +42,18 @@ class EdgeDifferenceStream {
     return diffs_[view];
   }
 
+  /// Incrementally re-derives the rows of `touched_edges` (sorted,
+  /// deduplicated EdgeIds) from the *current* contents of `ebm` under
+  /// `order`, replacing those edges' entries in every view's difference set.
+  /// The result is bit-identical to a fresh FromMatrix over the updated EBM
+  /// (entries stay in ascending edge order per view), but costs
+  /// O(|touched| × views + Σ|δC_t|) instead of O(edges × views). Only valid
+  /// on streams produced by FromMatrix/UpdateEdges (ascending-order
+  /// invariant); FromBatches streams are not maintainable.
+  void UpdateEdges(const std::vector<EdgeId>& touched_edges,
+                   const EdgeBooleanMatrix& ebm,
+                   const std::vector<size_t>& order);
+
   /// |δC_t| of one view / total over the collection (paper's "# Diffs").
   uint64_t DiffSize(size_t view) const { return diffs_[view].size(); }
   uint64_t TotalDiffs() const;

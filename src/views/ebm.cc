@@ -22,7 +22,10 @@ StatusOr<EdgeBooleanMatrix> EdgeBooleanMatrix::Compute(
     for (size_t v = 0; v < compiled.size(); ++v) {
       std::vector<uint64_t>& column = ebm.columns_[v];
       for (size_t e = begin; e < end; ++e) {
-        if (compiled[v].Evaluate(e)) column[e >> 6] |= 1ULL << (e & 63);
+        // Tombstoned edges belong to no view.
+        if (graph.edge_alive(e) && compiled[v].Evaluate(e)) {
+          column[e >> 6] |= 1ULL << (e & 63);
+        }
       }
     }
   };
@@ -48,7 +51,9 @@ EdgeBooleanMatrix EdgeBooleanMatrix::ComputeWith(
     for (size_t v = 0; v < predicates.size(); ++v) {
       std::vector<uint64_t>& column = ebm.columns_[v];
       for (size_t e = begin; e < end; ++e) {
-        if (predicates[v](e)) column[e >> 6] |= 1ULL << (e & 63);
+        if (graph.edge_alive(e) && predicates[v](e)) {
+          column[e >> 6] |= 1ULL << (e & 63);
+        }
       }
     }
   };
@@ -61,6 +66,15 @@ EdgeBooleanMatrix EdgeBooleanMatrix::ComputeWith(
     eval_range(0, 0, graph.num_edges());
   }
   return ebm;
+}
+
+void EdgeBooleanMatrix::Resize(size_t num_edges) {
+  GS_CHECK(num_edges >= num_edges_);
+  num_edges_ = num_edges;
+  words_per_column_ = (num_edges + 63) / 64;
+  for (std::vector<uint64_t>& column : columns_) {
+    column.resize(words_per_column_, 0);
+  }
 }
 
 uint64_t EdgeBooleanMatrix::ColumnOnes(size_t view) const {

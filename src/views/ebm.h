@@ -55,6 +55,11 @@ class EdgeBooleanMatrix {
     }
   }
 
+  /// Grows the matrix to `num_edges` rows (new rows all-zero). Used by the
+  /// incremental maintainer when a mutation batch appends edges; shrinking
+  /// is not supported (removed edges are tombstoned, their rows cleared).
+  void Resize(size_t num_edges);
+
   /// Number of edges in view `view` (|GV|).
   uint64_t ColumnOnes(size_t view) const;
 

@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace_event.h"
+#include "views/engine.h"
 
 namespace gs::views {
 
@@ -16,61 +17,7 @@ namespace {
 
 namespace dd = ::gs::differential;
 using analytics::VertexValue;
-
-// One differential computation instance. A "split" (scratch run) discards
-// the previous instance and seeds a new one with the full view.
-//
-// The instance is a ShardedDataflow of options.num_workers worker shards;
-// the computation's dataflow is built once per shard (Computations are pure
-// builders) and input edges are hash-partitioned across the shards'
-// inputs. Results live wherever the final keyed operator placed them, so
-// per-version output is the consolidated union of all shards' captures —
-// byte-identical to a single-worker run (DESIGN.md §3.1; the consolidated
-// per-version difference set is execution-order independent).
-struct Engine {
-  dd::ShardedDataflow dataflow;
-  std::vector<dd::Input<WeightedEdge>> edges;
-  std::vector<dd::CaptureOp<VertexValue>*> captures;
-
-  Engine(const analytics::Computation& computation,
-         const dd::DataflowOptions& options)
-      : dataflow(options) {
-    edges.reserve(dataflow.num_workers());
-    captures.reserve(dataflow.num_workers());
-    for (size_t w = 0; w < dataflow.num_workers(); ++w) {
-      edges.emplace_back(dataflow.worker(w));
-      captures.push_back(dd::Capture(
-          computation.GraphAnalytics(dataflow.worker(w),
-                                     edges[w].stream())));
-    }
-  }
-
-  void Send(const WeightedEdge& edge, dd::Diff diff) {
-    edges[dataflow.OwnerOfHash(HashValue(edge))].Send(edge, diff);
-  }
-
-  Status Step() { return dataflow.Step(); }
-
-  dd::Batch<VertexValue> VersionDiffs(uint32_t version) const {
-    dd::Batch<VertexValue> all;
-    for (const auto* capture : captures) {
-      dd::Batch<VertexValue> b = capture->VersionDiffs(version);
-      all.insert(all.end(), b.begin(), b.end());
-    }
-    dd::Consolidate(&all);
-    return all;
-  }
-
-  dd::Batch<VertexValue> AccumulatedAt(uint32_t version) const {
-    dd::Batch<VertexValue> all;
-    for (const auto* capture : captures) {
-      dd::Batch<VertexValue> b = capture->AccumulatedAt(version);
-      all.insert(all.end(), b.begin(), b.end());
-    }
-    dd::Consolidate(&all);
-    return all;
-  }
-};
+using detail::Engine;
 
 // Per-key difference of two monotone op_nanos snapshots (after − before).
 std::map<std::string, uint64_t> OpNanosDelta(
@@ -334,6 +281,7 @@ StatusOr<analytics::ResultMap> RunOnGraph(
     const ExecutionOptions& options) {
   Engine engine(computation, options.dataflow);
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (!graph.edge_alive(e)) continue;
     engine.Send(graph.ResolveWeighted(e, options.weight_column), 1);
   }
   GS_RETURN_IF_ERROR(engine.Step());

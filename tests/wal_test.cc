@@ -1,0 +1,249 @@
+// WAL durability tests: record round-trips, replay idempotence, torn-tail
+// recovery (the expected crash artifact), and checksum-mismatch rejection
+// (real corruption).
+#include "graph/wal/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/mutation.h"
+#include "graph/wal/record.h"
+
+namespace gs {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  return static_cast<uint64_t>(in.tellg());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// One batch exercising every mutation kind and every value tag.
+MutationBatch SampleBatch(int64_t salt) {
+  MutationBatch b;
+  b.push_back(Mutation::AddNode(
+      {PropertyValue(salt), PropertyValue(salt % 2 == 0)}));
+  b.push_back(Mutation::AddNode({}));
+  b.push_back(Mutation::AddEdge(
+      0, static_cast<VertexId>(salt % 7),
+      {PropertyValue(salt + 1), PropertyValue(2.5),
+       PropertyValue(std::string("red"))}));
+  b.push_back(Mutation::RemoveEdge(static_cast<EdgeId>(salt % 11)));
+  b.push_back(Mutation::RemoveNode(static_cast<VertexId>(salt % 5)));
+  b.push_back(Mutation::SetNodeProperty(1, "grp", PropertyValue(salt)));
+  b.push_back(
+      Mutation::SetEdgeProperty(0, "tag", PropertyValue(std::string("blue"))));
+  b.push_back(Mutation::SetEdgeProperty(0, "maybe", PropertyValue::Null()));
+  return b;
+}
+
+/// Batches have no operator==; the encoding is canonical, so byte-compare.
+void ExpectBatchesEqual(const std::vector<MutationBatch>& want,
+                        const std::vector<MutationBatch>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(wal::EncodeMutationBatch(want[i]),
+              wal::EncodeMutationBatch(got[i]))
+        << "batch " << i;
+  }
+}
+
+TEST(WalRecordTest, BatchRoundTrips) {
+  MutationBatch batch = SampleBatch(3);
+  std::vector<uint8_t> payload = wal::EncodeMutationBatch(batch);
+  auto decoded = wal::DecodeMutationBatch(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBatchesEqual({batch}, {decoded.value()});
+  EXPECT_EQ(decoded.value()[0].kind, MutationKind::kAddNode);
+  EXPECT_EQ(decoded.value()[2].src, 0u);
+  EXPECT_EQ(decoded.value()[5].column, "grp");
+  EXPECT_TRUE(decoded.value()[7].value.is_null());
+}
+
+TEST(WalRecordTest, EmptyBatchRoundTrips) {
+  std::vector<uint8_t> payload = wal::EncodeMutationBatch({});
+  auto decoded = wal::DecodeMutationBatch(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(WalRecordTest, TrailingGarbageRejected) {
+  std::vector<uint8_t> payload = wal::EncodeMutationBatch(SampleBatch(1));
+  payload.push_back(0xab);
+  auto decoded = wal::DecodeMutationBatch(payload.data(), payload.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WalRecordTest, TruncatedPayloadRejected) {
+  std::vector<uint8_t> payload = wal::EncodeMutationBatch(SampleBatch(1));
+  for (size_t len : {payload.size() - 1, payload.size() / 2, size_t{1}}) {
+    EXPECT_FALSE(wal::DecodeMutationBatch(payload.data(), len).ok())
+        << "len " << len;
+  }
+}
+
+TEST(WalTest, WriteThenReplay) {
+  const std::string path = TestPath("write_then_replay.wal");
+  std::vector<MutationBatch> batches = {SampleBatch(1), SampleBatch(2), {}};
+  wal::WalWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (const MutationBatch& b : batches) {
+    ASSERT_TRUE(writer.Append(b).ok());
+  }
+  EXPECT_EQ(writer.bytes_written(), FileSize(path));
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto replay = wal::ReplayWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay.value().recovered_torn_tail);
+  EXPECT_EQ(replay.value().valid_bytes, FileSize(path));
+  ExpectBatchesEqual(batches, replay.value().batches);
+}
+
+TEST(WalTest, ReplayIsIdempotentAndAppendResumes) {
+  const std::string path = TestPath("replay_idempotent.wal");
+  {
+    wal::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append(SampleBatch(1)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto first = wal::ReplayWal(path);
+  auto second = wal::ReplayWal(path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().valid_bytes, second.value().valid_bytes);
+  ExpectBatchesEqual(first.value().batches, second.value().batches);
+
+  // Re-open and append: the log grows by exactly one record.
+  {
+    wal::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append(SampleBatch(9)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto after = wal::ReplayWal(path);
+  ASSERT_TRUE(after.ok());
+  ExpectBatchesEqual({SampleBatch(1), SampleBatch(9)}, after.value().batches);
+}
+
+TEST(WalTest, MissingFileIsFreshLog) {
+  auto replay = wal::ReplayWal(TestPath("never_created.wal"));
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.value().batches.empty());
+  EXPECT_FALSE(replay.value().recovered_torn_tail);
+}
+
+TEST(WalTest, TornTailIsRecovered) {
+  const std::string path = TestPath("torn_tail.wal");
+  uint64_t two_records = 0;
+  {
+    wal::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append(SampleBatch(1)).ok());
+    ASSERT_TRUE(writer.Append(SampleBatch(2)).ok());
+    two_records = writer.bytes_written();
+    ASSERT_TRUE(writer.Append(SampleBatch(3)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Tear the last record at every interesting cut: mid-payload, mid-frame,
+  // and one byte into the frame.
+  for (uint64_t cut :
+       {FileSize(path) - 1, two_records + 8, two_records + 1}) {
+    ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(cut)), 0);
+    auto replay = wal::ReplayWal(path);
+    ASSERT_TRUE(replay.ok()) << "cut " << cut << ": "
+                             << replay.status().ToString();
+    EXPECT_TRUE(replay.value().recovered_torn_tail) << "cut " << cut;
+    EXPECT_EQ(replay.value().valid_bytes, two_records) << "cut " << cut;
+    ExpectBatchesEqual({SampleBatch(1), SampleBatch(2)},
+                       replay.value().batches);
+  }
+  // Open truncates the torn tail so the next append lands on a boundary.
+  {
+    wal::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    EXPECT_EQ(writer.bytes_written(), two_records);
+    ASSERT_TRUE(writer.Append(SampleBatch(4)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto healed = wal::ReplayWal(path);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed.value().recovered_torn_tail);
+  ExpectBatchesEqual({SampleBatch(1), SampleBatch(2), SampleBatch(4)},
+                     healed.value().batches);
+}
+
+TEST(WalTest, ChecksumMismatchRejected) {
+  const std::string path = TestPath("bad_crc.wal");
+  {
+    wal::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append(SampleBatch(1)).ok());
+    ASSERT_TRUE(writer.Append(SampleBatch(2)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::string bytes = ReadFile(path);
+  // Flip one payload byte of the first record (header 8 + frame 8 skipped).
+  bytes[8 + 8 + 3] = static_cast<char>(bytes[8 + 8 + 3] ^ 0x40);
+  WriteFile(path, bytes);
+
+  auto replay = wal::ReplayWal(path);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kIoError);
+  EXPECT_NE(replay.status().message().find("checksum"), std::string::npos)
+      << replay.status().ToString();
+}
+
+TEST(WalTest, BadMagicRejected) {
+  const std::string path = TestPath("bad_magic.wal");
+  WriteFile(path, "NOTAGSWAL-FILE--");
+  EXPECT_FALSE(wal::ReplayWal(path).ok());
+  wal::WalWriter writer;
+  EXPECT_FALSE(writer.Open(path).ok());
+}
+
+TEST(WalTest, BatchedFsyncCadence) {
+  const std::string path = TestPath("batched_sync.wal");
+  wal::WalWriterOptions options;
+  options.sync_every_n_appends = 4;
+  wal::WalWriter writer;
+  ASSERT_TRUE(writer.Open(path, options).ok());
+  std::vector<MutationBatch> batches;
+  for (int64_t i = 0; i < 5; ++i) {
+    batches.push_back(SampleBatch(i));
+    ASSERT_TRUE(writer.Append(batches.back()).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());  // Close always syncs the straggler.
+  auto replay = wal::ReplayWal(path);
+  ASSERT_TRUE(replay.ok());
+  ExpectBatchesEqual(batches, replay.value().batches);
+}
+
+}  // namespace
+}  // namespace gs
