@@ -7,7 +7,8 @@ Usage:
 
 Rows are matched by their identity fields (every string-valued field plus
 the integer fields named in ID_INT_KEYS); wall-time fields ("seconds" and
-anything ending in "_s") are then compared pairwise. A fresh time more than
+anything ending in "_s", excluding "_per_s" throughputs) are then compared
+pairwise. A fresh time more than
 --threshold above the baseline is a regression; the script prints every
 comparison and exits 1 if any regression was found. Baselines below
 --min-seconds are skipped — micro-times are dominated by noise.
@@ -39,7 +40,10 @@ def time_fields(row):
     for key, value in row.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
-        if key == "seconds" or key.endswith("_s"):
+        # "_per_s" fields are throughputs (higher is better), not times —
+        # comparing them as wall-clock would flag speedups as regressions.
+        if key == "seconds" or (key.endswith("_s") and
+                                not key.endswith("_per_s")):
             out[key] = float(value)
     return out
 

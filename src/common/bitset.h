@@ -1,0 +1,104 @@
+// Word-backed bitset shared by the bit-twiddling hot paths: EBM columns,
+// graph tombstone bitmaps, the ordering optimizer's scratch sets, and the
+// mutation validator's removed-id maps. One uint64_t word covers 64 bits;
+// all multi-bit operations (population counts, XOR distances) are
+// word-at-a-time, and callers that produce or consume 64-bit selection
+// masks (common/simd.h, gvdl/batch_eval.h) read and write whole words.
+#ifndef GRAPHSURGE_COMMON_BITSET_H_
+#define GRAPHSURGE_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gs {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t n, bool value = false) { Resize(n, value); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t num_words() const { return words_.size(); }
+
+  static size_t WordsFor(size_t n) { return (n + 63) / 64; }
+
+  /// Grows or shrinks to `n` bits; new bits take `value`.
+  void Resize(size_t n, bool value = false) {
+    size_t old_size = size_;
+    words_.resize(WordsFor(n), value ? ~uint64_t{0} : 0);
+    size_ = n;
+    if (n > old_size && value && (old_size & 63) != 0) {
+      // The partial old tail word was zero-padded; fill the reused bits.
+      words_[old_size >> 6] |= ~uint64_t{0} << (old_size & 63);
+    }
+    ClearTailSlack();
+  }
+
+  /// Resets to `n` bits all equal to `value` (vector::assign analogue).
+  void Assign(size_t n, bool value) {
+    words_.assign(WordsFor(n), value ? ~uint64_t{0} : 0);
+    size_ = n;
+    ClearTailSlack();
+  }
+
+  void PushBack(bool value) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (value) words_[size_ >> 6] |= uint64_t{1} << (size_ & 63);
+    ++size_;
+  }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void SetTo(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  /// Whole-word access (bit j of word w is bit 64w+j). Bits at or beyond
+  /// size() are guaranteed zero in every word.
+  uint64_t word(size_t w) const { return words_[w]; }
+  void set_word(size_t w, uint64_t value) { words_[w] = value; }
+  uint64_t* word_data() { return words_.data(); }
+  const uint64_t* word_data() const { return words_.data(); }
+
+  uint64_t CountOnes() const {
+    uint64_t total = 0;
+    for (uint64_t w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  /// popcount(this XOR other); both bitsets must be the same size.
+  uint64_t HammingDistance(const Bitset& other) const {
+    uint64_t total = 0;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      total += std::popcount(words_[w] ^ other.words_[w]);
+    }
+    return total;
+  }
+
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+ private:
+  // Keeps bits past size() zero so word-level counts need no tail masking.
+  void ClearTailSlack() {
+    if ((size_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ & 63)) - 1;
+    }
+  }
+
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GRAPHSURGE_COMMON_BITSET_H_

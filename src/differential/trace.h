@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "differential/fuzz_hooks.h"
 #include "differential/time.h"
 #include "differential/update.h"
@@ -43,6 +44,15 @@
 #endif
 
 namespace gs::differential {
+
+/// Cumulative count of galloped (exponential-search) bulk advances taken by
+/// spine batch merges — the observable proof that skewed merges leave the
+/// element-at-a-time path.
+inline metrics::Counter* SpineMergeGallops() {
+  static auto* counter =
+      metrics::Registry::Global().GetCounter("gs_spine_merge_gallops");
+  return counter;
+}
 
 /// Keyed multiversioned index of (key, value, time, diff) updates.
 /// Key and value types need operator< and operator==.
@@ -114,9 +124,20 @@ class Trace {
     size_t run_start = 0;
     for (const SpineBatch& batch : spine_) {
       auto [lo, hi] = KeyRange(batch, key);
-      for (auto it = lo; it != hi; ++it) {
-        if (it->time.LessEq(time)) {
+      if (lo == hi) continue;
+      if (batch.uniform_time) {
+        // Consolidated-run fast path: one time check covers the whole run —
+        // either every entry qualifies (bulk-append, no per-entry product-
+        // order test) or none does.
+        if (!lo->time.LessEq(time)) continue;
+        for (auto it = lo; it != hi; ++it) {
           matches.push_back(Update<V>{it->value, it->diff});
+        }
+      } else {
+        for (auto it = lo; it != hi; ++it) {
+          if (it->time.LessEq(time)) {
+            matches.push_back(Update<V>{it->value, it->diff});
+          }
         }
       }
       if (matches.size() > run_start) {
@@ -159,11 +180,26 @@ class Trace {
     size_t run_start = 0;
     for (const SpineBatch& batch : spine_) {
       auto [lo, hi] = KeyRange(batch, key);
-      for (auto it = lo; it != hi; ++it) {
-        if (it->time.LessEq(time)) {
-          matches.push_back(Update<V>{it->value, it->diff});
+      if (lo == hi) continue;
+      if (batch.uniform_time) {
+        // Consolidated-run fast path: the whole run shares one time, so it
+        // partitions wholesale into the accumulation or the futures list.
+        if (lo->time.LessEq(time)) {
+          for (auto it = lo; it != hi; ++it) {
+            matches.push_back(Update<V>{it->value, it->diff});
+          }
         } else {
-          futures->push_back({it->time, Update<V>{it->value, it->diff}});
+          for (auto it = lo; it != hi; ++it) {
+            futures->push_back({it->time, Update<V>{it->value, it->diff}});
+          }
+        }
+      } else {
+        for (auto it = lo; it != hi; ++it) {
+          if (it->time.LessEq(time)) {
+            matches.push_back(Update<V>{it->value, it->diff});
+          } else {
+            futures->push_back({it->time, Update<V>{it->value, it->diff}});
+          }
         }
       }
       if (matches.size() > run_start) {
@@ -255,6 +291,9 @@ class Trace {
         const Entry& e = batch.entries[i];
         GS_CHECK(e.diff != 0)
             << "zero-diff entry in spine batch " << b << " at " << i;
+        GS_CHECK(!batch.uniform_time || e.time == batch.entries.front().time)
+            << "uniform_time spine batch " << b
+            << " has divergent time at " << i;
         min_version = std::min(min_version, e.time.version);
         max_version = std::max(max_version, e.time.version);
         if (i > 0) {
@@ -333,6 +372,10 @@ class Trace {
     std::vector<Entry> entries;  // sorted by (key, value, lex time)
     uint32_t min_version = 0;    // minimum version in `entries`
     uint32_t max_version = 0;    // maximum version in `entries`
+    // True when every entry carries one identical Time — the usual shape
+    // after a full compaction rewrote the batch to the sealed frontier.
+    // Probes then test the time once per key range instead of per entry.
+    bool uniform_time = false;
   };
 
   // Merges the whole spine into one batch rewritten to the sealed frontier.
@@ -424,8 +467,23 @@ class Trace {
     auto lo = std::lower_bound(
         batch.entries.begin(), batch.entries.end(), key,
         [](const Entry& e, const K& k) { return e.key < k; });
+    // Seek the end of the key's run: a few linear steps cover the common
+    // short history; long (skewed) runs switch to exponential + binary
+    // search so the seek is O(log run) instead of O(run).
     auto hi = lo;
-    while (hi != batch.entries.end() && hi->key == key) ++hi;
+    auto end = batch.entries.end();
+    for (int i = 0; i < 8; ++i) {
+      if (hi == end || !(hi->key == key)) return {lo, hi};
+      ++hi;
+    }
+    ptrdiff_t step = 1;
+    while (end - hi > step && (hi + step)->key == key) {
+      hi += step;
+      step *= 2;
+    }
+    auto search_end = end - hi > step ? hi + step : end;
+    hi = std::upper_bound(hi, search_end, key,
+                          [](const K& k, const Entry& e) { return k < e.key; });
     return {lo, hi};
   }
 
@@ -437,6 +495,7 @@ class Trace {
     size_t out = 0;
     uint32_t min_version = UINT32_MAX;
     uint32_t max_version = 0;
+    bool uniform = true;
     for (size_t i = 0; i < entries->size();) {
       size_t j = i;
       Diff total = 0;
@@ -451,6 +510,8 @@ class Trace {
         (*entries)[out].diff = total;
         min_version = std::min(min_version, (*entries)[out].time.version);
         max_version = std::max(max_version, (*entries)[out].time.version);
+        uniform = uniform &&
+                  (*entries)[out].time == (*entries)[0].time;
         ++out;
       }
       i = j;
@@ -461,6 +522,7 @@ class Trace {
     batch->min_version =
         min_version == UINT32_MAX ? sealed_version_ : min_version;
     batch->max_version = out == 0 ? sealed_version_ : max_version;
+    batch->uniform_time = out > 0 && uniform;
   }
 
   void SealTail() {
@@ -508,9 +570,32 @@ class Trace {
     SortAndConsolidate(batch);
   }
 
+  // First index at or after `begin` whose entry is not EntryLess than
+  // `pivot`, found by exponential (galloping) then binary search. The
+  // caller has just consumed a win at begin-1, so runs are probed from 1.
+  static size_t GallopUpper(const std::vector<Entry>& v, size_t begin,
+                            const Entry& pivot) {
+    size_t step = 1;
+    size_t lo = begin;
+    while (lo + step < v.size() && EntryLess(v[lo + step], pivot)) {
+      lo += step;
+      step *= 2;
+    }
+    size_t hi = std::min(v.size(), lo + step);
+    return static_cast<size_t>(
+        std::lower_bound(v.begin() + lo, v.begin() + hi, pivot, EntryLess) -
+        v.begin());
+  }
+
   // Merge-time compaction: both inputs are brought to the sealed frontier
   // first, then merged with cancellation of equal (key, value, time)
-  // entries.
+  // entries. Skewed inputs gallop: after one side wins kGallopTrigger
+  // comparisons in a row, its whole remaining run below the other side's
+  // head is located by exponential search and moved in bulk (timsort's
+  // trick), so merging a tiny batch into a huge one costs O(tiny × log
+  // huge) comparisons instead of O(huge).
+  static constexpr size_t kGallopTrigger = 16;
+
   SpineBatch MergeBatches(SpineBatch&& a, SpineBatch&& b) {
     ++num_merges_;
     Rewrite(&a);
@@ -518,34 +603,63 @@ class Trace {
     SpineBatch merged;
     merged.entries.reserve(a.entries.size() + b.entries.size());
     size_t i = 0, j = 0, dropped = 0;
-    while (i < a.entries.size() || j < b.entries.size()) {
-      if (j >= b.entries.size()) {
+    size_t a_wins = 0, b_wins = 0;
+    auto bulk_move = [&merged](std::vector<Entry>& src, size_t from,
+                               size_t to) {
+      merged.entries.insert(merged.entries.end(),
+                            std::make_move_iterator(src.begin() + from),
+                            std::make_move_iterator(src.begin() + to));
+    };
+    while (i < a.entries.size() && j < b.entries.size()) {
+      if (EntryLess(a.entries[i], b.entries[j])) {
         merged.entries.push_back(std::move(a.entries[i++]));
-      } else if (i >= a.entries.size()) {
-        merged.entries.push_back(std::move(b.entries[j++]));
-      } else if (EntryLess(a.entries[i], b.entries[j])) {
-        merged.entries.push_back(std::move(a.entries[i++]));
+        b_wins = 0;
+        if (++a_wins >= kGallopTrigger && i < a.entries.size()) {
+          size_t run_end = GallopUpper(a.entries, i, b.entries[j]);
+          if (run_end > i) {
+            bulk_move(a.entries, i, run_end);
+            i = run_end;
+            SpineMergeGallops()->Increment();
+          }
+          a_wins = 0;
+        }
       } else if (EntryLess(b.entries[j], a.entries[i])) {
         merged.entries.push_back(std::move(b.entries[j++]));
+        a_wins = 0;
+        if (++b_wins >= kGallopTrigger && j < b.entries.size()) {
+          size_t run_end = GallopUpper(b.entries, j, a.entries[i]);
+          if (run_end > j) {
+            bulk_move(b.entries, j, run_end);
+            j = run_end;
+            SpineMergeGallops()->Increment();
+          }
+          b_wins = 0;
+        }
       } else {
         // Equal (key, value, time): consolidate across the batch boundary.
         Entry e = std::move(a.entries[i++]);
         e.diff += b.entries[j++].diff;
         dropped += 1 + (e.diff == 0);
         if (e.diff != 0) merged.entries.push_back(std::move(e));
+        a_wins = b_wins = 0;
       }
     }
+    bulk_move(a.entries, i, a.entries.size());
+    bulk_move(b.entries, j, b.entries.size());
     // min(a.min, b.min) is only a lower bound — cancellation may have
     // removed the very entries that carried it; recompute exactly so the
     // metadata stays tight (and the paranoid invariant can be strict).
     merged.min_version = UINT32_MAX;
     merged.max_version = 0;
+    merged.uniform_time = true;
     for (const Entry& e : merged.entries) {
       merged.min_version = std::min(merged.min_version, e.time.version);
       merged.max_version = std::max(merged.max_version, e.time.version);
+      if (!(e.time == merged.entries.front().time)) merged.uniform_time = false;
     }
     if (merged.entries.empty()) {
       merged.min_version = merged.max_version = sealed_version_;
+      merged.uniform_time = false;
     }
     total_entries_ -= dropped;
     entries_reclaimed_ += dropped;

@@ -5,7 +5,7 @@ namespace gs {
 VertexId PropertyGraph::AddNodes(size_t n) {
   VertexId first = num_nodes_;
   num_nodes_ += n;
-  if (!node_alive_.empty()) node_alive_.resize(num_nodes_, 1);
+  if (!node_alive_.empty()) node_alive_.Resize(num_nodes_, true);
   return first;
 }
 
@@ -21,7 +21,7 @@ StatusOr<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst) {
                                       std::to_string(dst));
   }
   edges_.push_back(Edge{src, dst});
-  if (!edge_alive_.empty()) edge_alive_.push_back(1);
+  if (!edge_alive_.empty()) edge_alive_.PushBack(true);
   return static_cast<EdgeId>(edges_.size() - 1);
 }
 
@@ -29,12 +29,12 @@ Status PropertyGraph::RemoveEdge(EdgeId id) {
   if (id >= edges_.size()) {
     return Status::OutOfRange("edge id out of range: " + std::to_string(id));
   }
-  if (edge_alive_.empty()) edge_alive_.assign(edges_.size(), 1);
-  if (!edge_alive_[id]) {
+  if (edge_alive_.empty()) edge_alive_.Assign(edges_.size(), true);
+  if (!edge_alive_.Test(id)) {
     return Status::FailedPrecondition("edge " + std::to_string(id) +
                                       " already removed");
   }
-  edge_alive_[id] = 0;
+  edge_alive_.Reset(id);
   ++dead_edges_;
   return Status::Ok();
 }
@@ -43,12 +43,12 @@ Status PropertyGraph::RemoveNode(VertexId id) {
   if (id >= num_nodes_) {
     return Status::OutOfRange("node id out of range: " + std::to_string(id));
   }
-  if (node_alive_.empty()) node_alive_.assign(num_nodes_, 1);
-  if (!node_alive_[id]) {
+  if (node_alive_.empty()) node_alive_.Assign(num_nodes_, true);
+  if (!node_alive_.Test(id)) {
     return Status::FailedPrecondition("node " + std::to_string(id) +
                                       " already removed");
   }
-  node_alive_[id] = 0;
+  node_alive_.Reset(id);
   ++dead_nodes_;
   return Status::Ok();
 }

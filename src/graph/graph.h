@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/status.h"
 #include "graph/property_table.h"
 #include "graph/types.h"
@@ -38,10 +39,16 @@ class PropertyGraph {
   Status RemoveNode(VertexId id);
 
   bool edge_alive(EdgeId id) const {
-    return edge_alive_.empty() || edge_alive_[id];
+    return edge_alive_.empty() || edge_alive_.Test(id);
   }
   bool node_alive(VertexId id) const {
-    return node_alive_.empty() || node_alive_[id];
+    return node_alive_.empty() || node_alive_.Test(id);
+  }
+  /// One 64-edge word of the alive bitmap (bit j = edge 64w+j alive); the
+  /// batch data plane ANDs these into selection masks. All-ones when no
+  /// edge was ever removed.
+  uint64_t edge_alive_word(size_t w) const {
+    return edge_alive_.empty() ? ~uint64_t{0} : edge_alive_.word(w);
   }
   /// Edges minus tombstones (num_edges() counts all ids ever allocated).
   size_t num_live_edges() const { return edges_.size() - dead_edges_; }
@@ -81,8 +88,8 @@ class PropertyGraph {
   PropertyTable node_props_;
   PropertyTable edge_props_;
   /// Tombstone bitmaps; empty means "all alive" (the common static case).
-  std::vector<uint8_t> edge_alive_;
-  std::vector<uint8_t> node_alive_;
+  Bitset edge_alive_;
+  Bitset node_alive_;
   size_t dead_edges_ = 0;
   size_t dead_nodes_ = 0;
   uint64_t mutation_epoch_ = 0;

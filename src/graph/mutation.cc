@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bitset.h"
+
 namespace gs {
 
 Mutation Mutation::AddNode(std::vector<PropertyValue> row) {
@@ -65,27 +67,27 @@ struct SimulatedState {
   const PropertyGraph& graph;
   size_t num_nodes;
   size_t num_edges;
-  std::vector<uint8_t> node_removed;  // indexed from 0; sparse in practice
-  std::vector<uint8_t> edge_removed;
+  Bitset node_removed;  // indexed from 0; sparse in practice
+  Bitset edge_removed;
 
   explicit SimulatedState(const PropertyGraph& g)
       : graph(g), num_nodes(g.num_nodes()), num_edges(g.num_edges()) {}
 
   bool NodeAlive(VertexId id) const {
     if (id >= num_nodes) return false;
-    if (id < node_removed.size() && node_removed[id]) return false;
+    if (id < node_removed.size() && node_removed.Test(id)) return false;
     // Nodes created by this batch (id >= graph.num_nodes()) are alive unless
     // removed above; pre-existing nodes defer to the graph's bitmap.
     return id >= graph.num_nodes() || graph.node_alive(id);
   }
   bool EdgeAlive(EdgeId id) const {
     if (id >= num_edges) return false;
-    if (id < edge_removed.size() && edge_removed[id]) return false;
+    if (id < edge_removed.size() && edge_removed.Test(id)) return false;
     return id >= graph.num_edges() || graph.edge_alive(id);
   }
   void MarkNodeRemoved(VertexId id) {
-    if (node_removed.size() <= id) node_removed.resize(id + 1, 0);
-    node_removed[id] = 1;
+    if (node_removed.size() <= id) node_removed.Resize(id + 1);
+    node_removed.Set(id);
     // Incident edges die with the node; mirror that so a later kRemoveEdge
     // on one of them is rejected as a double-remove.
     for (EdgeId e = 0; e < graph.num_edges(); ++e) {
@@ -96,8 +98,8 @@ struct SimulatedState {
     }
   }
   void MarkEdgeRemoved(EdgeId id) {
-    if (edge_removed.size() <= id) edge_removed.resize(id + 1, 0);
-    edge_removed[id] = 1;
+    if (edge_removed.size() <= id) edge_removed.Resize(id + 1);
+    edge_removed.Set(id);
   }
 };
 
@@ -290,14 +292,16 @@ Status ApplyMutationBatch(PropertyGraph* graph, const MutationBatch& batch,
   // change touches every live incident edge. One O(E) scan per batch, only
   // when some node-level change happened.
   if (node_props_changed) {
-    std::vector<uint8_t> changed(graph->num_nodes(), 0);
+    Bitset changed(graph->num_nodes());
     for (const Mutation& m : batch) {
-      if (m.kind == MutationKind::kSetNodeProperty) changed[m.node] = 1;
+      if (m.kind == MutationKind::kSetNodeProperty) changed.Set(m.node);
     }
     for (EdgeId e = 0; e < graph->num_edges(); ++e) {
       if (!graph->edge_alive(e)) continue;
       const Edge& edge = graph->edge(e);
-      if (changed[edge.src] || changed[edge.dst]) fx.touched_edges.push_back(e);
+      if (changed.Test(edge.src) || changed.Test(edge.dst)) {
+        fx.touched_edges.push_back(e);
+      }
     }
   }
 

@@ -36,6 +36,15 @@ class Column {
   bool GetBool(size_t row) const { return bools_[row] != 0; }
   const std::string& GetString(size_t row) const { return strings_[row]; }
 
+  /// Raw columnar access for the batch evaluator (gvdl/batch_eval.h). The
+  /// typed arrays are dense — null rows hold zero placeholders — so raw
+  /// pointers index by row directly; callers mask nulls via raw_valid().
+  const int64_t* raw_ints() const { return ints_.data(); }
+  const double* raw_doubles() const { return doubles_.data(); }
+  const uint8_t* raw_bools() const { return bools_.data(); }
+  const uint8_t* raw_valid() const { return valid_.data(); }
+  const std::string* raw_strings() const { return strings_.data(); }
+
  private:
   PropertyType type_;
   std::vector<uint8_t> valid_;

@@ -1,0 +1,482 @@
+#include "gvdl/batch_eval.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace gs::gvdl {
+
+namespace {
+
+simd::Cmp ToCmp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return simd::Cmp::kEq;
+    case CompareOp::kNe:
+      return simd::Cmp::kNe;
+    case CompareOp::kLt:
+      return simd::Cmp::kLt;
+    case CompareOp::kLe:
+      return simd::Cmp::kLe;
+    case CompareOp::kGt:
+      return simd::Cmp::kGt;
+    case CompareOp::kGe:
+      return simd::Cmp::kGe;
+  }
+  return simd::Cmp::kEq;
+}
+
+// a OP b == b Mirror(OP) a — used to normalize constant-on-the-left
+// comparisons so kCmp's `a` operand is always a column.
+simd::Cmp Mirror(simd::Cmp op) {
+  switch (op) {
+    case simd::Cmp::kLt:
+      return simd::Cmp::kGt;
+    case simd::Cmp::kLe:
+      return simd::Cmp::kGe;
+    case simd::Cmp::kGt:
+      return simd::Cmp::kLt;
+    case simd::Cmp::kGe:
+      return simd::Cmp::kLe;
+    default:
+      return op;
+  }
+}
+
+bool IsNumericType(PropertyType t) {
+  return t == PropertyType::kInt || t == PropertyType::kDouble;
+}
+
+int SignOf(int c) { return c < 0 ? -1 : (c > 0 ? 1 : 0); }
+
+}  // namespace
+
+StatusOr<BatchPredicateProgram> BatchPredicateProgram::Compile(
+    const ExprPtr& expr, const PropertyGraph& graph) {
+  BatchPredicateProgram prog;
+
+  // Local class so the lowering helpers can name the private Instr/Operand
+  // types. Mirrors ResolveOperand/CheckComparable in gvdl/predicate.cc —
+  // the two compilers must accept and reject identical expressions.
+  struct Lowerer {
+    BatchPredicateProgram* prog;
+    const PropertyGraph* graph;
+
+    struct ResolvedOperand {
+      Operand op;
+      PropertyType type = PropertyType::kNull;
+      bool is_const = false;
+      PropertyValue constant;
+    };
+
+    int32_t PrefixCacheFor(bool node_table, uint32_t column) {
+      for (size_t i = 0; i < prog->prefix_caches_.size(); ++i) {
+        const PrefixCache& c = prog->prefix_caches_[i];
+        if (c.node_table == node_table && c.column == column) {
+          return static_cast<int32_t>(i);
+        }
+      }
+      prog->prefix_caches_.push_back(PrefixCache{node_table, column, {}});
+      return static_cast<int32_t>(prog->prefix_caches_.size() - 1);
+    }
+
+    StatusOr<ResolvedOperand> Resolve(const gvdl::Operand& o) {
+      ResolvedOperand r;
+      switch (o.kind) {
+        case gvdl::Operand::Kind::kLiteral:
+          r.op.kind = Operand::Kind::kConst;
+          r.is_const = true;
+          r.constant = o.literal;
+          r.type = o.literal.type();
+          return r;
+        case gvdl::Operand::Kind::kSrcProperty:
+        case gvdl::Operand::Kind::kDstProperty: {
+          GS_ASSIGN_OR_RETURN(
+              size_t col, graph->node_properties().ColumnIndex(o.property));
+          r.op.kind = o.kind == gvdl::Operand::Kind::kSrcProperty
+                          ? Operand::Kind::kSrc
+                          : Operand::Kind::kDst;
+          r.op.column = static_cast<uint32_t>(col);
+          r.type = graph->node_properties().column(col).type();
+          return r;
+        }
+        case gvdl::Operand::Kind::kEdgeProperty: {
+          GS_ASSIGN_OR_RETURN(
+              size_t col, graph->edge_properties().ColumnIndex(o.property));
+          r.op.kind = Operand::Kind::kEdge;
+          r.op.column = static_cast<uint32_t>(col);
+          r.type = graph->edge_properties().column(col).type();
+          return r;
+        }
+      }
+      return Status::Internal("unreachable operand kind");
+    }
+
+    void EmitConst(bool value, size_t height) {
+      Instr ins;
+      ins.op = value ? Instr::Op::kConstTrue : Instr::Op::kConstFalse;
+      prog->instrs_.push_back(std::move(ins));
+      Bump(height + 1);
+    }
+
+    void Bump(size_t height) {
+      prog->max_stack_depth_ = std::max(prog->max_stack_depth_, height);
+    }
+
+    Status LowerCompare(const Expr& e, size_t height) {
+      GS_ASSIGN_OR_RETURN(ResolvedOperand lhs, Resolve(e.lhs));
+      GS_ASSIGN_OR_RETURN(ResolvedOperand rhs, Resolve(e.rhs));
+      PropertyType a = lhs.type, b = rhs.type;
+      // Static comparability: identical to CheckComparable.
+      bool comparable = a == PropertyType::kNull || b == PropertyType::kNull ||
+                        (IsNumericType(a) && IsNumericType(b)) || a == b;
+      if (!comparable) {
+        return Status::InvalidArgument(
+            std::string("cannot compare ") + PropertyTypeName(a) + " with " +
+            PropertyTypeName(b));
+      }
+      // A null anywhere (literal or null-typed column) compares false.
+      if (a == PropertyType::kNull || b == PropertyType::kNull) {
+        EmitConst(false, height);
+        return Status::Ok();
+      }
+      simd::Cmp cmp = ToCmp(e.op);
+      if (lhs.is_const && rhs.is_const) {
+        auto c = lhs.constant.Compare(rhs.constant);
+        EmitConst(c.has_value() && simd::ApplyCmp(cmp, *c), height);
+        return Status::Ok();
+      }
+      if (lhs.is_const) {
+        std::swap(lhs, rhs);
+        cmp = Mirror(cmp);
+      }
+      Instr ins;
+      ins.op = Instr::Op::kCmp;
+      ins.cmp = cmp;
+      ins.a = lhs.op;
+      ins.b = rhs.op;
+      ins.b_is_const = rhs.is_const;
+      if (IsNumericType(lhs.type)) {
+        ins.kind = CmpKind::kNumeric;
+        if (rhs.is_const) ins.b.f64 = *rhs.constant.AsNumeric();
+      } else if (lhs.type == PropertyType::kBool) {
+        ins.kind = CmpKind::kBool;
+        if (rhs.is_const) ins.b.i64 = rhs.constant.AsBool() ? 1 : 0;
+      } else {
+        ins.kind = CmpKind::kString;
+        ins.a.prefix_cache =
+            PrefixCacheFor(ins.a.kind != Operand::Kind::kEdge, ins.a.column);
+        if (rhs.is_const) {
+          ins.b.str = rhs.constant.AsString();
+          ins.b.prefix = simd::StringPrefix(ins.b.str);
+        } else {
+          ins.b.prefix_cache =
+              PrefixCacheFor(ins.b.kind != Operand::Kind::kEdge, ins.b.column);
+        }
+      }
+      prog->instrs_.push_back(std::move(ins));
+      Bump(height + 1);
+      return Status::Ok();
+    }
+
+    // `height` is the stack height before this expression's value is pushed.
+    Status Lower(const ExprPtr& e, size_t height) {
+      if (e == nullptr) return Status::InvalidArgument("null predicate");
+      switch (e->kind) {
+        case Expr::Kind::kCompare:
+          return LowerCompare(*e, height);
+        case Expr::Kind::kNot: {
+          GS_RETURN_IF_ERROR(Lower(e->children[0], height));
+          Instr ins;
+          ins.op = Instr::Op::kNot;
+          prog->instrs_.push_back(std::move(ins));
+          return Status::Ok();
+        }
+        case Expr::Kind::kAnd:
+        case Expr::Kind::kOr: {
+          bool is_and = e->kind == Expr::Kind::kAnd;
+          if (e->children.empty()) {
+            // Matches the scalar evaluator: empty AND is true, empty OR false.
+            EmitConst(is_and, height);
+            return Status::Ok();
+          }
+          GS_RETURN_IF_ERROR(Lower(e->children[0], height));
+          for (size_t i = 1; i < e->children.size(); ++i) {
+            GS_RETURN_IF_ERROR(Lower(e->children[i], height + 1));
+            Instr ins;
+            ins.op = is_and ? Instr::Op::kAnd : Instr::Op::kOr;
+            prog->instrs_.push_back(std::move(ins));
+          }
+          return Status::Ok();
+        }
+      }
+      return Status::Internal("unreachable expr kind");
+    }
+  };
+
+  Lowerer lowerer{&prog, &graph};
+  GS_RETURN_IF_ERROR(lowerer.Lower(expr, 0));
+  prog.Prepare(graph);
+  return prog;
+}
+
+void BatchPredicateProgram::Prepare(const PropertyGraph& graph) {
+  for (PrefixCache& cache : prefix_caches_) {
+    const PropertyTable& table = cache.node_table ? graph.node_properties()
+                                                  : graph.edge_properties();
+    const Column& col = table.column(cache.column);
+    size_t n = col.size();
+    cache.prefixes.resize(n);
+    const std::string* strings = col.raw_strings();
+    // Rebuilt from scratch: property-update mutations can rewrite strings
+    // in place, so no incremental shortcut is sound.
+    for (size_t i = 0; i < n; ++i) {
+      cache.prefixes[i] = simd::StringPrefix(strings[i]);
+    }
+  }
+}
+
+void BatchPredicateProgram::EvalEdges(const PropertyGraph& graph, size_t begin,
+                                      size_t end, uint64_t* out,
+                                      BatchEvalScratch& scratch) const {
+  GS_CHECK(begin % 64 == 0);
+  scratch.stack.resize(max_stack_depth_ * kChunkWords);
+  scratch.tmp.resize(kChunkWords);
+  scratch.tmp2.resize(kChunkWords);
+  scratch.f64_a.resize(kChunkEdges);
+  scratch.f64_b.resize(kChunkEdges);
+  scratch.i64_a.resize(kChunkEdges);
+  scratch.i64_b.resize(kChunkEdges);
+  scratch.u64_a.resize(kChunkEdges);
+  scratch.u64_b.resize(kChunkEdges);
+  scratch.bytes_a.resize(kChunkEdges);
+  scratch.bytes_b.resize(kChunkEdges);
+  for (size_t cb = begin; cb < end; cb += kChunkEdges) {
+    size_t n = std::min(kChunkEdges, end - cb);
+    EvalChunk(graph, cb, n, out + (cb - begin) / 64, scratch);
+  }
+}
+
+void BatchPredicateProgram::EvalChunk(const PropertyGraph& graph,
+                                      size_t chunk_begin, size_t n,
+                                      uint64_t* out,
+                                      BatchEvalScratch& scratch) const {
+  size_t words = simd::MaskWords(n);
+  uint64_t tail =
+      (n % 64) != 0 ? (uint64_t{1} << (n % 64)) - 1 : ~uint64_t{0};
+  auto lanes = [&](size_t w) { return w + 1 == words ? tail : ~uint64_t{0}; };
+  uint64_t* stack = scratch.stack.data();
+  size_t sp = 0;
+  for (const Instr& ins : instrs_) {
+    switch (ins.op) {
+      case Instr::Op::kConstTrue: {
+        uint64_t* top = stack + sp * kChunkWords;
+        for (size_t w = 0; w < words; ++w) top[w] = lanes(w);
+        ++sp;
+        break;
+      }
+      case Instr::Op::kConstFalse: {
+        uint64_t* top = stack + sp * kChunkWords;
+        for (size_t w = 0; w < words; ++w) top[w] = 0;
+        ++sp;
+        break;
+      }
+      case Instr::Op::kAnd: {
+        uint64_t* b = stack + (sp - 1) * kChunkWords;
+        uint64_t* a = stack + (sp - 2) * kChunkWords;
+        for (size_t w = 0; w < words; ++w) a[w] &= b[w];
+        --sp;
+        break;
+      }
+      case Instr::Op::kOr: {
+        uint64_t* b = stack + (sp - 1) * kChunkWords;
+        uint64_t* a = stack + (sp - 2) * kChunkWords;
+        for (size_t w = 0; w < words; ++w) a[w] |= b[w];
+        --sp;
+        break;
+      }
+      case Instr::Op::kNot: {
+        uint64_t* top = stack + (sp - 1) * kChunkWords;
+        for (size_t w = 0; w < words; ++w) top[w] = ~top[w] & lanes(w);
+        break;
+      }
+      case Instr::Op::kCmp: {
+        uint64_t* top = stack + sp * kChunkWords;
+        EvalCmp(ins, graph, chunk_begin, n, top, scratch);
+        ++sp;
+        break;
+      }
+    }
+  }
+  GS_CHECK(sp == 1);
+  for (size_t w = 0; w < words; ++w) out[w] = stack[w];
+}
+
+namespace {
+
+const Column& ColumnOf(const PropertyGraph& graph, bool node_table,
+                       uint32_t column) {
+  const PropertyTable& t =
+      node_table ? graph.node_properties() : graph.edge_properties();
+  return t.column(column);
+}
+
+}  // namespace
+
+void BatchPredicateProgram::EvalCmp(const Instr& ins,
+                                    const PropertyGraph& graph,
+                                    size_t chunk_begin, size_t n,
+                                    uint64_t* top,
+                                    BatchEvalScratch& scratch) const {
+  const Edge* edges = graph.edges().data() + chunk_begin;
+  auto node_row = [&](const Operand& o, size_t i) -> size_t {
+    return o.kind == Operand::Kind::kSrc ? edges[i].src : edges[i].dst;
+  };
+  auto is_node = [](const Operand& o) {
+    return o.kind != Operand::Kind::kEdge;
+  };
+  auto column_of = [&](const Operand& o) -> const Column& {
+    return ColumnOf(graph, is_node(o), o.column);
+  };
+  // Validity bytes for `o`'s rows: zero-copy for edge columns, gathered
+  // through src/dst for node columns.
+  auto valid_bytes = [&](const Operand& o, const Column& col,
+                         std::vector<uint8_t>& buf) -> const uint8_t* {
+    const uint8_t* rv = col.raw_valid();
+    if (!is_node(o)) return rv + chunk_begin;
+    for (size_t i = 0; i < n; ++i) buf[i] = rv[node_row(o, i)];
+    return buf.data();
+  };
+  // Rows of `o` as doubles (the numeric comparison domain).
+  auto numeric_rows = [&](const Operand& o, const Column& col,
+                          std::vector<double>& buf) -> const double* {
+    if (col.type() == PropertyType::kDouble) {
+      if (!is_node(o)) return col.raw_doubles() + chunk_begin;
+      const double* dv = col.raw_doubles();
+      for (size_t i = 0; i < n; ++i) buf[i] = dv[node_row(o, i)];
+    } else {
+      const int64_t* iv = col.raw_ints();
+      if (!is_node(o)) {
+        iv += chunk_begin;
+        for (size_t i = 0; i < n; ++i) buf[i] = static_cast<double>(iv[i]);
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          buf[i] = static_cast<double>(iv[node_row(o, i)]);
+        }
+      }
+    }
+    return buf.data();
+  };
+  auto bool_rows = [&](const Operand& o, const Column& col,
+                       std::vector<int64_t>& buf) -> const int64_t* {
+    const uint8_t* bv = col.raw_bools();
+    if (!is_node(o)) bv += chunk_begin;
+    for (size_t i = 0; i < n; ++i) {
+      buf[i] = is_node(o) ? bv[node_row(o, i)] : bv[i];
+    }
+    return buf.data();
+  };
+  auto prefix_rows = [&](const Operand& o,
+                         std::vector<uint64_t>& buf) -> const uint64_t* {
+    const std::vector<uint64_t>& p =
+        prefix_caches_[o.prefix_cache].prefixes;
+    if (!is_node(o)) return p.data() + chunk_begin;
+    for (size_t i = 0; i < n; ++i) buf[i] = p[node_row(o, i)];
+    return buf.data();
+  };
+
+  const Column& col_a = column_of(ins.a);
+  switch (ins.kind) {
+    case CmpKind::kNumeric: {
+      const double* pa = numeric_rows(ins.a, col_a, scratch.f64_a);
+      if (ins.b_is_const) {
+        simd::CmpF64Const(pa, n, ins.cmp, ins.b.f64, top);
+      } else {
+        const double* pb =
+            numeric_rows(ins.b, column_of(ins.b), scratch.f64_b);
+        simd::CmpF64Pairs(pa, pb, n, ins.cmp, top);
+      }
+      break;
+    }
+    case CmpKind::kBool: {
+      const int64_t* pa = bool_rows(ins.a, col_a, scratch.i64_a);
+      if (ins.b_is_const) {
+        simd::CmpI64Const(pa, n, ins.cmp, ins.b.i64, top);
+      } else {
+        const int64_t* pb = bool_rows(ins.b, column_of(ins.b), scratch.i64_b);
+        simd::CmpI64Pairs(pa, pb, n, ins.cmp, top);
+      }
+      break;
+    }
+    case CmpKind::kString: {
+      const uint64_t* pa = prefix_rows(ins.a, scratch.u64_a);
+      const uint64_t* pb = nullptr;
+      if (ins.b_is_const) {
+        simd::CmpU64Const(pa, n, ins.cmp, ins.b.prefix, top);
+        simd::CmpU64Const(pa, n, simd::Cmp::kEq, ins.b.prefix,
+                          scratch.tmp2.data());
+      } else {
+        pb = prefix_rows(ins.b, scratch.u64_b);
+        simd::CmpU64Pairs(pa, pb, n, ins.cmp, top);
+        simd::CmpU64Pairs(pa, pb, n, simd::Cmp::kEq, scratch.tmp2.data());
+      }
+      break;
+    }
+  }
+
+  // Null semantics: clear lanes where either column operand is null.
+  // (tmp2 holds the string tie mask, so b's validity uses a local buffer.)
+  size_t words = simd::MaskWords(n);
+  const uint8_t* va = valid_bytes(ins.a, col_a, scratch.bytes_a);
+  simd::BytesNonZero(va, n, scratch.tmp.data());
+  if (!ins.b_is_const) {
+    const uint8_t* vb =
+        valid_bytes(ins.b, column_of(ins.b), scratch.bytes_b);
+    uint64_t vb_words[kChunkWords];
+    simd::BytesNonZero(vb, n, vb_words);
+    for (size_t w = 0; w < words; ++w) scratch.tmp[w] &= vb_words[w];
+  }
+  for (size_t w = 0; w < words; ++w) top[w] &= scratch.tmp[w];
+
+  // String prefix ties: re-resolve with a full scalar comparison. Only
+  // valid lanes matter (invalid ones were just cleared from `top`).
+  if (ins.kind == CmpKind::kString) {
+    const std::string* sa = col_a.raw_strings();
+    const std::string* sb =
+        ins.b_is_const ? nullptr : column_of(ins.b).raw_strings();
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t ties = scratch.tmp2[w] & scratch.tmp[w];
+      while (ties != 0) {
+        size_t j = static_cast<size_t>(std::countr_zero(ties));
+        ties &= ties - 1;
+        size_t i = 64 * w + j;
+        size_t row_a =
+            is_node(ins.a) ? node_row(ins.a, i) : chunk_begin + i;
+        const std::string& a_str = sa[row_a];
+        const std::string& b_str =
+            ins.b_is_const
+                ? ins.b.str
+                : sb[is_node(ins.b) ? node_row(ins.b, i) : chunk_begin + i];
+        int sign = SignOf(a_str.compare(b_str));
+        uint64_t bit = uint64_t{1} << j;
+        if (simd::ApplyCmp(ins.cmp, sign)) {
+          top[w] |= bit;
+        } else {
+          top[w] &= ~bit;
+        }
+      }
+    }
+  }
+}
+
+bool BatchPredicateProgram::EvalEdge(const PropertyGraph& graph,
+                                     EdgeId edge) const {
+  static thread_local BatchEvalScratch scratch;
+  size_t begin = static_cast<size_t>(edge) & ~size_t{63};
+  uint64_t word = 0;
+  EvalEdges(graph, begin, static_cast<size_t>(edge) + 1, &word, scratch);
+  return (word >> (edge & 63)) & 1;
+}
+
+}  // namespace gs::gvdl

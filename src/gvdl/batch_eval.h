@@ -1,0 +1,127 @@
+// Batch-at-a-time GVDL predicate evaluation: a predicate expression lowers
+// to a flat postfix program whose instructions operate on whole 1024-edge
+// chunks of the columnar PropertyTable, producing 64-bit selection masks
+// directly (bit j of output word w is edge `begin + 64w + j`). There is no
+// per-edge std::function dispatch anywhere on this path — comparisons run
+// through the common/simd.h kernels and boolean combinators are word-wise
+// AND/OR/NOT on a small mask stack.
+//
+// Lowering rules (DESIGN.md "Vectorized data plane"):
+//   - numeric comparisons (int/double in any combination) are evaluated in
+//     the double domain, matching PropertyValue::Compare's AsNumeric rule
+//     (including its NaN-compares-equal behaviour);
+//   - bool comparisons widen to int64 0/1;
+//   - string comparisons order big-endian 8-byte prefixes with unsigned-u64
+//     kernels; prefix-tied lanes fall back to a full scalar compare;
+//   - a null literal anywhere folds the comparison to constant-false, and
+//     a comparison of two literals folds to a constant mask at compile time;
+//   - rows where either referenced column value is null are cleared from
+//     the comparison's mask (SQL-ish semantics, same as the scalar path).
+#ifndef GRAPHSURGE_GVDL_BATCH_EVAL_H_
+#define GRAPHSURGE_GVDL_BATCH_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/simd.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "gvdl/ast.h"
+
+namespace gs::gvdl {
+
+/// Reusable per-thread buffers for BatchPredicateProgram::EvalEdges. The
+/// program itself is immutable during evaluation, so one program can be
+/// evaluated from many threads as long as each brings its own scratch.
+struct BatchEvalScratch {
+  std::vector<uint64_t> stack;
+  std::vector<uint64_t> tmp, tmp2;
+  std::vector<double> f64_a, f64_b;
+  std::vector<int64_t> i64_a, i64_b;
+  std::vector<uint64_t> u64_a, u64_b;
+  std::vector<uint8_t> bytes_a, bytes_b;
+};
+
+/// An edge predicate compiled to a postfix mask program against one graph.
+class BatchPredicateProgram {
+ public:
+  /// Edges per evaluation chunk (16 mask words). Large enough to amortize
+  /// dispatch, small enough that operand gathers stay in L1.
+  static constexpr size_t kChunkEdges = 1024;
+  static constexpr size_t kChunkWords = kChunkEdges / 64;
+
+  BatchPredicateProgram() = default;
+
+  /// Resolves property references and lowers `expr`. Accepts and rejects
+  /// exactly the same expressions as CompiledEdgePredicate::Compile.
+  static StatusOr<BatchPredicateProgram> Compile(const ExprPtr& expr,
+                                                 const PropertyGraph& graph);
+
+  /// Refreshes row-dependent caches (string-prefix arrays). Call once after
+  /// Compile and again after every graph mutation epoch, from a single
+  /// thread, before any EvalEdges.
+  void Prepare(const PropertyGraph& graph);
+
+  /// Evaluates edges [begin, end); `begin` must be a multiple of 64. Writes
+  /// simd::MaskWords(end - begin) words to `out`; trailing bits of the last
+  /// word are zero. Tombstones are NOT considered — callers AND the result
+  /// with the graph's alive-mask words.
+  void EvalEdges(const PropertyGraph& graph, size_t begin, size_t end,
+                 uint64_t* out, BatchEvalScratch& scratch) const;
+
+  /// Scalar convenience for single-edge re-checks; uses a thread_local
+  /// scratch internally.
+  bool EvalEdge(const PropertyGraph& graph, EdgeId edge) const;
+
+ private:
+  friend class BatchEvalTestPeer;
+
+  // Which typed kernel class a comparison runs in.
+  enum class CmpKind : uint8_t { kNumeric, kBool, kString };
+
+  // A comparison operand: a table column addressed per-edge (directly for
+  // edge columns, through src/dst for node columns) or a pre-typed constant.
+  struct Operand {
+    enum class Kind : uint8_t { kSrc, kDst, kEdge, kConst };
+    Kind kind = Kind::kConst;
+    uint32_t column = 0;   // column index in the node or edge table
+    int32_t prefix_cache = -1;  // index into prefix_caches_ (string columns)
+    double f64 = 0;        // numeric constant
+    int64_t i64 = 0;       // bool constant widened to 0/1
+    uint64_t prefix = 0;   // string constant prefix
+    std::string str;       // string constant full value
+  };
+
+  struct Instr {
+    enum class Op : uint8_t { kCmp, kAnd, kOr, kNot, kConstTrue, kConstFalse };
+    Op op = Op::kConstFalse;
+    simd::Cmp cmp = simd::Cmp::kEq;
+    CmpKind kind = CmpKind::kNumeric;
+    bool b_is_const = false;
+    Operand a, b;  // kCmp only; `a` is always a column reference
+  };
+
+  // Cached big-endian 8-byte prefixes for one string column, rebuilt by
+  // Prepare (cell updates can change strings in place, so the rebuild is
+  // unconditional).
+  struct PrefixCache {
+    bool node_table = false;
+    uint32_t column = 0;
+    std::vector<uint64_t> prefixes;
+  };
+
+  void EvalChunk(const PropertyGraph& graph, size_t chunk_begin, size_t n,
+                 uint64_t* out, BatchEvalScratch& scratch) const;
+  void EvalCmp(const Instr& instr, const PropertyGraph& graph,
+               size_t chunk_begin, size_t n, uint64_t* top,
+               BatchEvalScratch& scratch) const;
+
+  std::vector<Instr> instrs_;
+  std::vector<PrefixCache> prefix_caches_;
+  size_t max_stack_depth_ = 1;
+};
+
+}  // namespace gs::gvdl
+
+#endif  // GRAPHSURGE_GVDL_BATCH_EVAL_H_

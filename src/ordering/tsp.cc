@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/bitset.h"
 #include "common/logging.h"
 
 namespace gs::ordering {
@@ -36,17 +37,17 @@ std::vector<std::pair<size_t, size_t>> MinimumSpanningTree(
   constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
   std::vector<uint64_t> best(n, kInf);
   std::vector<size_t> parent(n, 0);
-  std::vector<bool> in_tree(n, false);
+  Bitset in_tree(n);
   best[0] = 0;
   for (size_t round = 0; round < n; ++round) {
     size_t v = SIZE_MAX;
     for (size_t i = 0; i < n; ++i) {
-      if (!in_tree[i] && (v == SIZE_MAX || best[i] < best[v])) v = i;
+      if (!in_tree.Test(i) && (v == SIZE_MAX || best[i] < best[v])) v = i;
     }
-    in_tree[v] = true;
+    in_tree.Set(v);
     if (v != 0) edges.emplace_back(parent[v], v);
     for (size_t w = 0; w < n; ++w) {
-      if (!in_tree[w] && d.at(v, w) < best[w]) {
+      if (!in_tree.Test(w) && d.at(v, w) < best[w]) {
         best[w] = d.at(v, w);
         parent[w] = v;
       }
@@ -74,11 +75,12 @@ std::vector<std::pair<size_t, size_t>> GreedyPerfectMatching(
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Pair& x, const Pair& y) { return x.w < y.w; });
-  std::vector<bool> used(d.size(), false);
+  Bitset used(d.size());
   std::vector<std::pair<size_t, size_t>> matching;
   for (const Pair& p : candidates) {
-    if (used[p.a] || used[p.b]) continue;
-    used[p.a] = used[p.b] = true;
+    if (used.Test(p.a) || used.Test(p.b)) continue;
+    used.Set(p.a);
+    used.Set(p.b);
     matching.emplace_back(p.a, p.b);
   }
   // 2-swap improvement: for pairs (a,b),(c,e) try (a,c),(b,e) and
@@ -116,7 +118,7 @@ std::vector<size_t> EulerCircuit(
     incident[edges[i].first].push_back(i);
     incident[edges[i].second].push_back(i);
   }
-  std::vector<bool> used(edges.size(), false);
+  Bitset used(edges.size());
   std::vector<size_t> next_index(n, 0);
   std::vector<size_t> stack = {edges.empty() ? 0 : edges[0].first};
   std::vector<size_t> circuit;
@@ -125,8 +127,8 @@ std::vector<size_t> EulerCircuit(
     bool advanced = false;
     while (next_index[v] < incident[v].size()) {
       size_t ei = incident[v][next_index[v]++];
-      if (used[ei]) continue;
-      used[ei] = true;
+      if (used.Test(ei)) continue;
+      used.Set(ei);
       size_t w = edges[ei].first == v ? edges[ei].second : edges[ei].first;
       stack.push_back(w);
       advanced = true;
@@ -165,12 +167,12 @@ std::vector<size_t> ChristofidesTour(const DistanceMatrix& d) {
   std::vector<size_t> circuit = EulerCircuit(n, multigraph);
 
   // Shortcut repeated vertices (valid under the triangle inequality).
-  std::vector<bool> seen(n, false);
+  Bitset seen(n);
   std::vector<size_t> tour;
   tour.reserve(n);
   for (size_t v : circuit) {
-    if (!seen[v]) {
-      seen[v] = true;
+    if (!seen.Test(v)) {
+      seen.Set(v);
       tour.push_back(v);
     }
   }

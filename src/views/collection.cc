@@ -75,29 +75,24 @@ StatusOr<MaterializedCollection> MaterializeCollection(
     const PropertyGraph& graph, const gvdl::ViewCollectionDef& def,
     const MaterializeOptions& options) {
   Timer timer;
-  std::vector<gvdl::ExprPtr> predicates;
   std::vector<std::string> names;
-  predicates.reserve(def.views.size());
+  std::vector<gvdl::BatchPredicateProgram> programs;
+  programs.reserve(def.views.size());
   for (const auto& member : def.views) {
-    predicates.push_back(member.predicate);
+    GS_ASSIGN_OR_RETURN(
+        gvdl::BatchPredicateProgram prog,
+        gvdl::BatchPredicateProgram::Compile(member.predicate, graph));
+    programs.push_back(std::move(prog));
     names.push_back(member.name);
   }
-  GS_ASSIGN_OR_RETURN(
-      EdgeBooleanMatrix ebm,
-      EdgeBooleanMatrix::Compute(graph, predicates, options.pool));
-  // Re-compile each view predicate into a retained closure for incremental
-  // maintenance (compilation is cheap; evaluation state lives in the graph).
-  std::vector<std::function<bool(EdgeId)>> retained;
-  retained.reserve(predicates.size());
-  for (const gvdl::ExprPtr& p : predicates) {
-    GS_ASSIGN_OR_RETURN(gvdl::CompiledEdgePredicate c,
-                        gvdl::CompiledEdgePredicate::Compile(p, graph));
-    retained.push_back(
-        [compiled = std::move(c)](EdgeId e) { return compiled.Evaluate(e); });
-  }
+  EdgeBooleanMatrix ebm =
+      EdgeBooleanMatrix::ComputeFromPrograms(graph, programs, options.pool);
+  // The compiled programs are retained on the collection so incremental
+  // maintenance re-evaluates touched edges word-at-a-time.
   MaterializedCollection mc =
-      Finalize(graph, def.name, std::move(names), std::move(ebm),
-               std::move(retained), options, &timer);
+      Finalize(graph, def.name, std::move(names), std::move(ebm), {}, options,
+               &timer);
+  mc.programs = std::move(programs);
   mc.base_graph = def.on;
   return mc;
 }
@@ -152,19 +147,55 @@ Status UpdateCollectionForMutations(MaterializedCollection* mc,
         "collection '" + mc->name +
         "' is not maintainable (no retained predicates/EBM)");
   }
-  if (mc->predicates.size() != mc->ebm->num_views()) {
+  size_t num_views =
+      mc->programs.empty() ? mc->predicates.size() : mc->programs.size();
+  if (num_views != mc->ebm->num_views()) {
     return Status::Internal("collection '" + mc->name +
                             "': predicate/EBM view count mismatch");
   }
   EdgeBooleanMatrix& ebm = *mc->ebm;
   if (graph.num_edges() > ebm.num_edges()) ebm.Resize(graph.num_edges());
 
-  // Re-evaluate every view membership for exactly the touched edges; dead
-  // edges leave every view.
-  for (EdgeId e : touched_edges) {
-    bool alive = graph.edge_alive(e);
-    for (size_t v = 0; v < mc->predicates.size(); ++v) {
-      ebm.Set(e, v, alive && mc->predicates[v](e));
+  if (!mc->programs.empty()) {
+    // Word path: coalesce the (sorted) touched edges into runs of adjacent
+    // 64-edge words and re-evaluate whole words through the batch programs.
+    // Untouched lanes recompute to their current values (predicates are
+    // deterministic and their inputs unchanged), so whole-word stores are
+    // equivalent to per-bit updates.
+    for (gvdl::BatchPredicateProgram& prog : mc->programs) {
+      prog.Prepare(graph);
+    }
+    gvdl::BatchEvalScratch scratch;
+    std::vector<uint64_t> buf;
+    size_t i = 0;
+    while (i < touched_edges.size()) {
+      size_t w0 = touched_edges[i] >> 6;
+      size_t w1 = w0 + 1;
+      size_t j = i + 1;
+      for (; j < touched_edges.size(); ++j) {
+        size_t w = touched_edges[j] >> 6;
+        if (w >= w1 + 1) break;  // gap: start a new run
+        w1 = std::max(w1, w + 1);
+      }
+      size_t begin = w0 * 64;
+      size_t end = std::min(graph.num_edges(), w1 * 64);
+      buf.resize(w1 - w0);
+      for (size_t v = 0; v < mc->programs.size(); ++v) {
+        mc->programs[v].EvalEdges(graph, begin, end, buf.data(), scratch);
+        for (size_t w = w0; w < w1; ++w) {
+          // Tombstoned edges leave every view.
+          ebm.SetColumnWord(v, w, buf[w - w0] & graph.edge_alive_word(w));
+        }
+      }
+      i = j;
+    }
+  } else {
+    // Per-edge fallback for programmatic (closure-defined) collections.
+    for (EdgeId e : touched_edges) {
+      bool alive = graph.edge_alive(e);
+      for (size_t v = 0; v < mc->predicates.size(); ++v) {
+        ebm.Set(e, v, alive && mc->predicates[v](e));
+      }
     }
   }
 

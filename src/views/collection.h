@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "gvdl/ast.h"
+#include "gvdl/batch_eval.h"
 #include "views/diff_stream.h"
 #include "views/ebm.h"
 
@@ -57,11 +58,15 @@ struct MaterializedCollection {
   // --- Incremental maintenance state (streaming mutations) ---------------
   /// Per-view membership predicates in *definition* order (the predicate of
   /// the view at execution position t is predicates[order[t]]), retained so
-  /// touched edges can be re-evaluated after a mutation batch. GVDL views
-  /// store their compiled predicates wrapped; the compiled closures hold
+  /// touched edges can be re-evaluated after a mutation batch. Programmatic
+  /// collections retain their closures here; the compiled state holds
   /// column references into the base graph's property tables, which are
-  /// append-stable — so they stay valid across mutation epochs.
+  /// append-stable — so it stays valid across mutation epochs.
   std::vector<std::function<bool(EdgeId)>> predicates;
+  /// For GVDL-defined collections, the compiled batch mask programs
+  /// (definition order). When non-empty the maintainer re-evaluates touched
+  /// edges word-at-a-time through these instead of per-edge closures.
+  std::vector<gvdl::BatchPredicateProgram> programs;
   /// The EBM the collection was materialized from, kept alive for in-place
   /// row updates. Null for diff-batch collections (not maintainable).
   std::shared_ptr<EdgeBooleanMatrix> ebm;

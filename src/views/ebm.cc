@@ -1,30 +1,62 @@
 #include "views/ebm.h"
 
-#include <bit>
+#include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
-#include "gvdl/predicate.h"
+#include "common/metrics.h"
 
 namespace gs::views {
+
+namespace {
+
+void RecordBuildNanos(std::chrono::steady_clock::time_point start) {
+  static auto* build_nanos =
+      metrics::Registry::Global().GetCounter("gs_ebm_build_nanos");
+  build_nanos->Increment(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+}
+
+}  // namespace
 
 StatusOr<EdgeBooleanMatrix> EdgeBooleanMatrix::Compute(
     const PropertyGraph& graph, const std::vector<gvdl::ExprPtr>& predicates,
     ThreadPool* pool) {
-  std::vector<gvdl::CompiledEdgePredicate> compiled;
-  compiled.reserve(predicates.size());
+  std::vector<gvdl::BatchPredicateProgram> programs;
+  programs.reserve(predicates.size());
   for (const gvdl::ExprPtr& p : predicates) {
-    GS_ASSIGN_OR_RETURN(gvdl::CompiledEdgePredicate c,
-                        gvdl::CompiledEdgePredicate::Compile(p, graph));
-    compiled.push_back(std::move(c));
+    GS_ASSIGN_OR_RETURN(gvdl::BatchPredicateProgram prog,
+                        gvdl::BatchPredicateProgram::Compile(p, graph));
+    programs.push_back(std::move(prog));
   }
-  EdgeBooleanMatrix ebm(graph.num_edges(), predicates.size());
-  auto eval_range = [&](size_t, size_t begin, size_t end) {
-    for (size_t v = 0; v < compiled.size(); ++v) {
-      std::vector<uint64_t>& column = ebm.columns_[v];
-      for (size_t e = begin; e < end; ++e) {
-        // Tombstoned edges belong to no view.
-        if (graph.edge_alive(e) && compiled[v].Evaluate(e)) {
-          column[e >> 6] |= 1ULL << (e & 63);
+  return ComputeFromPrograms(graph, programs, pool);
+}
+
+EdgeBooleanMatrix EdgeBooleanMatrix::ComputeFromPrograms(
+    const PropertyGraph& graph,
+    const std::vector<gvdl::BatchPredicateProgram>& programs,
+    ThreadPool* pool) {
+  auto start = std::chrono::steady_clock::now();
+  EdgeBooleanMatrix ebm(graph.num_edges(), programs.size());
+  bool has_tombstones = graph.num_live_edges() != graph.num_edges();
+  auto eval_words = [&](size_t wb, size_t we) {
+    size_t begin = wb * 64;
+    size_t end = std::min(graph.num_edges(), we * 64);
+    if (begin >= end) return;
+    gvdl::BatchEvalScratch scratch;
+    for (size_t v = 0; v < programs.size(); ++v) {
+      programs[v].EvalEdges(graph, begin, end,
+                            ebm.columns_[v].word_data() + wb, scratch);
+    }
+    if (has_tombstones) {
+      // Tombstoned edges belong to no view.
+      for (size_t w = wb; w < we; ++w) {
+        uint64_t alive = graph.edge_alive_word(w);
+        if (alive == ~uint64_t{0}) continue;
+        for (size_t v = 0; v < programs.size(); ++v) {
+          ebm.columns_[v].set_word(w, ebm.columns_[v].word(w) & alive);
         }
       }
     }
@@ -33,12 +65,12 @@ StatusOr<EdgeBooleanMatrix> EdgeBooleanMatrix::Compute(
   // between threads.
   size_t words = ebm.words_per_column_;
   if (pool != nullptr && pool->num_threads() > 1 && words > 1) {
-    pool->ParallelForShards(words, [&](size_t s, size_t wb, size_t we) {
-      eval_range(s, wb * 64, std::min(graph.num_edges(), we * 64));
-    });
+    pool->ParallelForShards(
+        words, [&](size_t, size_t wb, size_t we) { eval_words(wb, we); });
   } else {
-    eval_range(0, 0, graph.num_edges());
+    eval_words(0, words);
   }
+  RecordBuildNanos(start);
   return ebm;
 }
 
@@ -46,25 +78,35 @@ EdgeBooleanMatrix EdgeBooleanMatrix::ComputeWith(
     const PropertyGraph& graph,
     const std::vector<std::function<bool(EdgeId)>>& predicates,
     ThreadPool* pool) {
+  auto start = std::chrono::steady_clock::now();
   EdgeBooleanMatrix ebm(graph.num_edges(), predicates.size());
-  auto eval_range = [&](size_t, size_t begin, size_t end) {
+  // Chunked by 64-edge words: each column word is assembled in a register
+  // and stored once (no per-edge read-modify-write of the bitset).
+  auto eval_words = [&](size_t wb, size_t we) {
     for (size_t v = 0; v < predicates.size(); ++v) {
-      std::vector<uint64_t>& column = ebm.columns_[v];
-      for (size_t e = begin; e < end; ++e) {
-        if (graph.edge_alive(e) && predicates[v](e)) {
-          column[e >> 6] |= 1ULL << (e & 63);
+      Bitset& column = ebm.columns_[v];
+      for (size_t w = wb; w < we; ++w) {
+        size_t base = w * 64;
+        size_t lim = std::min<size_t>(64, graph.num_edges() - base);
+        uint64_t alive = graph.edge_alive_word(w);
+        uint64_t m = 0;
+        for (size_t j = 0; j < lim; ++j) {
+          if (((alive >> j) & 1) != 0 && predicates[v](base + j)) {
+            m |= uint64_t{1} << j;
+          }
         }
+        column.set_word(w, m);
       }
     }
   };
   size_t words = ebm.words_per_column_;
   if (pool != nullptr && pool->num_threads() > 1 && words > 1) {
-    pool->ParallelForShards(words, [&](size_t s, size_t wb, size_t we) {
-      eval_range(s, wb * 64, std::min(graph.num_edges(), we * 64));
-    });
+    pool->ParallelForShards(
+        words, [&](size_t, size_t wb, size_t we) { eval_words(wb, we); });
   } else {
-    eval_range(0, 0, graph.num_edges());
+    eval_words(0, words);
   }
+  RecordBuildNanos(start);
   return ebm;
 }
 
@@ -72,26 +114,14 @@ void EdgeBooleanMatrix::Resize(size_t num_edges) {
   GS_CHECK(num_edges >= num_edges_);
   num_edges_ = num_edges;
   words_per_column_ = (num_edges + 63) / 64;
-  for (std::vector<uint64_t>& column : columns_) {
-    column.resize(words_per_column_, 0);
-  }
-}
-
-uint64_t EdgeBooleanMatrix::ColumnOnes(size_t view) const {
-  uint64_t total = 0;
-  for (uint64_t word : columns_[view]) total += std::popcount(word);
-  return total;
+  for (Bitset& column : columns_) column.Resize(num_edges);
 }
 
 uint64_t EdgeBooleanMatrix::HammingDistance(size_t view_a,
                                             size_t view_b) const {
   if (view_a == kZeroColumn) return ColumnOnes(view_b);
   if (view_b == kZeroColumn) return ColumnOnes(view_a);
-  const std::vector<uint64_t>& a = columns_[view_a];
-  const std::vector<uint64_t>& b = columns_[view_b];
-  uint64_t total = 0;
-  for (size_t w = 0; w < a.size(); ++w) total += std::popcount(a[w] ^ b[w]);
-  return total;
+  return columns_[view_a].HammingDistance(columns_[view_b]);
 }
 
 uint64_t EdgeBooleanMatrix::DifferenceCount(

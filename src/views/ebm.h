@@ -1,7 +1,9 @@
 // The Edge Boolean Matrix (EBM, paper §3.2 step 1): for each edge of the
 // base graph and each view of a collection, whether the edge satisfies the
-// view's predicate. Stored column-major as bitsets so that collection
-// ordering's Hamming distances are XOR+popcount scans.
+// view's predicate. Stored column-major as word-backed bitsets so that
+// collection ordering's Hamming distances are XOR+popcount scans and the
+// batch evaluator (gvdl/batch_eval.h) can write 64-edge selection-mask
+// words directly into the columns.
 #ifndef GRAPHSURGE_VIEWS_EBM_H_
 #define GRAPHSURGE_VIEWS_EBM_H_
 
@@ -9,10 +11,12 @@
 #include <functional>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "gvdl/ast.h"
+#include "gvdl/batch_eval.h"
 
 namespace gs::views {
 
@@ -23,18 +27,27 @@ class EdgeBooleanMatrix {
       : num_edges_(num_edges),
         num_views_(num_views),
         words_per_column_((num_edges + 63) / 64),
-        columns_(num_views,
-                 std::vector<uint64_t>(words_per_column_, 0)) {}
+        columns_(num_views, Bitset(num_edges)) {}
 
   /// Evaluates GVDL predicates over every edge in parallel (this is the
-  /// embarrassingly parallel TD dataflow of the paper).
+  /// embarrassingly parallel TD dataflow of the paper). Predicates are
+  /// lowered to batch mask programs; there is no per-edge dispatch.
   static StatusOr<EdgeBooleanMatrix> Compute(
       const PropertyGraph& graph,
       const std::vector<gvdl::ExprPtr>& predicates, ThreadPool* pool);
 
+  /// Same, from already-compiled (and Prepared) batch programs — lets
+  /// callers that retain the programs for incremental maintenance avoid a
+  /// second compilation.
+  static EdgeBooleanMatrix ComputeFromPrograms(
+      const PropertyGraph& graph,
+      const std::vector<gvdl::BatchPredicateProgram>& programs,
+      ThreadPool* pool);
+
   /// Same, with arbitrary programmatic predicates (used by applications
   /// whose view definitions are not expressible in GVDL, e.g. community
-  /// bitmask combinations).
+  /// bitmask combinations). Work is chunked by 64-edge words: each column
+  /// word is assembled in a register and stored once.
   static EdgeBooleanMatrix ComputeWith(
       const PropertyGraph& graph,
       const std::vector<std::function<bool(EdgeId)>>& predicates,
@@ -42,17 +55,23 @@ class EdgeBooleanMatrix {
 
   size_t num_edges() const { return num_edges_; }
   size_t num_views() const { return num_views_; }
+  size_t words_per_column() const { return words_per_column_; }
 
   bool Get(EdgeId edge, size_t view) const {
-    return (columns_[view][edge >> 6] >> (edge & 63)) & 1;
+    return columns_[view].Test(edge);
   }
   void Set(EdgeId edge, size_t view, bool value) {
-    uint64_t mask = 1ULL << (edge & 63);
-    if (value) {
-      columns_[view][edge >> 6] |= mask;
-    } else {
-      columns_[view][edge >> 6] &= ~mask;
-    }
+    columns_[view].SetTo(edge, value);
+  }
+
+  /// Whole-word access (bit j of word w is edge 64w + j). SetColumnWord
+  /// requires bits at or beyond num_edges() to be zero — the batch
+  /// evaluator's mask ABI guarantees this.
+  uint64_t ColumnWord(size_t view, size_t w) const {
+    return columns_[view].word(w);
+  }
+  void SetColumnWord(size_t view, size_t w, uint64_t value) {
+    columns_[view].set_word(w, value);
   }
 
   /// Grows the matrix to `num_edges` rows (new rows all-zero). Used by the
@@ -61,7 +80,7 @@ class EdgeBooleanMatrix {
   void Resize(size_t num_edges);
 
   /// Number of edges in view `view` (|GV|).
-  uint64_t ColumnOnes(size_t view) const;
+  uint64_t ColumnOnes(size_t view) const { return columns_[view].CountOnes(); }
 
   /// Hamming distance between two view columns (or against the implicit
   /// zero column when an argument is kZeroColumn).
@@ -77,7 +96,7 @@ class EdgeBooleanMatrix {
   size_t num_edges_;
   size_t num_views_;
   size_t words_per_column_;
-  std::vector<std::vector<uint64_t>> columns_;
+  std::vector<Bitset> columns_;
 };
 
 }  // namespace gs::views

@@ -186,5 +186,80 @@ TEST(TraceSpineTest, IterationCoordinatesSurviveCompaction) {
   EXPECT_EQ(ToMap(acc), (std::map<int64_t, Diff>{{10, 1}, {20, 1}}));
 }
 
+TEST(TraceSpineTest, SkewedMergesGallopAndMatchReference) {
+  // A huge sorted history plus trickles of small batches is the worst case
+  // for element-at-a-time merging: every seal re-walks the big batch. The
+  // galloping path must bulk-move the big runs (observable through the
+  // gs_spine_merge_gallops counter) without changing any accumulation.
+  uint64_t gallops_before = SpineMergeGallops()->Value();
+  Rng rng(99);
+  Trace<uint64_t, int64_t> spine;
+  ReferenceTrace<uint64_t, int64_t> reference;
+
+  // Version 0: a large base history over many keys, fully compacted into
+  // one big batch.
+  for (uint64_t i = 0; i < 8192; ++i) {
+    uint64_t key = rng.Index(1024);
+    int64_t value = rng.Uniform(0, 3);
+    spine.Insert(key, value, Time(0), 1);
+    reference.Insert(key, value, Time(0), 1);
+  }
+  spine.CompactFully(0);
+
+  // Versions 1..8: small skewed bursts, each hitting a narrow key range so
+  // merges interleave long runs of the big batch with short new runs.
+  for (uint32_t v = 1; v <= 8; ++v) {
+    uint64_t base = rng.Index(900);
+    for (int i = 0; i < 96; ++i) {
+      uint64_t key = base + rng.Index(16);
+      int64_t value = rng.Uniform(0, 3);
+      Time t = RandomTime(rng, v);
+      Diff diff = rng.Bernoulli(0.3) ? -1 : 1;
+      spine.Insert(key, value, t, diff);
+      reference.Insert(key, value, t, diff);
+    }
+    spine.CompactFully(v);
+  }
+
+  EXPECT_GT(SpineMergeGallops()->Value(), gallops_before)
+      << "skewed merges never took the galloping path";
+
+  // Every key's accumulation at the final frontier must match the naive
+  // reference — galloped bulk moves and linear merging are equivalent.
+  Time probe = Time(8).Entered().Entered();
+  probe.iters[0] = 100;  // above any iteration used
+  probe.iters[1] = 100;
+  for (uint64_t key = 0; key < 1024; ++key) {
+    Batch<int64_t> acc;
+    spine.Accumulate(key, probe, &acc);
+    EXPECT_EQ(ToMap(acc), reference.Accumulate(key, probe)) << "key " << key;
+  }
+}
+
+TEST(TraceSpineTest, UniformTimeFastPathMatchesPerEntryScan) {
+  // After CompactFully every surviving entry in a single-version trace sits
+  // at one identical time, arming the uniform_time run-level fast path in
+  // Accumulate/AccumulateWithFutures. Probes below, at, and above that time
+  // must behave exactly like the per-entry scan.
+  Trace<uint64_t, int64_t> spine;
+  ReferenceTrace<uint64_t, int64_t> reference;
+  Rng rng(7);
+  for (uint64_t i = 0; i < 512; ++i) {
+    uint64_t key = rng.Index(64);
+    int64_t value = rng.Uniform(0, 5);
+    spine.Insert(key, value, Time(2), 1);
+    reference.Insert(key, value, Time(2), 1);
+  }
+  spine.CompactFully(2);
+  for (uint64_t key = 0; key < 64; ++key) {
+    for (uint32_t v : {1u, 2u, 3u}) {
+      Batch<int64_t> acc;
+      spine.Accumulate(key, Time(v), &acc);
+      EXPECT_EQ(ToMap(acc), reference.Accumulate(key, Time(v)))
+          << "key " << key << " version " << v;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gs::differential
