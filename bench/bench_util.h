@@ -19,6 +19,8 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "common/timeseries.h"
+#include "common/watchdog.h"
 #include "graph/generators.h"
 #include "server/status_server.h"
 
@@ -82,8 +84,13 @@ class BenchReport {
   explicit BenchReport(std::string name) : name_(std::move(name)) {
     // Every bench binary is scrapeable: GRAPHSURGE_STATUS_PORT starts the
     // embedded status server even in harnesses that drive the engine
-    // directly without constructing an api::Graphsurge.
+    // directly without constructing an api::Graphsurge. The health plane
+    // rides along the same way (GRAPHSURGE_SAMPLE_MS / GRAPHSURGE_WATCHDOG),
+    // which doubles as the overhead gate: the --compare regression check
+    // runs with sampler + watchdog active at their default cadences.
     server::StatusServer::MaybeStartFromEnv();
+    timeseries::Sampler::MaybeStartFromEnv();
+    watchdog::Watchdog::MaybeStartFromEnv();
   }
 
   /// A single result row; fields keep insertion order.
@@ -166,6 +173,8 @@ class BenchReport {
     std::string out = "{\n  \"bench\": " + Row::Quote(name_) + ",\n";
     out += "  \"meta\": " + meta_.Render() + ",\n";
     out += "  \"metrics\": " + metrics::Registry::Global().JsonSnapshot() +
+           ",\n";
+    out += "  \"timeseries\": " + timeseries::Store::Global().ToJson() +
            ",\n  \"rows\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       out += "    " + rows_[i].Render();

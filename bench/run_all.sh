@@ -50,6 +50,13 @@ fi
 
 mkdir -p "${OUT_DIR}"
 export GS_BENCH_JSON_DIR="${OUT_DIR}"
+# Health plane on by default: every bench runs with the metrics sampler and
+# the stall watchdog active at their default cadences, so --compare doubles
+# as the observability overhead gate. Override with GRAPHSURGE_SAMPLE_MS=0 /
+# GRAPHSURGE_WATCHDOG=0 to measure without them.
+export GRAPHSURGE_SAMPLE_MS="${GRAPHSURGE_SAMPLE_MS:-250}"
+export GRAPHSURGE_WATCHDOG="${GRAPHSURGE_WATCHDOG:-1}"
+export GRAPHSURGE_FLIGHT_DIR="${GRAPHSURGE_FLIGHT_DIR:-${OUT_DIR}}"
 
 BENCHES=(
   micro_differential

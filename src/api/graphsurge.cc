@@ -7,6 +7,9 @@
 #include "common/introspect.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/timer.h"
+#include "common/timeseries.h"
+#include "common/watchdog.h"
 #include "server/status_server.h"
 
 namespace gs {
@@ -34,6 +37,10 @@ Graphsurge::Graphsurge(GraphsurgeOptions options)
   // sanitizer runtimes, which install their own handlers first).
   InstallCrashHandlers();
   server::StatusServer::MaybeStartFromEnv();
+  // The health plane is opt-in the same way the status server is: sampling
+  // on GRAPHSURGE_SAMPLE_MS, the watchdog on GRAPHSURGE_WATCHDOG.
+  timeseries::Sampler::MaybeStartFromEnv();
+  watchdog::Watchdog::MaybeStartFromEnv();
   {
     std::lock_guard<std::mutex> lock(g_profilez_mutex);
     g_profilez_system = this;
@@ -402,6 +409,7 @@ Status Graphsurge::EnableWal(const std::string& graph_name,
 
 Status Graphsurge::ApplyMutations(const std::string& graph_name,
                                   const MutationBatch& batch) {
+  Timer apply_timer;
   GS_ASSIGN_OR_RETURN(PropertyGraph* graph, GetMutableGraph(graph_name));
   // Validate up front so the WAL never records a batch the apply rejects
   // (the write-ahead append must strictly precede an apply that cannot
@@ -413,6 +421,11 @@ Status Graphsurge::ApplyMutations(const std::string& graph_name,
   }
   GS_RETURN_IF_ERROR(ApplyBatchInternal(graph_name, graph, batch));
   RefreshIngestStatus();
+  // SLO: the full ingest round trip — validate, WAL append (+fsync), graph
+  // apply, view maintenance, and every dependent live-run epoch advance.
+  static auto* apply_nanos =
+      metrics::Registry::Global().GetHistogram("gs_ingest_apply_nanos");
+  apply_nanos->Observe(static_cast<uint64_t>(apply_timer.Nanos()));
   return Status::Ok();
 }
 

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace gs::metrics {
 
 namespace internal {
@@ -82,6 +84,15 @@ std::string LeBound(size_t bucket) {
 
 Registry& Registry::Global() {
   static Registry* global = new Registry();  // leaked: alive during atexit
+  // Build attribution rides on every scrape of the global registry (and
+  // only the global one — tests construct label-free local registries).
+  // Registered through the local pointer, not Global(), so the magic-static
+  // guard is not re-entered.
+  static const bool build_info_registered = [] {
+    global->GetGauge("gs_build_info", BuildInfoLabels())->Set(1);
+    return true;
+  }();
+  (void)build_info_registered;
   return *global;
 }
 
@@ -185,10 +196,12 @@ std::string Registry::JsonSnapshot() const {
   for (const auto& [key, histogram] : histograms_) {
     if (!first) out += ", ";
     first = false;
-    std::snprintf(buf, sizeof(buf), "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64
-                                    ", \"buckets\": {",
+    // 33 fixed chars + two uint64s (20 digits each) overflows buf[48].
+    char hbuf[96];
+    std::snprintf(hbuf, sizeof(hbuf), "{\"count\": %" PRIu64
+                                      ", \"sum\": %" PRIu64 ", \"buckets\": {",
                   histogram->Count(), histogram->Sum());
-    out += JsonQuote(key) + ": " + buf;
+    out += JsonQuote(key) + ": " + hbuf;
     bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       uint64_t count = histogram->BucketCount(i);
@@ -202,6 +215,82 @@ std::string Registry::JsonSnapshot() const {
   }
   out += "}}";
   return out;
+}
+
+void Registry::VisitScalars(
+    const std::function<void(const std::string& key, double value,
+                             bool is_counter)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, counter] : counters_) {
+    fn(key, static_cast<double>(counter->Value()), true);
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    fn(key, static_cast<double>(gauge->Value()), false);
+  }
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> BucketSnapshot(
+    const Histogram& histogram) {
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets[i] = histogram.BucketCount(i);
+  }
+  return buckets;
+}
+
+double QuantileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t count : buckets) total += count;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t previous = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower =
+        b == 0 ? 0.0
+               : static_cast<double>(Histogram::BucketUpperBound(b - 1));
+    // +Inf bucket: no finite upper bound to interpolate toward.
+    if (b + 1 == Histogram::kNumBuckets) return lower;
+    const double upper = static_cast<double>(Histogram::BucketUpperBound(b));
+    double fraction =
+        (target - static_cast<double>(previous)) /
+        static_cast<double>(buckets[b]);
+    if (fraction < 0.0) fraction = 0.0;
+    if (fraction > 1.0) fraction = 1.0;
+    return lower + fraction * (upper - lower);
+  }
+  return 0.0;  // unreachable: total > 0 means some bucket crossed target
+}
+
+double HistogramQuantile(const Histogram& histogram, double q) {
+  return QuantileFromBuckets(BucketSnapshot(histogram), q);
+}
+
+const Registry::Labels& BuildInfoLabels() {
+  static const Registry::Labels* labels = [] {
+    auto* l = new Registry::Labels();
+#ifdef GS_BUILD_GIT_SHA
+    (*l)["git_sha"] = GS_BUILD_GIT_SHA;
+#else
+    (*l)["git_sha"] = "unknown";
+#endif
+#if defined(__clang_version__)
+    (*l)["compiler"] = std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+    (*l)["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+    (*l)["compiler"] = "unknown";
+#endif
+    (*l)["simd"] = simd::DispatchStateName();
+    return l;
+  }();
+  return *labels;
 }
 
 }  // namespace gs::metrics

@@ -40,6 +40,14 @@ bool Avx2Active() {
 #endif
 }
 
+const char* DispatchStateName() {
+#if GS_SIMD_HAVE_AVX2_BUILD
+  return Avx2Active() ? "avx2" : "scalar";
+#else
+  return "killed";
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // Scalar reference kernels. The three-way-then-apply structure is the
 // semantic contract (NaN doubles take the "equal" branch, exactly like

@@ -62,6 +62,11 @@ inline size_t MaskWords(size_t n) { return (n + 63) / 64; }
 /// Cached after the first call.
 bool Avx2Active();
 
+/// Human-readable dispatch state for build attribution (the gs_build_info
+/// metric): "avx2" (kernels active), "scalar" (compiled in but disabled by
+/// CPU or environment), or "killed" (compiled out by GRAPHSURGE_NO_SIMD).
+const char* DispatchStateName();
+
 /// Big-endian 8-byte prefix of a string: lexicographic comparison of two
 /// strings' first 8 bytes equals unsigned comparison of their prefixes.
 /// Strings shorter than 8 bytes are zero-padded; a prefix tie therefore

@@ -1,5 +1,5 @@
 // Status and StatusOr: exception-free error handling, following the Google
-// style used across this codebase (see DESIGN.md §11).
+// style used across this codebase (see DESIGN.md §12).
 #ifndef GRAPHSURGE_COMMON_STATUS_H_
 #define GRAPHSURGE_COMMON_STATUS_H_
 

@@ -32,10 +32,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -47,6 +49,7 @@
 #include "common/trace_event.h"
 #include "differential/dataflow.h"
 #include "differential/exchange.h"
+#include "differential/fuzz_hooks.h"
 
 namespace gs::differential {
 
@@ -115,6 +118,11 @@ class ShardedDataflow {
     });
     static metrics::Counter* frontier_rounds =
         metrics::Registry::Global().GetCounter("gs_engine_frontier_rounds");
+    // Heartbeat gauge for the watchdog's frontier_stall rule: non-zero
+    // while a round's pending work is known, cleared when the step ends.
+    static metrics::Gauge* outstanding_gauge =
+        metrics::Registry::Global().GetGauge("gs_engine_records_outstanding");
+    bool stall_injected = false;
     for (;;) {
       // Drain-and-report phase. Every inbox is drained here, so after the
       // barrier nothing is in flight and the reported minima are complete:
@@ -143,11 +151,20 @@ class ShardedDataflow {
         for (size_t i = 0; i < w; ++i) {
           outstanding += workers_[i]->scheduler().pending();
         }
+        outstanding_gauge->Set(static_cast<int64_t>(outstanding));
         std::lock_guard<std::mutex> lock(status_mutex_);
         status_.frontier = frontier;
         status_.frontier_valid = true;
         status_.frontier_rounds += 1;
         status_.records_outstanding = outstanding;
+      }
+      if (fuzz::GlobalHooks().stall_frontier_ms != 0 && !stall_injected) {
+        // Injected frontier stall (watchdog testing): hold the round open
+        // with outstanding records published and the round counter static.
+        // Once per Step so multi-version feeds don't multiply the delay.
+        stall_injected = true;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fuzz::GlobalHooks().stall_frontier_ms));
       }
       if (trace::Enabled()) {
         // One instant event per frontier advance: which (version, iteration)
@@ -192,6 +209,7 @@ class ShardedDataflow {
       status_.frontier_valid = false;
       status_.records_outstanding = 0;
     }
+    outstanding_gauge->Set(0);
     return Status::Ok();
   }
 
@@ -200,6 +218,12 @@ class ShardedDataflow {
   /// epoch was stepped. The barrier semantics match SealPhase: no shard is
   /// running when this executes, and snapshots refresh afterwards.
   void SealEpoch() {
+    if (fuzz::GlobalHooks().delay_epoch_seal_ms != 0) {
+      // Injected seal delay (watchdog testing): stretches AdvanceEpoch past
+      // the epoch_advance_deadline without perturbing what is computed.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(fuzz::GlobalHooks().delay_epoch_seal_ms));
+    }
     const size_t w = num_workers();
     pool_->ParallelFor(w, [&](size_t i) {
       ScopedWorkerId tag(static_cast<int>(i));
@@ -211,6 +235,11 @@ class ShardedDataflow {
         ops.push_back(ShardOperatorStatus{i, std::move(snap)});
       }
     }
+    // The ingest-lag denominator: the watchdog compares this gauge to
+    // gs_graph_epoch to see whether the engine keeps up with ingest.
+    static metrics::Gauge* last_sealed =
+        metrics::Registry::Global().GetGauge("gs_engine_last_sealed_epoch");
+    last_sealed->Set(static_cast<int64_t>(workers_[0]->epochs_sealed()));
     std::lock_guard<std::mutex> lock(status_mutex_);
     status_.ops = std::move(ops);
     status_.epochs_sealed = workers_[0]->epochs_sealed();

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "differential/fuzz_hooks.h"
 #include "differential/time.h"
 #include "differential/update.h"
@@ -52,6 +53,23 @@ inline metrics::Counter* SpineMergeGallops() {
   static auto* counter =
       metrics::Registry::Global().GetCounter("gs_spine_merge_gallops");
   return counter;
+}
+
+/// SLO histogram: latency of tail seals and the geometric batch merges they
+/// trigger — the incremental spine-maintenance path, amortized over at
+/// least a tail's worth of inserts per observation.
+inline metrics::Histogram* SpineMergeNanos() {
+  static auto* histogram =
+      metrics::Registry::Global().GetHistogram("gs_spine_merge_nanos");
+  return histogram;
+}
+
+/// SLO histogram: latency of full-spine compaction merges (version/epoch
+/// seals that pass the amortization guards).
+inline metrics::Histogram* SpineCompactionNanos() {
+  static auto* histogram =
+      metrics::Registry::Global().GetHistogram("gs_spine_compaction_nanos");
+  return histogram;
 }
 
 /// Keyed multiversioned index of (key, value, time, diff) updates.
@@ -380,6 +398,7 @@ class Trace {
 
   // Merges the whole spine into one batch rewritten to the sealed frontier.
   void FullMerge() {
+    Timer compaction_timer;
     inserts_since_compaction_ = 0;
     ++num_compactions_;
     while (spine_.size() > 1) {
@@ -394,6 +413,8 @@ class Trace {
       Rewrite(&spine_.front());
       if (spine_.front().entries.empty()) spine_.clear();
     }
+    SpineCompactionNanos()->Observe(
+        static_cast<uint64_t>(compaction_timer.Nanos()));
     CheckSpineInvariants();
   }
 
@@ -527,6 +548,7 @@ class Trace {
 
   void SealTail() {
     if (tail_.empty()) return;
+    Timer seal_timer;
     SpineBatch batch;
     batch.entries = std::move(tail_);
     tail_.clear();
@@ -545,6 +567,7 @@ class Trace {
       SpineBatch merged = MergeBatches(std::move(a), std::move(b));
       if (!merged.entries.empty()) spine_.push_back(std::move(merged));
     }
+    SpineMergeNanos()->Observe(static_cast<uint64_t>(seal_timer.Nanos()));
     CheckSpineInvariants();
   }
 

@@ -1,6 +1,6 @@
 // PropertyValue: the dynamically typed value attached to nodes and edges.
 // The paper supports string, integer, and boolean properties; we add double
-// (DESIGN.md §12).
+// (DESIGN.md §13).
 #ifndef GRAPHSURGE_GRAPH_PROPERTY_H_
 #define GRAPHSURGE_GRAPH_PROPERTY_H_
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "graph/wal/crc32.h"
 #include "graph/wal/record.h"
 
@@ -87,6 +88,7 @@ Status WalWriter::Open(const std::string& path, WalWriterOptions options) {
 
 Status WalWriter::Append(const MutationBatch& batch) {
   if (!is_open()) return Status::FailedPrecondition("wal not open");
+  Timer append_timer;
   std::vector<uint8_t> payload = EncodeMutationBatch(batch);
   uint32_t crc = Crc32(payload.data(), payload.size());
   // Frame + payload in one buffer → one write(2), so a crash can only tear
@@ -108,16 +110,29 @@ Status WalWriter::Append(const MutationBatch& batch) {
   wal_bytes->Increment(framed.size());
   wal_records->Increment();
 
+  Status result = Status::Ok();
   if (++appends_since_sync_ >= options_.sync_every_n_appends) {
-    return Sync();
+    result = Sync();
   }
-  return Status::Ok();
+  // SLO: end-to-end append latency, including the fsync when this append
+  // hits the sync cadence — the number an ingest caller actually waits on.
+  static auto* append_nanos =
+      metrics::Registry::Global().GetHistogram("gs_wal_append_nanos");
+  append_nanos->Observe(static_cast<uint64_t>(append_timer.Nanos()));
+  return result;
 }
 
 Status WalWriter::Sync() {
   if (!is_open()) return Status::FailedPrecondition("wal not open");
   appends_since_sync_ = 0;
-  if (::fsync(fd_) != 0) return ErrnoStatus("wal fsync", path_);
+  Timer fsync_timer;
+  int rc = ::fsync(fd_);
+  // SLO: observed on failure too — a hung-then-failed fsync is exactly the
+  // latency spike the watchdog's wal_fsync_latency rule watches for.
+  static auto* fsync_nanos =
+      metrics::Registry::Global().GetHistogram("gs_wal_fsync_nanos");
+  fsync_nanos->Observe(static_cast<uint64_t>(fsync_timer.Nanos()));
+  if (rc != 0) return ErrnoStatus("wal fsync", path_);
   return Status::Ok();
 }
 

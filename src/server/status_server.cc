@@ -17,7 +17,9 @@
 #include "common/introspect.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/timeseries.h"
 #include "common/trace_event.h"
+#include "common/watchdog.h"
 
 namespace gs::server {
 
@@ -37,6 +39,7 @@ const char* ReasonPhrase(int code) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
@@ -77,8 +80,19 @@ StatusServer::~StatusServer() { Stop(); }
 
 void StatusServer::RegisterBuiltins() {
   Handle("/healthz", [] {
+    // Rule-evaluated liveness: healthy (including "watchdog not running")
+    // keeps the plain 200 "ok\n" contract; any violated watchdog rule turns
+    // it into a 503 whose JSON body names the rules, so a supervisor can
+    // alert on — or restart — a process that is alive but wedged.
     HttpResponse r;
-    r.body = "ok\n";
+    watchdog::HealthSnapshot health = watchdog::Watchdog::Global().Health();
+    if (health.healthy) {
+      r.body = "ok\n";
+      return r;
+    }
+    r.status_code = 503;
+    r.content_type = "application/json";
+    r.body = watchdog::Watchdog::Global().RenderHealthJson();
     return r;
   });
   Handle("/metrics", [] {
@@ -90,6 +104,12 @@ void StatusServer::RegisterBuiltins() {
   Handle("/varz", [] {
     HttpResponse r;
     r.body = metrics::Registry::Global().JsonSnapshot();
+    r.content_type = "application/json";
+    return r;
+  });
+  Handle("/timeseriez", [] {
+    HttpResponse r;
+    r.body = timeseries::Store::Global().ToJson();
     r.content_type = "application/json";
     return r;
   });
@@ -205,7 +225,8 @@ void StatusServer::ServeLoop() {
     if (client < 0) continue;
     // Bound how long a stalled client can hold the (single) serve thread.
     timeval timeout = {};
-    timeout.tv_sec = 5;
+    timeout.tv_sec = read_timeout_ms_ / 1000;
+    timeout.tv_usec = (read_timeout_ms_ % 1000) * 1000;
     ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
     ServeConnection(client);
@@ -225,6 +246,18 @@ void StatusServer::ServeConnection(int fd) {
       break;
     }
     request.append(buf, static_cast<size_t>(n));
+  }
+
+  // A head that hit the size cap without terminating is rejected outright —
+  // parsing a prefix of a request line of unknown total length risks
+  // dispatching a truncated target.
+  if (request.size() >= kMaxRequestBytes &&
+      request.find("\r\n\r\n") == std::string::npos) {
+    HttpResponse r;
+    r.status_code = 400;
+    r.body = "request head too large\n";
+    WriteAll(fd, RenderResponse(r));
+    return;
   }
 
   // Request line: METHOD SP target SP version CRLF.

@@ -17,13 +17,17 @@
 //      this is an operator-facing debug port, not a public service.
 //
 // Built-in endpoints:
-//   /healthz   liveness probe, "ok\n"
-//   /metrics   Prometheus exposition text (metrics registry)
-//   /varz      metrics registry as a JSON object
-//   /tracez    newest trace_event spans per thread, Chrome trace JSON
-//   /statusz   every registered introspection source (running dataflows
-//              publish their operator/channel/frontier snapshots here)
-//   /          plain-text index of the registered paths
+//   /healthz    watchdog-evaluated health: 200 "ok\n" while no rule is
+//               violated, 503 with a JSON body naming the violated rules
+//               otherwise (HEAD mirrors the status code)
+//   /metrics    Prometheus exposition text (metrics registry)
+//   /varz       metrics registry as a JSON object
+//   /timeseriez sampled metric history (common/timeseries) as JSON
+//   /tracez     newest trace_event spans per thread, Chrome trace JSON
+//   /statusz    every registered introspection source (running dataflows
+//               publish their operator/channel/frontier snapshots here;
+//               the health plane publishes rollups + sparklines)
+//   /           plain-text index of the registered paths
 // Additional paths (e.g. /profilez) are registered via Handle().
 #ifndef GRAPHSURGE_SERVER_STATUS_SERVER_H_
 #define GRAPHSURGE_SERVER_STATUS_SERVER_H_
@@ -78,6 +82,12 @@ class StatusServer {
   /// existing handler for the same path. Safe to call while serving.
   void Handle(const std::string& path, Handler handler);
 
+  /// Socket receive/send timeout applied to accepted connections (how long
+  /// a stalled client may hold the single serve thread). Default 5000;
+  /// set before Start(). Exposed so tests can exercise the timeout path
+  /// without 5-second waits.
+  void set_read_timeout_ms(int ms) { read_timeout_ms_ = ms; }
+
   /// Serves one request/response exchange on an already-accepted connection
   /// (exposed for tests; the serve loop uses it internally).
   void ServeConnection(int fd);
@@ -100,6 +110,7 @@ class StatusServer {
   void RegisterBuiltins();
 
   std::atomic<bool> running_{false};
+  int read_timeout_ms_ = 5000;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll()
   uint16_t port_ = 0;

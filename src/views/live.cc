@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/timer.h"
+#include "common/timeseries.h"
 #include "common/trace_event.h"
 #include "differential/time.h"
 
@@ -65,7 +67,41 @@ StatusOr<std::unique_ptr<LiveRun>> LiveRun::Start(
   return run;
 }
 
+namespace {
+
+/// SLO + watchdog marker around one epoch advance. The start-time gauge is
+/// what the watchdog's epoch_advance_deadline rule reads (non-zero =
+/// in progress since that NowMillis); the destructor clears it on every
+/// exit path so an early validation return can never leave the deadline
+/// armed.
+class EpochAdvanceScope {
+ public:
+  EpochAdvanceScope() {
+    StartedGauge()->Set(static_cast<int64_t>(timeseries::NowMillis()));
+  }
+  ~EpochAdvanceScope() {
+    LatencyHistogram()->Observe(static_cast<uint64_t>(timer_.Nanos()));
+    StartedGauge()->Set(0);
+  }
+
+ private:
+  static metrics::Gauge* StartedGauge() {
+    static auto* gauge = metrics::Registry::Global().GetGauge(
+        "gs_live_epoch_advance_started_ms");
+    return gauge;
+  }
+  static metrics::Histogram* LatencyHistogram() {
+    static auto* histogram = metrics::Registry::Global().GetHistogram(
+        "gs_live_epoch_advance_nanos");
+    return histogram;
+  }
+  Timer timer_;
+};
+
+}  // namespace
+
 Status LiveRun::AdvanceEpoch(const std::vector<EdgeId>& touched_edges) {
+  EpochAdvanceScope slo_scope;
   const uint32_t epoch = epochs_fed_;
   if (collection_->graph_epoch != graph_.mutation_epoch()) {
     return Status::FailedPrecondition(

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -171,6 +172,27 @@ TEST(RegistryTest, JsonSnapshotParsesAndCarriesValues) {
   EXPECT_EQ(h1->Get("sum")->number, 5);
 }
 
+TEST(RegistryTest, JsonSnapshotSurvivesLargeHistogramSums) {
+  // Regression: the histogram header ({"count": N, "sum": M, "buckets": {)
+  // was formatted into a 48-byte buffer; a many-digit count+sum pair
+  // truncated the trailing "{" and corrupted the whole snapshot.
+  Registry registry;
+  Histogram* h = registry.GetHistogram("big");
+  for (int i = 0; i < 100; ++i) h->Observe(uint64_t{1} << 40);
+
+  std::string snapshot = registry.JsonSnapshot();
+  json_lite::Value root;
+  std::string error;
+  ASSERT_TRUE(json_lite::Parse(snapshot, &root, &error)) << error << "\n"
+                                                         << snapshot;
+  const json_lite::Value* big = root.Get("histograms")->Get("big");
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->Get("count")->number, 100);
+  EXPECT_EQ(big->Get("sum")->number,
+            100.0 * static_cast<double>(uint64_t{1} << 40));
+  ASSERT_NE(big->Get("buckets"), nullptr);
+}
+
 TEST(RegistryTest, ConcurrentRegistrationAndUse) {
   Registry registry;
   constexpr int kThreads = 8;
@@ -191,6 +213,83 @@ TEST(RegistryTest, ConcurrentRegistrationAndUse) {
 
 TEST(RegistryTest, GlobalIsSingleton) {
   EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+TEST(RegistryTest, GlobalCarriesBuildInfoGauge) {
+  // The build-attribution gauge is registered on the global registry only
+  // (test-local registries, like the golden-exposition one above, stay
+  // clean). Value is always 1; the labels carry the information.
+  std::string exposition = Registry::Global().ExpositionText();
+  EXPECT_NE(exposition.find("gs_build_info{"), std::string::npos);
+  const Registry::Labels& labels = BuildInfoLabels();
+  ASSERT_EQ(labels.count("git_sha"), 1u);
+  ASSERT_EQ(labels.count("compiler"), 1u);
+  ASSERT_EQ(labels.count("simd"), 1u);
+  EXPECT_FALSE(labels.at("compiler").empty());
+  const std::string& simd = labels.at("simd");
+  EXPECT_TRUE(simd == "avx2" || simd == "scalar" || simd == "killed") << simd;
+  EXPECT_EQ(Registry::Global().GetGauge("gs_build_info", labels)->Value(), 1);
+}
+
+TEST(QuantileTest, EmptyHistogramReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(HistogramQuantile(h, 0.5), 0.0);
+  EXPECT_EQ(HistogramQuantile(h, 0.99), 0.0);
+  std::array<uint64_t, Histogram::kNumBuckets> empty{};
+  EXPECT_EQ(QuantileFromBuckets(empty, 0.5), 0.0);
+}
+
+TEST(QuantileTest, ExactBucketBoundaries) {
+  // One observation per bucket boundary: each value's cumulative rank maps
+  // exactly back to that boundary (fraction = 1 within its bucket).
+  Histogram h;
+  for (uint64_t v : {1, 2, 4, 8}) h.Observe(v);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.75), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 8.0);
+}
+
+TEST(QuantileTest, SingleObservationInterpolatesWithinItsBucket) {
+  Histogram h;
+  h.Observe(1024);  // bucket (512, 1024]
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 768.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.0), 512.0);
+}
+
+TEST(QuantileTest, OverflowBucketClampsToItsLowerBound) {
+  Histogram h;
+  h.Observe(UINT64_MAX);  // lands in the +Inf bucket
+  // The +Inf bucket has no finite upper bound to interpolate toward; the
+  // estimate clamps to the bucket's lower bound instead of overflowing.
+  EXPECT_DOUBLE_EQ(
+      HistogramQuantile(h, 0.99),
+      static_cast<double>(
+          Histogram::BucketUpperBound(Histogram::kNumBuckets - 2)));
+}
+
+TEST(QuantileTest, CrossShardObservationsMergeExactly) {
+  // Concurrent observers spread across the histogram's shards; quantiles
+  // are computed over the merged bucket counts, so the estimates must be
+  // identical to a single-threaded fill.
+  Histogram h;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 100; ++i) h.Observe(4);
+      for (int i = 0; i < 100; ++i) h.Observe(16);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(h.Count(), kThreads * 200u);
+  // Half the mass ends exactly at 4, the rest exactly at 16.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 16.0);
+  // p75 interpolates through the (8, 16] bucket: rank 1200 is 400/800 of
+  // the way through it.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.75), 12.0);
 }
 
 }  // namespace

@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +25,8 @@
 #include "api/graphsurge.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/timeseries.h"
+#include "common/watchdog.h"
 #include "differential/differential.h"
 #include "graph/generators.h"
 #include "json_lite.h"
@@ -180,6 +184,135 @@ TEST_F(StatusServerTest, CustomHandlerAndReplacement) {
     return r;
   });
   EXPECT_EQ(HttpGet(server_.port(), "/custom").body, "v2");
+}
+
+TEST_F(StatusServerTest, TimeseriezServesStoreJson) {
+  timeseries::Store::Global().Record("gs_server_test_series",
+                                     timeseries::NowMillis(), 3.0);
+  HttpReply reply = HttpGet(server_.port(), "/timeseriez");
+  EXPECT_EQ(reply.status_code, 200);
+  EXPECT_NE(reply.raw.find("application/json"), std::string::npos);
+  json_lite::Value doc = ParseJsonOrFail(reply.body);
+  const json_lite::Value* series = doc.Get("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_NE(series->Get("gs_server_test_series"), nullptr);
+}
+
+TEST_F(StatusServerTest, UnhealthyHealthzIs503WithConsistentHead) {
+  // Make the global watchdog genuinely unhealthy: an epoch advance marked
+  // in progress since early in the process's life, with a 10ms deadline.
+  watchdog::WatchdogOptions options;
+  options.cadence_ms = 3600 * 1000;  // evaluations driven manually below
+  options.epoch_advance_deadline_ms = 10;
+  options.write_flight_dumps = false;
+  ASSERT_TRUE(watchdog::Watchdog::Global().Start(options).ok());
+  metrics::Gauge* started = metrics::Registry::Global().GetGauge(
+      "gs_live_epoch_advance_started_ms");
+  started->Set(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  watchdog::Watchdog::Global().EvaluateNow();
+
+  HttpReply get = HttpGet(server_.port(), "/healthz");
+  EXPECT_EQ(get.status_code, 503);
+  EXPECT_NE(get.raw.find("application/json"), std::string::npos);
+  json_lite::Value verdict = ParseJsonOrFail(get.body);
+  EXPECT_FALSE(verdict.Get("healthy")->boolean);
+  const json_lite::Value* violated = verdict.Get("violated_rules");
+  ASSERT_NE(violated, nullptr);
+  ASSERT_EQ(violated->array.size(), 1u);
+  EXPECT_EQ(violated->array[0].string, "epoch_advance_deadline");
+
+  // HEAD mirrors the status code and advertises the GET body's length
+  // without sending it.
+  HttpReply head = HttpFetch(server_.port(),
+                             "HEAD /healthz HTTP/1.1\r\nHost: x\r\n"
+                             "Connection: close\r\n\r\n");
+  EXPECT_EQ(head.status_code, 503);
+  EXPECT_TRUE(head.body.empty());
+  EXPECT_NE(head.raw.find("Content-Length: " +
+                          std::to_string(get.body.size())),
+            std::string::npos)
+      << head.raw;
+
+  // Heal and verify the plain contract returns.
+  started->Set(0);
+  watchdog::Watchdog::Global().EvaluateNow();
+  EXPECT_EQ(HttpGet(server_.port(), "/healthz").body, "ok\n");
+  watchdog::Watchdog::Global().Stop();
+}
+
+TEST_F(StatusServerTest, OversizedRequestHeadIs400) {
+  // Drive ServeConnection directly over a socketpair: a request line that
+  // hits the head cap without ever terminating must be rejected, not
+  // dispatched as a truncated target.
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  std::string oversized = "GET /" + std::string(10000, 'a');
+  size_t sent = 0;
+  while (sent < oversized.size()) {
+    ssize_t n = ::send(pair[0], oversized.data() + sent,
+                       oversized.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+  server_.ServeConnection(pair[1]);
+  ::close(pair[1]);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(pair[0], buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(pair[0]);
+  EXPECT_EQ(response.rfind("HTTP/1.1 400", 0), 0u) << response;
+  EXPECT_NE(response.find("request head too large"), std::string::npos);
+}
+
+TEST(StatusServerTimeoutTest, SlowPartialRequestHitsReadTimeout) {
+  server::StatusServer server;
+  server.set_read_timeout_ms(200);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  // A client that sends half a request line and then goes silent: the
+  // receive timeout must end the read, and the truncated line is rejected.
+  HttpReply reply = HttpFetch(server.port(), "GET /health");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(reply.status_code, 400);
+  // Proves the 200ms setting took effect (the default would be 5000ms).
+  EXPECT_GE(elapsed, 150);
+  EXPECT_LT(elapsed, 3000);
+}
+
+TEST(StatusServerTeardownTest, ConcurrentScrapesDuringTeardownAreSafe) {
+  auto server = std::make_unique<server::StatusServer>();
+  ASSERT_TRUE(server->Start(0).ok());
+  const uint16_t port = server->port();
+
+  // Hammer the server from several threads while the main thread tears it
+  // down mid-flight. Requests racing the shutdown may fail (refused
+  // connections return status 0) — the invariant is no crash, no hang, and
+  // well-formed responses for every request that did get served.
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([port] {
+      for (int i = 0; i < 25; ++i) {
+        for (const char* path : {"/metrics", "/varz"}) {
+          HttpReply reply = HttpGet(port, path);
+          if (reply.status_code != 0) {
+            EXPECT_EQ(reply.status_code, 200) << path;
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server->Stop();
+  EXPECT_FALSE(server->running());
+  server.reset();
+  for (std::thread& t : scrapers) t.join();
 }
 
 TEST_F(StatusServerTest, StopIsIdempotentAndRestartable) {
