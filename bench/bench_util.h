@@ -18,6 +18,7 @@
 #include "algorithms/algorithms.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/sched_profile.h"
 #include "common/timer.h"
 #include "common/timeseries.h"
 #include "common/watchdog.h"
@@ -175,7 +176,11 @@ class BenchReport {
     out += "  \"metrics\": " + metrics::Registry::Global().JsonSnapshot() +
            ",\n";
     out += "  \"timeseries\": " + timeseries::Store::Global().ToJson() +
-           ",\n  \"rows\": [\n";
+           ",\n";
+    // Process-lifetime scheduler attribution rollup (busy/exchange/barrier/
+    // seal/idle nanos + skew). Nanosecond fields, so the --compare seconds
+    // gate ignores it; trajectory tooling can chart busy_frac per commit.
+    out += "  \"sched\": " + sched::GlobalSummaryJson() + ",\n  \"rows\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       out += "    " + rows_[i].Render();
       out += i + 1 < rows_.size() ? ",\n" : "\n";

@@ -1,0 +1,234 @@
+#include "common/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/introspect.h"
+
+namespace gs::critical_path {
+
+namespace {
+
+struct SpanRec {
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t dur_ns = 0;
+  int32_t tid = 0;
+  const std::string* name = nullptr;
+};
+
+bool IsChainCandidate(const trace::CollectedEvent& e) {
+  if (e.phase != 'X' || e.version == trace::kNoVersion) return false;
+  if (e.category == "op") return true;
+  // Engine-phase work that is not operator activations but is still
+  // dependent computation: input flush and version/epoch seal. The "step"
+  // span is the wall-clock envelope and must NOT be a chain candidate — it
+  // would trivially be the whole path.
+  return e.category == "engine" &&
+         (e.name == "flush" || e.name == "seal" || e.name == "seal_epoch");
+}
+
+/// Weighted interval scheduling over `spans` (max total duration over
+/// mutually non-overlapping spans), with chain reconstruction. Sorts
+/// `spans` by end time in place.
+uint64_t LongestChain(std::vector<SpanRec>* spans,
+                      std::vector<size_t>* chain) {
+  std::vector<SpanRec>& s = *spans;
+  std::sort(s.begin(), s.end(), [](const SpanRec& a, const SpanRec& b) {
+    if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+    return a.start_ns < b.start_ns;
+  });
+  const size_t n = s.size();
+  std::vector<uint64_t> ends(n);
+  for (size_t i = 0; i < n; ++i) ends[i] = s[i].end_ns;
+  // q[i]: number of spans ending at or before s[i].start_ns — the DP state
+  // reachable after taking span i.
+  std::vector<size_t> q(n);
+  for (size_t i = 0; i < n; ++i) {
+    q[i] = static_cast<size_t>(
+        std::upper_bound(ends.begin(), ends.end(), s[i].start_ns) -
+        ends.begin());
+    if (q[i] > i) q[i] = i;  // a span never chains onto itself
+  }
+  std::vector<uint64_t> opt(n + 1, 0);
+  std::vector<char> take(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    const uint64_t with = s[i - 1].dur_ns + opt[q[i - 1]];
+    if (with > opt[i - 1]) {
+      opt[i] = with;
+      take[i] = 1;
+    } else {
+      opt[i] = opt[i - 1];
+    }
+  }
+  chain->clear();
+  for (size_t i = n; i > 0;) {
+    if (take[i]) {
+      chain->push_back(i - 1);
+      i = q[i - 1];
+    } else {
+      --i;
+    }
+  }
+  std::reverse(chain->begin(), chain->end());  // ascending time
+  return opt[n];
+}
+
+}  // namespace
+
+Report Extract(const std::vector<trace::CollectedEvent>& events) {
+  Report report;
+  std::map<uint32_t, std::vector<SpanRec>> per_version;
+  // Wall clock per version from the enclosing "step" spans. Summed: a
+  // version is stepped once per dataflow, and if several dataflows ran in
+  // the same trace window their steps are all wall the path must cover.
+  std::map<uint32_t, uint64_t> wall;
+  std::map<uint32_t, uint64_t> step_start;
+  for (const trace::CollectedEvent& e : events) {
+    if (e.phase == 'X' && e.category == "engine" && e.name == "step" &&
+        e.version != trace::kNoVersion) {
+      wall[e.version] += e.dur_ns;
+      auto it = step_start.find(e.version);
+      if (it == step_start.end() || e.ts_ns < it->second) {
+        step_start[e.version] = e.ts_ns;
+      }
+    }
+    if (!IsChainCandidate(e)) continue;
+    SpanRec rec;
+    rec.start_ns = e.ts_ns;
+    rec.end_ns = e.ts_ns + e.dur_ns;
+    rec.dur_ns = e.dur_ns;
+    rec.tid = e.tid;
+    rec.name = &e.name;
+    per_version[e.version].push_back(rec);
+  }
+  report.enabled = !per_version.empty() || !wall.empty();
+
+  for (auto& [version, spans] : per_version) {
+    VersionReport vr;
+    vr.version = version;
+    vr.num_spans = spans.size();
+    std::vector<size_t> chain;
+    vr.path_ns = LongestChain(&spans, &chain);
+    vr.path_length = chain.size();
+    auto wall_it = wall.find(version);
+    if (wall_it != wall.end()) {
+      vr.wall_ns = wall_it->second;
+    } else {
+      // No step span in the buffer (wrapped, or a standalone Dataflow):
+      // fall back to the candidate spans' time extent.
+      uint64_t lo = UINT64_MAX, hi = 0;
+      for (const SpanRec& s : spans) {
+        lo = std::min(lo, s.start_ns);
+        hi = std::max(hi, s.end_ns);
+      }
+      vr.wall_ns = hi > lo ? hi - lo : 0;
+    }
+    if (vr.wall_ns > 0) {
+      vr.path_fraction = static_cast<double>(vr.path_ns) /
+                         static_cast<double>(vr.wall_ns);
+    }
+    // Stalls: the leading gap from step start to the first activation plus
+    // every gap between consecutive chain activations.
+    std::vector<Stall> stalls;
+    uint64_t prev_end = 0;
+    bool have_prev = false;
+    auto start_it = step_start.find(version);
+    if (start_it != step_start.end()) {
+      prev_end = start_it->second;
+      have_prev = true;
+    }
+    for (size_t idx : chain) {
+      const SpanRec& s = spans[idx];
+      if (have_prev && s.start_ns > prev_end) {
+        Stall stall;
+        stall.gap_ns = s.start_ns - prev_end;
+        stall.at_ns = prev_end;
+        stall.before = *s.name;
+        stalls.push_back(std::move(stall));
+      }
+      prev_end = std::max(prev_end, s.end_ns);
+      have_prev = true;
+      if (vr.path.size() < kMaxPathNodes) {
+        Activation act;
+        act.name = *s.name;
+        act.tid = s.tid;
+        act.start_ns = s.start_ns;
+        act.dur_ns = s.dur_ns;
+        vr.path.push_back(std::move(act));
+      }
+    }
+    std::sort(stalls.begin(), stalls.end(),
+              [](const Stall& a, const Stall& b) { return a.gap_ns > b.gap_ns; });
+    if (stalls.size() > kTopStalls) stalls.resize(kTopStalls);
+    vr.top_stalls = std::move(stalls);
+
+    report.total_wall_ns += vr.wall_ns;
+    report.total_path_ns += vr.path_ns;
+    report.versions.push_back(std::move(vr));
+  }
+  if (report.total_wall_ns > 0) {
+    report.path_fraction = static_cast<double>(report.total_path_ns) /
+                           static_cast<double>(report.total_wall_ns);
+  }
+  return report;
+}
+
+Report ExtractFromLiveTrace() { return Extract(trace::CollectStructured()); }
+
+std::string ToJson(const Report& report) {
+  if (!report.enabled) return "{\"enabled\": false}";
+  char buf[96];
+  std::string out = "{\"enabled\": true, \"total_wall_ns\": " +
+                    std::to_string(report.total_wall_ns) +
+                    ", \"total_path_ns\": " +
+                    std::to_string(report.total_path_ns);
+  std::snprintf(buf, sizeof(buf), ", \"path_fraction\": %.4f",
+                report.path_fraction);
+  out += buf;
+  out += ", \"versions\": [";
+  for (size_t i = 0; i < report.versions.size(); ++i) {
+    const VersionReport& vr = report.versions[i];
+    if (i) out += ", ";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"version\": %u, \"wall_ns\": %llu, \"path_ns\": %llu, "
+                  "\"path_fraction\": %.4f",
+                  vr.version, static_cast<unsigned long long>(vr.wall_ns),
+                  static_cast<unsigned long long>(vr.path_ns),
+                  vr.path_fraction);
+    out += buf;
+    out += ", \"num_spans\": " + std::to_string(vr.num_spans) +
+           ", \"path_length\": " + std::to_string(vr.path_length) +
+           ", \"path\": [";
+    for (size_t j = 0; j < vr.path.size(); ++j) {
+      const Activation& a = vr.path[j];
+      if (j) out += ", ";
+      out += "{\"name\": \"" + introspect::JsonEscape(a.name) +
+             "\", \"tid\": " + std::to_string(a.tid) +
+             ", \"start_ns\": " + std::to_string(a.start_ns) +
+             ", \"dur_ns\": " + std::to_string(a.dur_ns) + "}";
+    }
+    out += "], \"top_stalls\": [";
+    for (size_t j = 0; j < vr.top_stalls.size(); ++j) {
+      const Stall& s = vr.top_stalls[j];
+      if (j) out += ", ";
+      out += "{\"gap_ns\": " + std::to_string(s.gap_ns) +
+             ", \"at_ns\": " + std::to_string(s.at_ns) + ", \"before\": \"" +
+             introspect::JsonEscape(s.before) + "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void RegisterStatuszSource() {
+  // Leaked like every other process-lifetime source: /statusz may scrape
+  // during static destruction of the embedding binary.
+  static introspect::ScopedSource* source = new introspect::ScopedSource(
+      "critical_path", [] { return ToJson(ExtractFromLiveTrace()); });
+  (void)source;
+}
+
+}  // namespace gs::critical_path

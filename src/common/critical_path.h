@@ -1,0 +1,87 @@
+// Post-run critical-path extraction over the trace-event recorder: per
+// engine version, the longest chain of non-overlapping operator activations
+// — the dependent work that bounds the version's wall clock no matter how
+// many workers run. Reported as "% of wall clock on the critical path" plus
+// the top-k stall gaps between consecutive chain activations (the places
+// where the critical path sat waiting on a barrier, an exchange, or the
+// coordinator).
+//
+// Inputs are the spans the engine already records: per-operator "op" spans
+// (OperatorBase::RequestRun), the per-shard "flush" and "seal" engine spans
+// (Dataflow::BeginStepPhase / SealPhase), and the enclosing "step" span
+// (ShardedDataflow::Step), which supplies each version's measured wall
+// clock but is excluded from the chain itself. The chain is computed by
+// weighted interval scheduling (maximum total duration over mutually
+// non-overlapping spans, O(n log n)) — at W == 1 activations are strictly
+// sequential, so the chain covers essentially the whole step and the
+// fraction is a sanity bound (≥80% on the micro workloads); at W > 1 the
+// chain singles out the dependent spine across workers.
+//
+// Requires tracing (trace::SetEnabled or GRAPHSURGE_TRACE); with tracing
+// off the report is empty and the /statusz source renders
+// {"enabled": false}.
+#ifndef GRAPHSURGE_COMMON_CRITICAL_PATH_H_
+#define GRAPHSURGE_COMMON_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/trace_event.h"
+
+namespace gs::critical_path {
+
+/// One activation on a version's critical path.
+struct Activation {
+  std::string name;
+  int32_t tid = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// A gap between consecutive chain activations: time the critical path
+/// spent not executing anything — the stall contributors worth chasing.
+struct Stall {
+  uint64_t gap_ns = 0;
+  uint64_t at_ns = 0;     // gap start (trace timebase)
+  std::string before;     // the activation that ran after the gap
+};
+
+struct VersionReport {
+  uint32_t version = 0;
+  uint64_t wall_ns = 0;        // "step" span duration (or span extent)
+  uint64_t path_ns = 0;        // summed chain activation time
+  double path_fraction = 0.0;  // path_ns / wall_ns
+  size_t num_spans = 0;        // candidate spans considered
+  size_t path_length = 0;      // activations on the chain
+  std::vector<Activation> path;    // chain order, capped at kMaxPathNodes
+  std::vector<Stall> top_stalls;   // largest gaps first, ≤ kTopStalls
+};
+
+struct Report {
+  bool enabled = false;  // was tracing on (any candidate span seen)?
+  std::vector<VersionReport> versions;  // ascending version
+  uint64_t total_wall_ns = 0;
+  uint64_t total_path_ns = 0;
+  double path_fraction = 0.0;  // total_path / total_wall
+};
+
+inline constexpr size_t kTopStalls = 5;
+inline constexpr size_t kMaxPathNodes = 64;
+
+/// Extracts per-version critical paths from structured trace events.
+Report Extract(const std::vector<trace::CollectedEvent>& events);
+
+/// Extract() over the live ring buffers — empty report while tracing has
+/// never been enabled.
+Report ExtractFromLiveTrace();
+
+std::string ToJson(const Report& report);
+
+/// Registers the "critical_path" /statusz source (idempotent): renders
+/// ToJson(ExtractFromLiveTrace()) on every scrape.
+void RegisterStatuszSource();
+
+}  // namespace gs::critical_path
+
+#endif  // GRAPHSURGE_COMMON_CRITICAL_PATH_H_

@@ -1,6 +1,7 @@
 #include "common/watchdog.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -326,6 +327,47 @@ std::string Watchdog::RenderHealthJson() const {
   return out;
 }
 
+namespace {
+
+/// Parses `env_name` as a non-negative decimal integer into `*out`.
+/// Unparsable values keep `*out` and warn once per variable per process —
+/// a misconfigured deployment should not spam a log line per evaluation.
+void ApplyEnvThreshold(const char* env_name, uint64_t* out) {
+  const char* value = std::getenv(env_name);
+  if (value == nullptr || *value == '\0') return;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || value[0] == '-') {
+    static std::mutex warned_mutex;
+    static std::set<std::string>* warned = new std::set<std::string>();
+    std::lock_guard<std::mutex> lock(warned_mutex);
+    if (warned->insert(env_name).second) {
+      GS_LOG(Warning) << "ignoring invalid " << env_name << "=\"" << value
+                      << "\" (want a non-negative integer); keeping default "
+                      << *out;
+    }
+    return;
+  }
+  *out = static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+void Watchdog::ApplyEnvOverrides(WatchdogOptions* options) {
+  ApplyEnvThreshold("GRAPHSURGE_WATCHDOG_FRONTIER_STALL_MS",
+                    &options->frontier_stall_ms);
+  ApplyEnvThreshold("GRAPHSURGE_WATCHDOG_EPOCH_ADVANCE_DEADLINE_MS",
+                    &options->epoch_advance_deadline_ms);
+  ApplyEnvThreshold("GRAPHSURGE_WATCHDOG_WAL_FSYNC_P99_NS",
+                    &options->wal_fsync_p99_ns);
+  ApplyEnvThreshold("GRAPHSURGE_WATCHDOG_INGEST_LAG_MIN",
+                    &options->ingest_lag_min);
+  uint64_t increases = static_cast<uint64_t>(options->ingest_lag_increases);
+  ApplyEnvThreshold("GRAPHSURGE_WATCHDOG_INGEST_LAG_INCREASES", &increases);
+  options->ingest_lag_increases = static_cast<int>(increases);
+}
+
 bool Watchdog::MaybeStartFromEnv() {
   Watchdog& watchdog = Global();
   if (watchdog.running()) return true;
@@ -336,6 +378,7 @@ bool Watchdog::MaybeStartFromEnv() {
   WatchdogOptions options;
   const char* dir = std::getenv("GRAPHSURGE_FLIGHT_DIR");
   if (dir != nullptr && *dir != '\0') options.flight_dir = dir;
+  ApplyEnvOverrides(&options);
   Status status = watchdog.Start(options);
   if (!status.ok()) {
     GS_LOG(Warning) << "watchdog failed to start: " << status.ToString();

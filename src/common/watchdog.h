@@ -122,9 +122,23 @@ class Watchdog {
   std::string RenderHealthJson() const;
 
   /// Starts Global() when GRAPHSURGE_WATCHDOG is set to anything but "0",
-  /// with flight_dir from GRAPHSURGE_FLIGHT_DIR (default "."). Returns true
-  /// if the watchdog is running on return.
+  /// with flight_dir from GRAPHSURGE_FLIGHT_DIR (default ".") and rule
+  /// thresholds from the GRAPHSURGE_WATCHDOG_* overrides below. Returns
+  /// true if the watchdog is running on return.
   static bool MaybeStartFromEnv();
+
+  /// Applies per-rule threshold overrides from the environment to
+  /// `options`:
+  ///   GRAPHSURGE_WATCHDOG_FRONTIER_STALL_MS
+  ///   GRAPHSURGE_WATCHDOG_EPOCH_ADVANCE_DEADLINE_MS
+  ///   GRAPHSURGE_WATCHDOG_WAL_FSYNC_P99_NS
+  ///   GRAPHSURGE_WATCHDOG_INGEST_LAG_MIN
+  ///   GRAPHSURGE_WATCHDOG_INGEST_LAG_INCREASES
+  /// Each must be a non-negative decimal integer; an unparsable value keeps
+  /// the default and logs one warning per variable per process (not one per
+  /// evaluation). Called by MaybeStartFromEnv; exposed so embedders that
+  /// Start() with explicit options can opt in too.
+  static void ApplyEnvOverrides(WatchdogOptions* options);
 
  private:
   void Loop();

@@ -458,11 +458,25 @@ class Dataflow {
   }
 
   /// Delivers all pending cross-worker batches. Returns true if anything
-  /// was delivered (i.e. the scheduler may have new work).
+  /// was delivered (i.e. the scheduler may have new work). Wall time spent
+  /// here accumulates into the exchange-drain attribution bucket; a shard
+  /// with no exchange endpoints (serial execution) reports exactly zero.
   bool DrainExchangeInboxes() {
+    if (inbox_drainers_.empty()) return false;
+    Timer timer;
     bool any = false;
     for (auto& drain : inbox_drainers_) any = drain() || any;
+    drain_nanos_ += static_cast<uint64_t>(timer.Nanos());
     return any;
+  }
+
+  /// Returns and resets the wall time spent in DrainExchangeInboxes since
+  /// the last call (the sharded driver folds it into the per-worker
+  /// exchange-drain state; see common/sched_profile.h).
+  uint64_t TakeDrainNanos() {
+    uint64_t nanos = drain_nanos_;
+    drain_nanos_ = 0;
+    return nanos;
   }
 
   /// Constructs and takes ownership of an operator.
@@ -552,6 +566,10 @@ class Dataflow {
 
   /// Phase 1: flush input buffers at the current version (OnStepBegin).
   void BeginStepPhase() {
+    // The flush span makes input publication visible to the critical-path
+    // extractor (critical_path.h): at W == 1 the op/flush/seal spans
+    // together cover essentially the whole step.
+    GS_TRACE_SPAN_V("engine", "flush", version_);
     step_start_events_ = scheduler_.events_processed();
     for (OperatorBase* op : registered_) {
       Timer timer;
@@ -714,6 +732,7 @@ class Dataflow {
   ExchangeHub* hub_ = nullptr;
   size_t worker_index_ = 0;
   uint32_t next_exchange_channel_ = 0;
+  uint64_t drain_nanos_ = 0;
   std::vector<std::function<bool()>> inbox_drainers_;
   std::map<const void*, uint32_t> publisher_owner_;
   std::vector<std::pair<const void*, uint32_t>> subscriptions_;

@@ -60,7 +60,10 @@ class ExchangeHub {
     return inboxes_[channel][worker];
   }
 
-  void NotePushed() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void NotePushed() {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    total_pushed_.fetch_add(1, std::memory_order_relaxed);
+  }
   void NoteDrained(size_t batches) {
     in_flight_.fetch_sub(static_cast<int64_t>(batches),
                          std::memory_order_relaxed);
@@ -70,10 +73,18 @@ class ExchangeHub {
   /// quiescence check while no worker is running (post-barrier).
   int64_t in_flight() const { return in_flight_.load(std::memory_order_seq_cst); }
 
+  /// Cumulative cross-worker batches ever pushed through this hub — the
+  /// exchange-traffic figure the scheduling report (/workersz) pairs with
+  /// per-worker exchange-drain time.
+  uint64_t total_pushed() const {
+    return total_pushed_.load(std::memory_order_relaxed);
+  }
+
  private:
   size_t num_workers_;
   std::vector<std::vector<void*>> inboxes_;  // [channel][worker]
   std::atomic<int64_t> in_flight_{0};
+  std::atomic<uint64_t> total_pushed_{0};
 };
 
 /// One shard's receive queue for one exchange channel. Pushed to by peer

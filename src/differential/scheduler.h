@@ -65,11 +65,21 @@ class Scheduler {
     if (fz.scramble_seq) seq = fuzz::Mix(fz.seed ^ seq);
     heap_.push_back(Event{EventKey{time, op_order, seq}, std::move(action)});
     std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
   }
 
   bool empty() const { return heap_.empty(); }
   size_t pending() const { return heap_.size(); }
   uint64_t events_processed() const { return events_processed_; }
+
+  /// High-water backlog since the last TakePeakPending — the scheduling
+  /// pressure figure surfaced per worker by /workersz. Reset per step so
+  /// spikes are attributable to a version, not smeared across a run.
+  uint64_t TakePeakPending() {
+    uint64_t peak = peak_pending_;
+    peak_pending_ = heap_.size();
+    return peak;
+  }
 
   /// Pops and runs the minimum event. Returns false if empty.
   bool RunOne() {
@@ -104,6 +114,7 @@ class Scheduler {
   std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  uint64_t peak_pending_ = 0;
 };
 
 }  // namespace gs::differential

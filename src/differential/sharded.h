@@ -44,6 +44,7 @@
 #include "common/introspect.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/sched_profile.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/trace_event.h"
@@ -69,6 +70,10 @@ class ShardedDataflow {
     // refreshed at phase barriers, so a scrape never touches operator state.
     static std::atomic<uint64_t> next_instance{0};
     uint64_t instance = next_instance.fetch_add(1, std::memory_order_relaxed);
+    // The time-attribution profile shares the introspect source's name, so
+    // /workersz rows and /statusz sources line up one-to-one.
+    profile_ = std::make_unique<sched::StepProfile>(
+        "dataflow-" + std::to_string(instance), options_.num_workers);
     introspect_source_ = std::make_unique<introspect::ScopedSource>(
         "dataflow-" + std::to_string(instance),
         [this] { return RenderStatusJson(); });
@@ -100,6 +105,10 @@ class ShardedDataflow {
   Status Step() {
     const size_t w = num_workers();
     GS_TRACE_SPAN_V("engine", "step", current_version());
+    // Open the attribution window: from here to StepEnd every nanosecond is
+    // charged to exactly one of busy/exchange/barrier/seal/idle per worker
+    // (see common/sched_profile.h for the tiling protocol).
+    profile_->StepBegin(current_version());
     std::vector<Status> statuses(w, Status::Ok());
     std::vector<char> has_pending(w, 0);
     std::vector<Time> min_pending(w);
@@ -112,10 +121,19 @@ class ShardedDataflow {
       status_.stepping = true;
       if (status_.edges.empty()) status_.edges = workers_[0]->GraphEdges();
     }
+    profile_->BlockBegin();
     pool_->ParallelFor(w, [&](size_t i) {
       ScopedWorkerId tag(static_cast<int>(i));
+      const uint64_t t0 = sched::ProfileNow();
       workers_[i]->BeginStepPhase();
+      const uint64_t total = sched::ProfileNow() - t0;
+      // TakeDrainNanos also clears residue from any out-of-step drains, so
+      // the flush phase's attribution starts clean.
+      const uint64_t drain = std::min(workers_[i]->TakeDrainNanos(), total);
+      profile_->AddExchange(i, drain);
+      profile_->AddBusy(i, total - drain);
     });
+    profile_->BlockEnd();
     static metrics::Counter* frontier_rounds =
         metrics::Registry::Global().GetCounter("gs_engine_frontier_rounds");
     // Heartbeat gauge for the watchdog's frontier_stall rule: non-zero
@@ -127,12 +145,19 @@ class ShardedDataflow {
       // Drain-and-report phase. Every inbox is drained here, so after the
       // barrier nothing is in flight and the reported minima are complete:
       // all pending work in the system is visible in some shard's scheduler.
+      profile_->BlockBegin();
       pool_->ParallelFor(w, [&](size_t i) {
         ScopedWorkerId tag(static_cast<int>(i));
+        const uint64_t t0 = sched::ProfileNow();
         workers_[i]->DrainExchangeInboxes();
         has_pending[i] = workers_[i]->HasPendingWork() ? 1 : 0;
         if (has_pending[i]) min_pending[i] = workers_[i]->MinPendingTime();
+        const uint64_t total = sched::ProfileNow() - t0;
+        const uint64_t drain = std::min(workers_[i]->TakeDrainNanos(), total);
+        profile_->AddExchange(i, drain);
+        profile_->AddBusy(i, total - drain);
       });
+      profile_->BlockEnd();
       GS_CHECK(hub_->in_flight() == 0)
           << "exchange batches still in flight after a full drain barrier";
       bool any = false;
@@ -181,16 +206,27 @@ class ShardedDataflow {
       // itself is consumed, and every dataflow cycle passes through the
       // feedback edge's Delayed() hop, so each round makes progress and the
       // loop terminates.
+      profile_->BlockBegin();
       pool_->ParallelFor(w, [&](size_t i) {
         ScopedWorkerId tag(static_cast<int>(i));
+        const uint64_t t0 = sched::ProfileNow();
         statuses[i] = workers_[i]->RunBoundedPhase(frontier);
+        const uint64_t total = sched::ProfileNow() - t0;
+        const uint64_t drain = std::min(workers_[i]->TakeDrainNanos(), total);
+        profile_->AddExchange(i, drain);
+        profile_->AddBusy(i, total - drain);
       });
+      profile_->BlockEnd();
       for (const Status& s : statuses) GS_RETURN_IF_ERROR(s);
     }
+    profile_->BlockBegin();
     pool_->ParallelFor(w, [&](size_t i) {
       ScopedWorkerId tag(static_cast<int>(i));
+      const uint64_t t0 = sched::ProfileNow();
       workers_[i]->SealPhase();
+      profile_->AddSeal(i, sched::ProfileNow() - t0);
     });
+    profile_->BlockEnd();
     // Post-seal barrier: every shard is idle, so per-operator memory and
     // timing snapshots can be collected without racing operator execution.
     {
@@ -210,6 +246,9 @@ class ShardedDataflow {
       status_.records_outstanding = 0;
     }
     outstanding_gauge->Set(0);
+    // Close the attribution window (the snapshot collection above lands in
+    // the final idle gap) and feed the skew inputs collected post-barrier.
+    profile_->StepEnd(CollectStepInputs());
     return Status::Ok();
   }
 
@@ -218,6 +257,10 @@ class ShardedDataflow {
   /// epoch was stepped. The barrier semantics match SealPhase: no shard is
   /// running when this executes, and snapshots refresh afterwards.
   void SealEpoch() {
+    // Epoch seals get their own attribution window (they run between Step
+    // windows), so full-spine compaction shows up as seal time, not as a
+    // mystery gap. An injected fuzz delay lands in the window's idle state.
+    profile_->StepBegin(current_version());
     if (fuzz::GlobalHooks().delay_epoch_seal_ms != 0) {
       // Injected seal delay (watchdog testing): stretches AdvanceEpoch past
       // the epoch_advance_deadline without perturbing what is computed.
@@ -225,10 +268,14 @@ class ShardedDataflow {
           std::chrono::milliseconds(fuzz::GlobalHooks().delay_epoch_seal_ms));
     }
     const size_t w = num_workers();
+    profile_->BlockBegin();
     pool_->ParallelFor(w, [&](size_t i) {
       ScopedWorkerId tag(static_cast<int>(i));
+      const uint64_t t0 = sched::ProfileNow();
       workers_[i]->SealEpoch();
+      profile_->AddSeal(i, sched::ProfileNow() - t0);
     });
+    profile_->BlockEnd();
     std::vector<ShardOperatorStatus> ops;
     for (size_t i = 0; i < w; ++i) {
       for (auto& snap : workers_[i]->CollectOperatorSnapshots()) {
@@ -240,13 +287,21 @@ class ShardedDataflow {
     static metrics::Gauge* last_sealed =
         metrics::Registry::Global().GetGauge("gs_engine_last_sealed_epoch");
     last_sealed->Set(static_cast<int64_t>(workers_[0]->epochs_sealed()));
-    std::lock_guard<std::mutex> lock(status_mutex_);
-    status_.ops = std::move(ops);
-    status_.epochs_sealed = workers_[0]->epochs_sealed();
+    {
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      status_.ops = std::move(ops);
+      status_.epochs_sealed = workers_[0]->epochs_sealed();
+    }
+    profile_->StepEnd(CollectStepInputs());
   }
 
   /// Graph-update epochs sealed so far (identical on all shards).
   uint64_t epochs_sealed() const { return workers_[0]->epochs_sealed(); }
+
+  /// This dataflow's time-attribution profile (per-worker busy / exchange /
+  /// barrier / seal / idle accounting, skew figures). Snapshot reads are
+  /// safe from any thread.
+  const sched::StepProfile& profile() const { return *profile_; }
 
   /// Sum of all shards' work counters (call between Steps).
   DataflowStats AggregatedStats() const {
@@ -390,12 +445,33 @@ class ShardedDataflow {
     return options;
   }
 
+  /// Post-barrier skew/work inputs for StepProfile::StepEnd. Only called
+  /// while no worker is running, so the schedulers and stats are stable.
+  sched::StepInputs CollectStepInputs() {
+    sched::StepInputs inputs;
+    inputs.per_worker_events = PerWorkerEvents();
+    inputs.per_worker_peak_pending.reserve(workers_.size());
+    inputs.per_shard_records.assign(workers_.size(), 0);
+    for (auto& worker : workers_) {
+      inputs.per_worker_peak_pending.push_back(
+          worker->scheduler().TakePeakPending());
+      const std::vector<uint64_t>& work = worker->stats().shard_work;
+      for (size_t s = 0; s < work.size() && s < inputs.per_shard_records.size();
+           ++s) {
+        inputs.per_shard_records[s] += work[s];
+      }
+    }
+    inputs.exchange_batches = hub_->total_pushed();
+    return inputs;
+  }
+
   DataflowOptions options_;
   std::unique_ptr<ExchangeHub> hub_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Dataflow>> workers_;
   mutable std::mutex status_mutex_;
   StatusSnapshot status_;
+  std::unique_ptr<sched::StepProfile> profile_;
   // Declared last: unregisters first on destruction, so no scrape can reach
   // a partially-destroyed dataflow.
   std::unique_ptr<introspect::ScopedSource> introspect_source_;

@@ -14,9 +14,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/critical_path.h"
 #include "common/introspect.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/sched_profile.h"
 #include "common/timeseries.h"
 #include "common/trace_event.h"
 #include "common/watchdog.h"
@@ -119,9 +121,35 @@ void StatusServer::RegisterBuiltins() {
     r.content_type = "application/json";
     return r;
   });
+  Handle("/workersz", [] {
+    // The scheduling report: per-worker time attribution (busy / exchange /
+    // barrier / seal / idle), per-shard skew, recent-version breakdowns,
+    // and skew sparklines — one row per live sharded dataflow.
+    HttpResponse r;
+    r.body = sched::ProfileRegistry::Global().RenderAllJson();
+    r.content_type = "application/json";
+    return r;
+  });
+  // The critical-path report rides along /statusz as an introspect source
+  // (it renders {"enabled": false} until tracing is turned on).
+  critical_path::RegisterStatuszSource();
   Handle("/statusz", [] {
     HttpResponse r;
-    std::string body = "{\n  \"sources\": {";
+    std::string body = "{\n";
+    // Operability warnings that must not be buried inside a source blob.
+    // Today's only rule: the time-series store silently dropping new series
+    // means sparklines/SLO history are incomplete — surface it loudly.
+    const int64_t dropped_series =
+        metrics::Registry::Global()
+            .GetGauge("gs_timeseries_dropped_series")
+            ->Value();
+    if (dropped_series > 0) {
+      body += "  \"warnings\": [\"timeseries store dropped " +
+              std::to_string(dropped_series) +
+              " series (capacity reached); sparklines and SLO history are "
+              "incomplete — reduce series cardinality\"],\n";
+    }
+    body += "  \"sources\": {";
     std::vector<introspect::Rendered> sources =
         introspect::Registry::Global().Collect();
     for (size_t i = 0; i < sources.size(); ++i) {

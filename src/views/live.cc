@@ -98,6 +98,33 @@ class EpochAdvanceScope {
   Timer timer_;
 };
 
+/// Sums the engine's cumulative per-worker time attribution into one record
+/// (peak_pending becomes the max over workers — it is a level, not a sum).
+sched::WorkerAttribution SumAttribution(const sched::StepProfile& profile) {
+  sched::StepProfile::Snapshot snap = profile.GetSnapshot();
+  sched::WorkerAttribution sum;
+  for (const sched::WorkerAttribution& w : snap.totals) sum.Add(w);
+  return sum;
+}
+
+/// after − before per cumulative field (clamped: attribution counters are
+/// monotone, but snapshots are taken around code that also runs SealEpoch).
+sched::WorkerAttribution AttributionDelta(const sched::WorkerAttribution& a,
+                                          const sched::WorkerAttribution& b) {
+  auto sub = [](uint64_t after, uint64_t before) {
+    return after > before ? after - before : 0;
+  };
+  sched::WorkerAttribution delta;
+  delta.busy_ns = sub(b.busy_ns, a.busy_ns);
+  delta.exchange_ns = sub(b.exchange_ns, a.exchange_ns);
+  delta.barrier_ns = sub(b.barrier_ns, a.barrier_ns);
+  delta.seal_ns = sub(b.seal_ns, a.seal_ns);
+  delta.idle_ns = sub(b.idle_ns, a.idle_ns);
+  delta.events = sub(b.events, a.events);
+  delta.peak_pending = b.peak_pending;
+  return delta;
+}
+
 }  // namespace
 
 Status LiveRun::AdvanceEpoch(const std::vector<EdgeId>& touched_edges) {
@@ -113,6 +140,8 @@ Status LiveRun::AdvanceEpoch(const std::vector<EdgeId>& touched_edges) {
     return Status::FailedPrecondition("view count changed mid-run");
   }
   GS_TRACE_SPAN_V("live", "advance_epoch", epoch);
+  const sched::WorkerAttribution attr_before =
+      SumAttribution(engine_->dataflow.profile());
 
   const EdgeBooleanMatrix& ebm = *collection_->ebm;
   // Boustrophedon: even epochs walk positions 0 → k−1, odd epochs k−1 → 0.
@@ -187,6 +216,8 @@ Status LiveRun::AdvanceEpoch(const std::vector<EdgeId>& touched_edges) {
   ++epochs_fed_;
   last_epoch_input_diffs_ = epoch_input_diffs_;
   epoch_input_diffs_ = 0;
+  last_epoch_attr_ = AttributionDelta(
+      attr_before, SumAttribution(engine_->dataflow.profile()));
 
   static auto* epochs_fed =
       metrics::Registry::Global().GetCounter("gs_live_epochs_fed");
@@ -194,6 +225,25 @@ Status LiveRun::AdvanceEpoch(const std::vector<EdgeId>& touched_edges) {
       "gs_live_epoch_input_diffs");
   epochs_fed->Increment();
   input_diffs->Observe(last_epoch_input_diffs_);
+  // Where this epoch's engine time went, as cumulative /varz counters: a
+  // scraper can diff two samples to see whether live maintenance is
+  // operator-bound or stalled on barriers/exchange.
+  struct StateCounter {
+    const char* state;
+    uint64_t sched::WorkerAttribution::* field;
+  };
+  static const StateCounter kStates[] = {
+      {"busy", &sched::WorkerAttribution::busy_ns},
+      {"exchange", &sched::WorkerAttribution::exchange_ns},
+      {"barrier", &sched::WorkerAttribution::barrier_ns},
+      {"seal", &sched::WorkerAttribution::seal_ns},
+      {"idle", &sched::WorkerAttribution::idle_ns},
+  };
+  for (const StateCounter& sc : kStates) {
+    metrics::Registry::Global()
+        .GetCounter("gs_live_epoch_state_nanos", {{"state", sc.state}})
+        ->Increment(last_epoch_attr_.*(sc.field));
+  }
   return Status::Ok();
 }
 

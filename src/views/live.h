@@ -38,6 +38,7 @@
 
 #include "algorithms/computation.h"
 #include "algorithms/reference.h"
+#include "common/sched_profile.h"
 #include "common/status.h"
 #include "views/collection.h"
 #include "views/engine.h"
@@ -92,6 +93,13 @@ class LiveRun {
   differential::DataflowStats EngineStats() const {
     return engine_->dataflow.AggregatedStats();
   }
+  /// Scheduler time attribution (summed over workers) for the most recent
+  /// AdvanceEpoch — where the epoch's wall clock went: operator work,
+  /// exchange drains, barrier waits, seals, or idle. Mirrored into the
+  /// gs_live_epoch_state_nanos{state=...} counters.
+  const sched::WorkerAttribution& last_epoch_attribution() const {
+    return last_epoch_attr_;
+  }
 
  private:
   LiveRun(const PropertyGraph& graph, const MaterializedCollection* collection,
@@ -108,6 +116,7 @@ class LiveRun {
   uint32_t epochs_fed_ = 0;
   uint64_t epoch_input_diffs_ = 0;       // accumulator for the current epoch
   uint64_t last_epoch_input_diffs_ = 0;  // finished-epoch readout
+  sched::WorkerAttribution last_epoch_attr_;  // finished-epoch time split
   /// present_[e]: edge e is in the most recently fed view's accumulated
   /// input. resolved_[e]: the exact record fed for e (retractions must
   /// byte-match the original insertion even after a weight update).

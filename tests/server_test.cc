@@ -133,6 +133,80 @@ TEST_F(StatusServerTest, JsonEndpointsParse) {
   }
 }
 
+TEST_F(StatusServerTest, WorkerszServesSchedulingReport) {
+  // Keep a sharded dataflow alive across the scrape so it renders under
+  // "dataflows" with real attribution.
+  differential::DataflowOptions options;
+  options.num_workers = 3;
+  differential::ShardedDataflow sharded(options);
+  std::vector<differential::Input<std::pair<uint64_t, int64_t>>> inputs;
+  for (size_t w = 0; w < sharded.num_workers(); ++w) {
+    inputs.emplace_back(sharded.worker(w));
+    differential::Capture(differential::ReduceMin(inputs[w].stream()));
+  }
+  for (int64_t i = 0; i < 3000; ++i) {
+    uint64_t key = static_cast<uint64_t>(i) % 64;
+    inputs[sharded.OwnerOfHash(HashValue(key))].Send({key, i}, 1);
+  }
+  ASSERT_TRUE(sharded.Step().ok());
+
+  HttpReply reply = HttpGet(server_.port(), "/workersz");
+  ASSERT_EQ(reply.status_code, 200);
+  EXPECT_NE(reply.raw.find("application/json"), std::string::npos);
+  json_lite::Value doc = ParseJsonOrFail(reply.body);
+  const json_lite::Value* dataflows = doc.Get("dataflows");
+  ASSERT_NE(dataflows, nullptr);
+  ASSERT_TRUE(dataflows->is_array());
+  bool found = false;
+  for (const json_lite::Value& df : dataflows->array) {
+    if (df.Get("name") == nullptr ||
+        df.Get("name")->string != sharded.profile().name()) {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(df.Get("workers")->number, 3);
+    const json_lite::Value* attribution = df.Get("attribution");
+    ASSERT_NE(attribution, nullptr);
+    ASSERT_EQ(attribution->array.size(), 3u);
+    for (const json_lite::Value& worker : attribution->array) {
+      // The five exclusive states tile the worker's accounted time.
+      const double sum = worker.Get("busy_ns")->number +
+                         worker.Get("exchange_ns")->number +
+                         worker.Get("barrier_ns")->number +
+                         worker.Get("seal_ns")->number +
+                         worker.Get("idle_ns")->number;
+      EXPECT_DOUBLE_EQ(sum, worker.Get("total_ns")->number);
+      EXPECT_GT(worker.Get("total_ns")->number, 0.0);
+    }
+    EXPECT_NE(df.Get("skew"), nullptr);
+  }
+  EXPECT_TRUE(found) << reply.body;
+  const json_lite::Value* summary = doc.Get("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_GE(summary->Get("steps")->number, 1);
+}
+
+TEST_F(StatusServerTest, StatuszWarnsWhenTimeseriesDropsSeries) {
+  metrics::Gauge* dropped = metrics::Registry::Global().GetGauge(
+      "gs_timeseries_dropped_series");
+  dropped->Set(2);
+  HttpReply reply = HttpGet(server_.port(), "/statusz");
+  ASSERT_EQ(reply.status_code, 200);
+  json_lite::Value doc = ParseJsonOrFail(reply.body);
+  const json_lite::Value* warnings = doc.Get("warnings");
+  ASSERT_NE(warnings, nullptr) << reply.body;
+  ASSERT_FALSE(warnings->array.empty());
+  EXPECT_NE(warnings->array[0].string.find("dropped 2 series"),
+            std::string::npos)
+      << warnings->array[0].string;
+
+  // With the gauge back at zero the banner disappears.
+  dropped->Set(0);
+  json_lite::Value clean =
+      ParseJsonOrFail(HttpGet(server_.port(), "/statusz").body);
+  EXPECT_EQ(clean.Get("warnings"), nullptr);
+}
+
 TEST_F(StatusServerTest, IndexListsRegisteredPaths) {
   HttpReply reply = HttpGet(server_.port(), "/");
   EXPECT_EQ(reply.status_code, 200);

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "differential/differential.h"
@@ -199,6 +201,53 @@ TEST_F(TraceEventTest, EngineRunProducesLoadablePerfettoTrace) {
   EXPECT_TRUE(saw_step);
   EXPECT_TRUE(saw_seal);
   EXPECT_TRUE(saw_op);
+}
+
+// Overflowing a thread's ring buffer must keep the dump a well-formed
+// trace: newest events win, spans stay properly formed, and the JSON still
+// parses. Nested outer/inner spans across the wrap point exercise the case
+// where an inner span survives but its enclosing outer span was evicted.
+TEST_F(TraceEventTest, RingWraparoundDropsOldestKeepsJsonWellFormed) {
+  // Keep in sync with ThreadBuffer::kCapacity in trace_event.cc.
+  constexpr size_t kRingCapacity = 16384;
+  constexpr size_t kPairs = kRingCapacity / 2 + 512;  // overflow by ~1024
+  SetEnabled(true);
+  for (size_t i = 0; i < kPairs; ++i) {
+    std::string name = "outer_" + std::to_string(i);
+    Span outer("wrap", name.c_str(), static_cast<uint32_t>(i));
+    std::string inner_name = "inner_" + std::to_string(i);
+    Span inner("wrap", inner_name.c_str(), static_cast<uint32_t>(i));
+  }
+  SetEnabled(false);
+
+  // Structured view: exactly one ring of events survives, and they are the
+  // newest (the first recorded pairs were evicted).
+  std::vector<CollectedEvent> events = CollectStructured();
+  ASSERT_EQ(events.size(), kRingCapacity);
+  uint32_t min_version = UINT32_MAX;
+  uint32_t max_version = 0;
+  for (const CollectedEvent& e : events) {
+    ASSERT_EQ(e.phase, 'X');
+    EXPECT_EQ(e.category, "wrap");
+    min_version = std::min(min_version, e.version);
+    max_version = std::max(max_version, e.version);
+  }
+  EXPECT_EQ(max_version, kPairs - 1);                  // newest kept
+  EXPECT_EQ(min_version, kPairs - kRingCapacity / 2);  // oldest dropped
+  // Spans destruct inner-first, so events are ordered inner_i, outer_i,
+  // inner_i+1, ... — every surviving pair must still nest (inner's interval
+  // inside outer's), even right after the wrap seam.
+  for (size_t i = 0; i + 1 < events.size(); i += 2) {
+    const CollectedEvent& inner = events[i];
+    const CollectedEvent& outer = events[i + 1];
+    ASSERT_EQ(inner.version, outer.version);
+    EXPECT_GE(inner.ts_ns, outer.ts_ns);
+    EXPECT_LE(inner.ts_ns + inner.dur_ns, outer.ts_ns + outer.dur_ns);
+  }
+
+  // The Chrome-format dump of a wrapped buffer still parses.
+  json_lite::Value root = ParseTrace(ToJson());
+  EXPECT_EQ(root.Get("traceEvents")->array.size(), kRingCapacity);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -479,6 +480,73 @@ TEST(WatchdogIntegrationTest, EpochSealDelayTripsAdvanceDeadline) {
   // The advance finished: its RAII scope cleared the in-progress marker.
   EXPECT_TRUE(dog.EvaluateNow().empty());
   dog.Stop();
+}
+
+// RAII environment variable for the override tests: set on construction,
+// unset on destruction so state never leaks across tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(WatchdogEnvOverrideTest, ValidValuesOverrideThresholds) {
+  ScopedEnv stall("GRAPHSURGE_WATCHDOG_FRONTIER_STALL_MS", "1234");
+  ScopedEnv deadline("GRAPHSURGE_WATCHDOG_EPOCH_ADVANCE_DEADLINE_MS", "777");
+  ScopedEnv fsync("GRAPHSURGE_WATCHDOG_WAL_FSYNC_P99_NS", "5000000");
+  ScopedEnv lag_min("GRAPHSURGE_WATCHDOG_INGEST_LAG_MIN", "9");
+  ScopedEnv lag_inc("GRAPHSURGE_WATCHDOG_INGEST_LAG_INCREASES", "6");
+  watchdog::WatchdogOptions options;
+  watchdog::Watchdog::ApplyEnvOverrides(&options);
+  EXPECT_EQ(options.frontier_stall_ms, 1234u);
+  EXPECT_EQ(options.epoch_advance_deadline_ms, 777u);
+  EXPECT_EQ(options.wal_fsync_p99_ns, 5000000u);
+  EXPECT_EQ(options.ingest_lag_min, 9u);
+  EXPECT_EQ(options.ingest_lag_increases, 6);
+}
+
+TEST(WatchdogEnvOverrideTest, InvalidValuesKeepDefaults) {
+  const watchdog::WatchdogOptions defaults;
+  {
+    ScopedEnv bad("GRAPHSURGE_WATCHDOG_FRONTIER_STALL_MS", "soon");
+    watchdog::WatchdogOptions options;
+    watchdog::Watchdog::ApplyEnvOverrides(&options);
+    EXPECT_EQ(options.frontier_stall_ms, defaults.frontier_stall_ms);
+  }
+  {
+    ScopedEnv bad("GRAPHSURGE_WATCHDOG_EPOCH_ADVANCE_DEADLINE_MS", "-5");
+    watchdog::WatchdogOptions options;
+    watchdog::Watchdog::ApplyEnvOverrides(&options);
+    EXPECT_EQ(options.epoch_advance_deadline_ms,
+              defaults.epoch_advance_deadline_ms);
+  }
+  {
+    ScopedEnv bad("GRAPHSURGE_WATCHDOG_WAL_FSYNC_P99_NS", "12monkeys");
+    watchdog::WatchdogOptions options;
+    watchdog::Watchdog::ApplyEnvOverrides(&options);
+    EXPECT_EQ(options.wal_fsync_p99_ns, defaults.wal_fsync_p99_ns);
+  }
+  {
+    ScopedEnv bad("GRAPHSURGE_WATCHDOG_INGEST_LAG_MIN", "");
+    watchdog::WatchdogOptions options;
+    watchdog::Watchdog::ApplyEnvOverrides(&options);
+    EXPECT_EQ(options.ingest_lag_min, defaults.ingest_lag_min);
+  }
+}
+
+TEST(WatchdogEnvOverrideTest, UnsetVariablesLeaveOptionsUntouched) {
+  // No GRAPHSURGE_WATCHDOG_* set: caller-provided values survive.
+  watchdog::WatchdogOptions options;
+  options.frontier_stall_ms = 42;
+  options.ingest_lag_increases = 11;
+  watchdog::Watchdog::ApplyEnvOverrides(&options);
+  EXPECT_EQ(options.frontier_stall_ms, 42u);
+  EXPECT_EQ(options.ingest_lag_increases, 11);
 }
 
 }  // namespace
