@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "differential/arrcache.h"
 #include "differential/differential.h"
 #include "graph/generators.h"
 #include "graph/mutation.h"
@@ -16,6 +17,7 @@
 #include "ordering/optimizer.h"
 #include "views/collection.h"
 #include "views/ebm.h"
+#include "views/executor.h"
 #include "views/live.h"
 
 namespace gs {
@@ -159,6 +161,52 @@ void BM_ChristofidesOrdering(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChristofidesOrdering)->Arg(16)->Arg(64);
+
+// Single-graph analytics through the process-level arrangement cache
+// (differential/arrcache.h): cold runs clear the cache and pay the full
+// arrangement build every iteration; warm runs seed their traces from the
+// shared snapshot. The gap is what concurrent serving sessions on the same
+// graph save after the first run.
+void BM_ArrangementCacheColdRun(benchmark::State& state) {
+  PropertyGraph g = GenerateUniformGraph(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(0)) * 4, 9);
+  analytics::Wcc wcc;
+  views::ExecutionOptions eo;
+  eo.capture_results = true;
+  eo.dataflow.use_arrangements = true;
+  eo.arrangement_cache_scope = "bench-cold/g@0";
+  for (auto _ : state) {
+    dd::ArrangementCache::Global().Clear();
+    auto r = views::RunOnGraph(wcc, g, eo);
+    GS_CHECK(r.ok()) << r.status().ToString();
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  dd::ArrangementCache::Global().Clear();
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_ArrangementCacheColdRun)->Arg(2000);
+
+void BM_ArrangementCacheWarmRun(benchmark::State& state) {
+  PropertyGraph g = GenerateUniformGraph(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(0)) * 4, 9);
+  analytics::Wcc wcc;
+  views::ExecutionOptions eo;
+  eo.capture_results = true;
+  eo.dataflow.use_arrangements = true;
+  eo.arrangement_cache_scope = "bench-warm/g@0";
+  dd::ArrangementCache::Global().Clear();
+  GS_CHECK(views::RunOnGraph(wcc, g, eo).ok());  // prime the entry
+  for (auto _ : state) {
+    auto r = views::RunOnGraph(wcc, g, eo);
+    GS_CHECK(r.ok()) << r.status().ToString();
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  dd::ArrangementCache::Global().Clear();
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_ArrangementCacheWarmRun)->Arg(2000);
 
 // ---------------------------------------------------------------------------
 // Deterministic end-to-end engine workload. Unlike the micros above this

@@ -91,6 +91,11 @@ class Mpsp : public Computation {
   explicit Mpsp(std::vector<std::pair<VertexId, VertexId>> pairs)
       : pairs_(std::move(pairs)) {}
   std::string name() const override { return "mpsp"; }
+  // One dataflow branch per source pair: the operator graph depends on the
+  // pair count, so runs with different counts must never share cache slots.
+  std::string cache_tag() const override {
+    return "mpsp#" + std::to_string(pairs_.size());
+  }
   ResultStream GraphAnalytics(differential::Dataflow* dataflow,
                               EdgeStream edges) const override;
 

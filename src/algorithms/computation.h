@@ -37,6 +37,18 @@ class Computation {
   /// Short identifier ("wcc", "pagerank", ...) used in reports.
   virtual std::string name() const = 0;
 
+  /// Key fragment identifying the dataflow *shape* this computation builds,
+  /// used by the shared-arrangement cache (differential/arrcache.h): two
+  /// computations with equal cache_tag() must construct operator graphs
+  /// with identical operator orders whose cacheable arrangements hold
+  /// identical content given the same edge input. Parameters that only
+  /// enter as stream values (BFS/Bellman-Ford sources, PageRank iteration
+  /// counts) need not be included — the cached adjacency arrangements are
+  /// source-independent, which is exactly what makes them shareable across
+  /// queries. Parameters that change the operator graph itself (MPSP's
+  /// pair count) must be.
+  virtual std::string cache_tag() const { return name(); }
+
   /// Builds the analytics dataflow over `edges` inside `dataflow`.
   virtual ResultStream GraphAnalytics(differential::Dataflow* dataflow,
                                       EdgeStream edges) const = 0;

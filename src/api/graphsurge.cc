@@ -1,9 +1,11 @@
 #include "api/graphsurge.h"
 
+#include <atomic>
 #include <iomanip>
 #include <sstream>
 
 #include "common/crash_dump.h"
+#include "differential/arrcache.h"
 #include "common/introspect.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -23,10 +25,16 @@ namespace {
 std::mutex g_profilez_mutex;
 const Graphsurge* g_profilez_system = nullptr;
 
+/// Monotone instance numbering for arrangement-cache scopes: a system's
+/// scopes must never alias another instance's (live or destroyed), even for
+/// graphs with equal names at equal epochs.
+std::atomic<uint64_t> g_next_instance_id{1};
+
 }  // namespace
 
 Graphsurge::Graphsurge(GraphsurgeOptions options)
     : options_(options),
+      instance_id_(g_next_instance_id.fetch_add(1)),
       pool_(std::make_unique<ThreadPool>(
           options.num_workers == 0 ? 1 : options.num_workers)),
       ingest_source_("ingest", [this] {
@@ -56,8 +64,27 @@ Graphsurge::Graphsurge(GraphsurgeOptions options)
 }
 
 Graphsurge::~Graphsurge() {
+  // Teardown-zero: every cached arrangement this instance's graphs seeded
+  // is dropped (scopes all carry the instance prefix), so the arrcache
+  // byte gauge returns to zero once in-flight readers release their pins.
+  differential::ArrangementCache::Global().InvalidateScopePrefix(
+      "gs" + std::to_string(instance_id_) + "/");
   std::lock_guard<std::mutex> lock(g_profilez_mutex);
   if (g_profilez_system == this) g_profilez_system = nullptr;
+}
+
+std::string Graphsurge::CacheScopeFor(const std::string& graph_name,
+                                      uint64_t epoch) const {
+  return "gs" + std::to_string(instance_id_) + "/" + graph_name + "@" +
+         std::to_string(epoch);
+}
+
+std::string Graphsurge::ArrangementCacheScope(
+    const std::string& graph_name) const {
+  auto it = graphs_.find(graph_name);
+  const uint64_t epoch =
+      it == graphs_.end() ? 0 : it->second.mutation_epoch();
+  return CacheScopeFor(graph_name, epoch);
 }
 
 Status Graphsurge::CheckNameFree(const std::string& name) const {
@@ -331,6 +358,10 @@ StatusOr<analytics::ResultMap> Graphsurge::RunOnView(
   if (options.dataflow.num_workers == 0) {
     options.dataflow.num_workers = options_.num_workers;
   }
+  if (options.arrangement_cache_scope.empty()) {
+    options.arrangement_cache_scope =
+        CacheScopeFor(name, graph->mutation_epoch());
+  }
   return views::RunOnGraph(computation, *graph, options);
 }
 
@@ -347,8 +378,14 @@ StatusOr<PropertyGraph*> Graphsurge::GetMutableGraph(const std::string& name) {
 Status Graphsurge::ApplyBatchInternal(const std::string& graph_name,
                                       PropertyGraph* graph,
                                       const MutationBatch& batch) {
+  // Arrangements cached for the pre-mutation epoch describe a graph that no
+  // longer exists; drop them (in-flight readers keep their pinned
+  // snapshots). Post-mutation runs key under the bumped epoch and rebuild.
+  const std::string stale_scope =
+      CacheScopeFor(graph_name, graph->mutation_epoch());
   MutationEffects effects;
   GS_RETURN_IF_ERROR(ApplyMutationBatch(graph, batch, &effects));
+  differential::ArrangementCache::Global().InvalidateScope(stale_scope);
 
   // Maintain every collection over this graph before advancing its live
   // runs: LiveRun::AdvanceEpoch requires the refreshed collection.

@@ -159,12 +159,22 @@ class Graphsurge {
   ThreadPool* pool() const { return pool_.get(); }
   const GraphsurgeOptions& options() const { return options_; }
 
+  /// The shared-arrangement cache scope RunOnView uses for `graph_name`:
+  /// "gs<instance>/<graph>@<epoch>". Process-unique per (instance, graph,
+  /// mutation epoch), so concurrent sessions of one system share cached
+  /// arrangements while other instances (or post-mutation runs) never
+  /// alias. ApplyMutations invalidates the superseded epoch's entries; the
+  /// destructor drops everything under "gs<instance>/".
+  std::string ArrangementCacheScope(const std::string& graph_name) const;
+
   /// Names of stored graphs/views (diagnostics, examples).
   std::vector<std::string> GraphNames() const;
   std::vector<std::string> CollectionNames() const;
 
  private:
   Status CheckNameFree(const std::string& name) const;
+  std::string CacheScopeFor(const std::string& graph_name,
+                            uint64_t epoch) const;
   StatusOr<std::string> ExplainCollection(const std::string& name) const;
   /// Non-const lookup for the ingest path (ApplyMutations mutates graphs).
   StatusOr<PropertyGraph*> GetMutableGraph(const std::string& name);
@@ -177,6 +187,9 @@ class Graphsurge {
   void RefreshIngestStatus();
 
   GraphsurgeOptions options_;
+  /// Process-unique instance number prefixing every arrangement-cache
+  /// scope this system creates.
+  uint64_t instance_id_;
   std::unique_ptr<ThreadPool> pool_;
   /// Guards the cached run reports below: the status server's /profilez
   /// scrapes them from its own thread while RunComputation replaces them.

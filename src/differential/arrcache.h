@@ -1,0 +1,513 @@
+// Process-level shared-arrangement cache.
+//
+// A dataflow built for a single-version run (one view, one graph epoch)
+// constructs the same arrangements every time: the arranged adjacency of a
+// graph does not depend on which session asked for it. This cache promotes
+// those arrangements from per-dataflow objects to process-level shared
+// state, so concurrent sessions running the same computation on the same
+// graph build the adjacency arrangement once and every later (or
+// concurrently waiting) run seeds its traces from the cached snapshot
+// instead of re-indexing the edge set.
+//
+// Keying. An entry is keyed by (scope, tag):
+//   scope — identifies the graph *content*: a process-unique system
+//           instance id plus graph name plus mutation epoch, e.g.
+//           "gs3/wiki@2". ApplyMutations bumps the epoch, so a mutation
+//           invalidates exactly the stale entries (InvalidateScope).
+//   tag   — identifies the dataflow *shape* on that graph: computation
+//           name, worker count, weight column. Op orders are deterministic
+//           per (computation, workers), so a cached slot keyed by operator
+//           order always lines up with the same logical operator.
+//
+// Transaction protocol. views::RunOnGraph calls Begin(scope, tag) once per
+// run and threads the returned transaction to the dataflow's operators via
+// DataflowOptions::arrcache:
+//   builder — no complete entry existed. The run executes normally;
+//             qualifying operators (see below) export consolidated
+//             snapshots of their traces into per-(op order, worker) slots;
+//             Commit() publishes the entry and wakes waiting readers.
+//             Exactly one miss is counted per built entry.
+//   reader  — a complete entry existed (or a concurrent builder finished
+//             while we waited). Operators with a matching slot seed their
+//             traces from the shared snapshot and skip the build work.
+//             Exactly one hit is counted per reading run.
+//   bypass  — waiting for a concurrent builder timed out, or the builder
+//             aborted; the run executes normally without touching cache
+//             state.
+// A builder transaction destroyed without Commit (failed run) retracts the
+// pending entry and wakes waiters, which retry Begin and promote one of
+// themselves to builder.
+//
+// Why only single-version arrangements are cacheable: a seeded trace holds
+// the *final* history. At version 0 "final" and "as built so far" coincide,
+// so the bilinear join discipline of arrange.h is unchanged. In a
+// multi-version run a seeded trace would expose future versions to earlier
+// probes and double-count against the republished deltas, so operators
+// disqualify themselves the moment they observe activity at any time other
+// than Time(0) — including loop iterations (SCC's inner arrangements) and
+// later collection versions. Disqualified operators simply contribute no
+// slot; readers missing a slot build that operator normally.
+//
+// Memory. Slots hold immutable, consolidated entry vectors behind
+// shared_ptr; seeded traces alias them copy-on-write (trace.h SeedShared),
+// so eviction or invalidation never pulls storage out from under a running
+// dataflow. Total cached bytes are bounded by a byte budget
+// (GRAPHSURGE_ARRCACHE_BYTES, default 256 MiB) with LRU eviction of
+// complete, unpinned entries. Metrics: gs_arrcache_{hits,misses,
+// evictions,bytes,entries}; /statusz renders DebugJson().
+#ifndef GRAPHSURGE_DIFFERENTIAL_ARRCACHE_H_
+#define GRAPHSURGE_DIFFERENTIAL_ARRCACHE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "common/introspect.h"
+#include "common/metrics.h"
+
+namespace gs::differential {
+
+class ArrangementCache;
+
+/// Per-run cache transaction handed to operators through
+/// DataflowOptions::arrcache. Thread-safe: worker shards Put/Get
+/// concurrently.
+class ArrCacheTxn {
+ public:
+  enum class Role { kBuilder, kReader, kBypass };
+
+  ~ArrCacheTxn();
+  ArrCacheTxn(const ArrCacheTxn&) = delete;
+  ArrCacheTxn& operator=(const ArrCacheTxn&) = delete;
+
+  Role role() const { return role_; }
+  bool building() const { return role_ == Role::kBuilder; }
+  bool importing() const { return role_ == Role::kReader; }
+
+  /// Reader: the cached snapshot for operator `op_order` on worker shard
+  /// `worker`, or nullptr when that operator contributed no slot (it did
+  /// not qualify during the build) or the element type does not match.
+  template <typename E>
+  std::shared_ptr<const std::vector<E>> GetRows(int op_order,
+                                                int worker) const {
+    std::shared_ptr<const void> p =
+        GetSlot(op_order, worker, typeid(std::vector<E>));
+    return std::shared_ptr<const std::vector<E>>(
+        std::move(p), p ? static_cast<const std::vector<E>*>(p.get())
+                        : nullptr);
+  }
+
+  /// Builder: stage a consolidated snapshot for operator `op_order` on
+  /// worker shard `worker`. Staged slots become visible only at Commit().
+  template <typename E>
+  void PutRows(int op_order, int worker,
+               std::shared_ptr<const std::vector<E>> rows) {
+    if (!rows) return;
+    const size_t bytes = rows->size() * sizeof(E);
+    PutSlot(op_order, worker, typeid(std::vector<E>),
+            std::shared_ptr<const void>(std::move(rows)), bytes);
+  }
+
+  /// Builder: publish the staged slots as a complete entry and wake
+  /// waiting readers. No-op for readers/bypass. A builder transaction with
+  /// zero staged slots (nothing qualified) retracts the entry instead so
+  /// later runs do not "hit" an empty entry.
+  void Commit();
+
+  struct Slot {
+    std::shared_ptr<const void> rows;
+    const std::type_info* type = nullptr;
+    size_t bytes = 0;
+  };
+  using SlotKey = std::pair<int, int>;  // (op order, worker shard)
+
+ private:
+  friend class ArrangementCache;
+
+  ArrCacheTxn() = default;
+
+  std::shared_ptr<const void> GetSlot(int op_order, int worker,
+                                      const std::type_info& type) const;
+  void PutSlot(int op_order, int worker, const std::type_info& type,
+               std::shared_ptr<const void> rows, size_t bytes);
+
+  ArrangementCache* cache_ = nullptr;
+  Role role_ = Role::kBypass;
+  std::shared_ptr<struct ArrCacheEntry> entry_;
+  mutable std::mutex staged_mutex_;
+  std::map<SlotKey, Slot> staged_;
+  bool committed_ = false;
+};
+
+/// One cached arrangement set: the slots exported by a qualifying build of
+/// (scope, tag). Immutable once `complete`.
+struct ArrCacheEntry {
+  std::string scope;
+  std::string tag;
+  bool complete = false;
+  bool retracted = false;  // builder aborted; waiters must retry
+  std::map<ArrCacheTxn::SlotKey, ArrCacheTxn::Slot> slots;
+  size_t bytes = 0;       // sum of slot bytes
+  uint64_t last_used = 0;  // logical LRU clock
+  int pins = 0;           // live transactions referencing this entry
+};
+
+class ArrangementCache {
+ public:
+  /// The process-wide cache instance. Registered as a /statusz source
+  /// ("arrangement-cache") on first use; both the cache and the
+  /// registration are intentionally leaked, so the producer can never
+  /// outlive the state it renders.
+  static ArrangementCache& Global() {
+    static ArrangementCache* cache = [] {
+      auto* c = new ArrangementCache();
+      introspect::Registry::Global().Register(
+          "arrangement-cache", [c] { return c->DebugJson(); });
+      return c;
+    }();
+    return *cache;
+  }
+
+  ArrangementCache() {
+    if (const char* env = std::getenv("GRAPHSURGE_ARRCACHE_BYTES")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env) byte_budget_ = static_cast<size_t>(v);
+    }
+    if (const char* env = std::getenv("GRAPHSURGE_ARRCACHE_WAIT_MS")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env) wait_ms_ = static_cast<int64_t>(v);
+    }
+  }
+
+  /// Opens a transaction for one run of the dataflow identified by `tag`
+  /// over the graph identified by `scope`. An empty scope disables caching
+  /// (bypass). Blocks up to the configured wait while a concurrent builder
+  /// is in flight.
+  std::shared_ptr<ArrCacheTxn> Begin(const std::string& scope,
+                                     const std::string& tag) {
+    auto txn = std::shared_ptr<ArrCacheTxn>(new ArrCacheTxn());
+    txn->cache_ = this;
+    if (scope.empty()) return txn;
+    const std::string key = Key(scope, tag);
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(wait_ms_);
+    for (;;) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        auto entry = std::make_shared<ArrCacheEntry>();
+        entry->scope = scope;
+        entry->tag = tag;
+        entry->pins = 1;
+        entries_[key] = entry;
+        txn->role_ = ArrCacheTxn::Role::kBuilder;
+        txn->entry_ = std::move(entry);
+        stats_[key].misses++;
+        Misses()->Increment();
+        UpdateGauges();
+        return txn;
+      }
+      std::shared_ptr<ArrCacheEntry> entry = it->second;
+      if (entry->complete) {
+        entry->pins++;
+        entry->last_used = ++lru_clock_;
+        txn->role_ = ArrCacheTxn::Role::kReader;
+        txn->entry_ = std::move(entry);
+        stats_[key].hits++;
+        Hits()->Increment();
+        return txn;
+      }
+      // A builder is in flight; wait for it to commit or retract.
+      if (cv_.wait_until(lock, deadline, [&] {
+            auto jt = entries_.find(key);
+            return jt == entries_.end() || jt->second != entry ||
+                   jt->second->complete;
+          })) {
+        continue;  // re-examine: hit, or promote ourselves to builder
+      }
+      return txn;  // timed out: bypass
+    }
+  }
+
+  /// Drops every entry whose scope matches exactly (graph mutated or its
+  /// owner was destroyed). Running readers keep their pinned snapshots
+  /// alive through shared_ptr; the dropped entries are counted as
+  /// evictions.
+  void InvalidateScope(const std::string& scope) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second->scope == scope) {
+        if (it->second->complete) {
+          Evictions()->Increment();
+        }
+        it->second->retracted = true;
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    cv_.notify_all();
+    UpdateGauges();
+  }
+
+  /// Drops every entry whose scope starts with `prefix` — the teardown path
+  /// of an api::Graphsurge instance, whose scopes all share the
+  /// "gs<instance>/" prefix.
+  void InvalidateScopePrefix(const std::string& prefix) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second->scope.compare(0, prefix.size(), prefix) == 0) {
+        if (it->second->complete) {
+          Evictions()->Increment();
+        }
+        it->second->retracted = true;
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    cv_.notify_all();
+    UpdateGauges();
+  }
+
+  /// Drops all entries and per-key statistics (tests).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, entry] : entries_) entry->retracted = true;
+    entries_.clear();
+    stats_.clear();
+    cv_.notify_all();
+    UpdateGauges();
+  }
+
+  void set_byte_budget(size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    byte_budget_ = bytes;
+    EvictLocked();
+    UpdateGauges();
+  }
+  void set_wait_ms(int64_t ms) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wait_ms_ = ms;
+  }
+
+  size_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return TotalBytesLocked();
+  }
+  size_t num_entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  /// Cumulative per-key statistics; survive eviction of the entry itself.
+  struct KeyStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  struct EntryStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t bytes = 0;
+    int pins = 0;
+    bool complete = false;
+    bool resident = false;
+  };
+  std::optional<EntryStats> Stats(const std::string& scope,
+                                  const std::string& tag) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string key = Key(scope, tag);
+    auto st = stats_.find(key);
+    if (st == stats_.end()) return std::nullopt;
+    EntryStats out;
+    out.hits = st->second.hits;
+    out.misses = st->second.misses;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      out.resident = true;
+      out.complete = it->second->complete;
+      out.bytes = it->second->bytes;
+      out.pins = it->second->pins;
+    }
+    return out;
+  }
+
+  /// JSON fragment for /statusz.
+  std::string DebugJson() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string s = "{\"byte_budget\": " + std::to_string(byte_budget_) +
+                    ", \"bytes\": " + std::to_string(TotalBytesLocked()) +
+                    ", \"entries\": [";
+    bool first = true;
+    for (const auto& [key, entry] : entries_) {
+      if (!first) s += ", ";
+      first = false;
+      s += "{\"scope\": \"" + introspect::JsonEscape(entry->scope) +
+           "\", \"tag\": \"" + introspect::JsonEscape(entry->tag) +
+           "\", \"complete\": " + (entry->complete ? "true" : "false") +
+           ", \"slots\": " + std::to_string(entry->slots.size()) +
+           ", \"bytes\": " + std::to_string(entry->bytes) +
+           ", \"pins\": " + std::to_string(entry->pins);
+      auto st = stats_.find(key);
+      if (st != stats_.end()) {
+        s += ", \"hits\": " + std::to_string(st->second.hits) +
+             ", \"misses\": " + std::to_string(st->second.misses);
+      }
+      s += "}";
+    }
+    s += "]}";
+    return s;
+  }
+
+ private:
+  friend class ArrCacheTxn;
+
+  static std::string Key(const std::string& scope, const std::string& tag) {
+    return scope + "\x1f" + tag;
+  }
+
+  static metrics::Counter* Hits() {
+    static auto* c = metrics::Registry::Global().GetCounter("gs_arrcache_hits");
+    return c;
+  }
+  static metrics::Counter* Misses() {
+    static auto* c =
+        metrics::Registry::Global().GetCounter("gs_arrcache_misses");
+    return c;
+  }
+  static metrics::Counter* Evictions() {
+    static auto* c =
+        metrics::Registry::Global().GetCounter("gs_arrcache_evictions");
+    return c;
+  }
+  static metrics::Gauge* Bytes() {
+    static auto* g = metrics::Registry::Global().GetGauge("gs_arrcache_bytes");
+    return g;
+  }
+  static metrics::Gauge* Entries() {
+    static auto* g =
+        metrics::Registry::Global().GetGauge("gs_arrcache_entries");
+    return g;
+  }
+
+  size_t TotalBytesLocked() const {
+    size_t total = 0;
+    for (const auto& [key, entry] : entries_) total += entry->bytes;
+    return total;
+  }
+
+  void UpdateGauges() {
+    Bytes()->Set(static_cast<int64_t>(TotalBytesLocked()));
+    Entries()->Set(static_cast<int64_t>(entries_.size()));
+  }
+
+  /// Evicts complete, unpinned entries in LRU order until the byte budget
+  /// holds. Callers hold mutex_.
+  void EvictLocked() {
+    while (TotalBytesLocked() > byte_budget_) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (!it->second->complete || it->second->pins > 0) continue;
+        if (victim == entries_.end() ||
+            it->second->last_used < victim->second->last_used) {
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) return;  // everything pinned
+      victim->second->retracted = true;
+      entries_.erase(victim);
+      Evictions()->Increment();
+    }
+  }
+
+  /// Transaction termination. Builder commit publishes the staged slots;
+  /// builder abort (or an empty commit) retracts the pending entry so a
+  /// waiting reader can retry Begin and promote itself.
+  void Finish(ArrCacheTxn* txn, bool commit) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<ArrCacheEntry> entry = std::move(txn->entry_);
+    if (!entry) return;
+    entry->pins--;
+    if (txn->role_ == ArrCacheTxn::Role::kBuilder && !entry->complete) {
+      const std::string key = Key(entry->scope, entry->tag);
+      std::map<ArrCacheTxn::SlotKey, ArrCacheTxn::Slot> staged;
+      {
+        std::lock_guard<std::mutex> slock(txn->staged_mutex_);
+        staged = std::move(txn->staged_);
+      }
+      auto it = entries_.find(key);
+      const bool resident = it != entries_.end() && it->second == entry;
+      if (commit && !staged.empty() && resident && !entry->retracted) {
+        entry->slots = std::move(staged);
+        entry->bytes = 0;
+        for (const auto& [slot_key, slot] : entry->slots) {
+          entry->bytes += slot.bytes;
+        }
+        entry->complete = true;
+        entry->last_used = ++lru_clock_;
+        EvictLocked();
+      } else if (resident) {
+        entry->retracted = true;
+        entries_.erase(it);
+      }
+      cv_.notify_all();
+      UpdateGauges();
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<ArrCacheEntry>> entries_;
+  std::map<std::string, KeyStats> stats_;
+  size_t byte_budget_ = 256ull << 20;
+  int64_t wait_ms_ = 60000;
+  uint64_t lru_clock_ = 0;
+};
+
+inline ArrCacheTxn::~ArrCacheTxn() {
+  if (cache_) cache_->Finish(this, /*commit=*/false);
+}
+
+inline void ArrCacheTxn::Commit() {
+  if (cache_ && !committed_) {
+    committed_ = true;
+    cache_->Finish(this, /*commit=*/true);
+  }
+}
+
+inline std::shared_ptr<const void> ArrCacheTxn::GetSlot(
+    int op_order, int worker, const std::type_info& type) const {
+  if (role_ != Role::kReader || !entry_) return nullptr;
+  // Entry slots are immutable once complete; no lock needed.
+  auto it = entry_->slots.find(SlotKey{op_order, worker});
+  if (it == entry_->slots.end()) return nullptr;
+  if (it->second.type == nullptr || *it->second.type != type) return nullptr;
+  return it->second.rows;
+}
+
+inline void ArrCacheTxn::PutSlot(int op_order, int worker,
+                                 const std::type_info& type,
+                                 std::shared_ptr<const void> rows,
+                                 size_t bytes) {
+  if (role_ != Role::kBuilder) return;
+  std::lock_guard<std::mutex> lock(staged_mutex_);
+  Slot& slot = staged_[SlotKey{op_order, worker}];
+  slot.rows = std::move(rows);
+  slot.type = &type;
+  slot.bytes = bytes;
+}
+
+}  // namespace gs::differential
+
+#endif  // GRAPHSURGE_DIFFERENTIAL_ARRCACHE_H_

@@ -41,7 +41,8 @@
 namespace gs::differential {
 
 class Dataflow;
-class ExchangeHub;  // defined in exchange.h
+class ExchangeHub;   // defined in exchange.h
+class ArrCacheTxn;   // defined in arrcache.h
 
 /// Execution parameters.
 struct DataflowOptions {
@@ -64,6 +65,13 @@ struct DataflowOptions {
   /// traces (the pre-arrangement plan shape) — kept selectable so
   /// equivalence tests can compare the two plans on identical input.
   bool use_arrangements = true;
+  /// Per-run transaction against the process-level shared-arrangement
+  /// cache (arrcache.h), threaded to operators by views::RunOnGraph. When
+  /// set, qualifying arrangement owners (ArrangeOp, arranged ReduceOp)
+  /// either export their built traces (builder role) or seed them from the
+  /// cached snapshot and skip the build (reader role). Null → every
+  /// dataflow builds its own arrangements, the pre-cache behavior.
+  std::shared_ptr<ArrCacheTxn> arrcache;
 };
 
 /// Aggregate counters. `updates_published` is the engine's measure of work

@@ -85,13 +85,41 @@ class ReduceOp : public OperatorBase {
 
   /// The output history as a shared arrangement (already key-partitioned:
   /// the input was exchanged by key and the output is keyed the same way).
+  /// Exposing the output as an arrangement also arms the process-level
+  /// arrangement cache for it: a reduce whose output other dataflows could
+  /// rebuild identically (e.g. the DistinctArranged adjacency) is exactly
+  /// one whose output is shared downstream.
   Arranged<K, Out> arranged() {
+    ArmCache();
     return Arranged<K, Out>(&output_trace_, stream());
+  }
+
+  void OnStepBegin(uint32_t version) override {
+    if (!import_ || version != 0) return;
+    // Import mode: replay the cached output deltas downstream instead of
+    // evaluating. All snapshot entries sit at Time(0) — the builder only
+    // qualified because every evaluation landed there.
+    Batch<std::pair<K, Out>> replay;
+    replay.reserve(seeded_rows_->size());
+    for (const auto& e : *seeded_rows_) {
+      replay.push_back(Update<std::pair<K, Out>>{{e.key, e.value}, e.diff});
+    }
+    seeded_rows_.reset();
+    if (!replay.empty()) output_.Publish(dataflow_, Time(0), std::move(replay));
   }
 
   void OnVersionSealed(uint32_t version) override {
     if (input_ == &owned_input_) owned_input_.CompactTo(version);
     output_trace_.CompactTo(version);
+    if (export_) {
+      if (version == 0) {
+        dataflow_->options().arrcache->PutRows(
+            static_cast<int>(order()),
+            static_cast<int>(dataflow_->worker_index()),
+            output_trace_.ExportConsolidated());
+      }
+      export_ = false;
+    }
   }
 
   void OnEpochSealed(uint32_t last_version) override {
@@ -179,7 +207,39 @@ class ReduceOp : public OperatorBase {
   // anyway. This deferral is what keeps differential re-execution
   // proportional to the change volume (the eager alternative evaluates
   // O(#iterations²) times per key per version).
+  // Checks the run's arrangement-cache transaction once, when the output
+  // is first exposed as a shared arrangement (arranged()).
+  void ArmCache() {
+    if (cache_checked_) return;
+    cache_checked_ = true;
+    ArrCacheTxn* txn = dataflow_->options().arrcache.get();
+    if (txn == nullptr) return;
+    if (txn->importing()) {
+      seeded_rows_ = txn->GetRows<typename Trace<K, Out>::Entry>(
+          static_cast<int>(order()),
+          static_cast<int>(dataflow_->worker_index()));
+      if (seeded_rows_ != nullptr) {
+        output_trace_.SeedShared(seeded_rows_);
+        import_ = true;
+      }
+    } else if (txn->building()) {
+      export_ = true;
+    }
+  }
+
   void RunAt(const Time& time) override {
+    if (import_) {
+      // Cached slots exist only for reduces whose every evaluation landed
+      // at Time(0) during the build; op orders are deterministic per
+      // (computation, workers), so this operator's input can only arrive
+      // there too. The input deltas are already reflected in the seeded
+      // output snapshot — discard them.
+      GS_CHECK(time == Time(0))
+          << "imported reduce received activity at " << time.ToString();
+      port_.Take(time);
+      return;
+    }
+    if (!(time == Time(0))) export_ = false;  // multi-time: not cacheable
     Batch<std::pair<K, V>> batch = port_.Take(time);
     // Sort the batch by key: each key's new updates form one contiguous
     // range handed to EvaluateKeyAt, which mirrors them into the key's
@@ -630,6 +690,12 @@ class ReduceOp : public OperatorBase {
   Batch<Out> scratch_delta_;
   std::vector<Time> scratch_lubs_;
   std::vector<std::pair<Time, Update<V>>> scratch_future_;
+  // Process-level arrangement cache participation (see ArmCache).
+  bool cache_checked_ = false;
+  bool import_ = false;  // output seeded from the cache; skip evaluation
+  bool export_ = false;  // builder run; snapshot the output at version 0 seal
+  std::shared_ptr<const std::vector<typename Trace<K, Out>::Entry>>
+      seeded_rows_;
 };
 
 /// Groups a keyed stream and applies `fn` per key (see ReduceOp). Reduce is

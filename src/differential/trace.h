@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -302,14 +303,15 @@ class Trace {
     size_t counted = tail_.size();
     for (size_t b = 0; b < spine_.size(); ++b) {
       const SpineBatch& batch = spine_[b];
-      GS_CHECK(!batch.entries.empty()) << "empty spine batch " << b;
+      const std::vector<Entry>& rows = batch.rows();
+      GS_CHECK(!rows.empty()) << "empty spine batch " << b;
       uint32_t min_version = UINT32_MAX;
       uint32_t max_version = 0;
-      for (size_t i = 0; i < batch.entries.size(); ++i) {
-        const Entry& e = batch.entries[i];
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Entry& e = rows[i];
         GS_CHECK(e.diff != 0)
             << "zero-diff entry in spine batch " << b << " at " << i;
-        GS_CHECK(!batch.uniform_time || e.time == batch.entries.front().time)
+        GS_CHECK(!batch.uniform_time || e.time == rows.front().time)
             << "uniform_time spine batch " << b
             << " has divergent time at " << i;
         min_version = std::min(min_version, e.time.version);
@@ -317,7 +319,7 @@ class Trace {
         if (i > 0) {
           // EntryLess is total on distinct (key, value, time) triples, so
           // sorted-and-consolidated means strictly increasing.
-          GS_CHECK(EntryLess(batch.entries[i - 1], e))
+          GS_CHECK(EntryLess(rows[i - 1], e))
               << "spine batch " << b << " unsorted or unconsolidated at "
               << i;
         }
@@ -329,13 +331,12 @@ class Trace {
           << "spine batch " << b << " max_version " << batch.max_version
           << " != computed " << max_version;
       if (b + 1 < spine_.size()) {
-        GS_CHECK(batch.entries.size() >=
-                 2 * spine_[b + 1].entries.size())
+        GS_CHECK(rows.size() >= 2 * spine_[b + 1].rows().size())
             << "geometric invariant violated between batches " << b
-            << " (" << batch.entries.size() << ") and " << b + 1 << " ("
-            << spine_[b + 1].entries.size() << ")";
+            << " (" << rows.size() << ") and " << b + 1 << " ("
+            << spine_[b + 1].rows().size() << ")";
       }
-      counted += batch.entries.size();
+      counted += rows.size();
     }
     GS_CHECK(counted == total_entries_)
         << "entry accounting drift: counted " << counted << " tracked "
@@ -348,7 +349,7 @@ class Trace {
     std::vector<K> keys;
     keys.reserve(total_entries_);
     for (const SpineBatch& batch : spine_) {
-      for (const Entry& e : batch.entries) keys.push_back(e.key);
+      for (const Entry& e : batch.rows()) keys.push_back(e.key);
     }
     for (const Entry& e : tail_) keys.push_back(e.key);
     std::sort(keys.begin(), keys.end());
@@ -381,6 +382,64 @@ class Trace {
   uint64_t num_merges() const { return num_merges_; }
   uint64_t num_compactions() const { return num_compactions_; }
 
+  /// Seeds an empty trace with an immutable shared snapshot (the
+  /// process-level arrangement cache, arrcache.h). The snapshot must be
+  /// sorted by EntryLess and consolidated — exactly what ExportConsolidated
+  /// produces. Storage is aliased, not copied: concurrent dataflows seeded
+  /// from the same snapshot share one vector. A seeded trace must receive
+  /// no further Inserts (import-mode operators guarantee this); the
+  /// copy-on-write in the merge paths keeps even a misuse memory-safe.
+  void SeedShared(std::shared_ptr<const std::vector<Entry>> rows) {
+    if (!rows || rows->empty()) return;
+    SpineBatch batch;
+    batch.min_version = UINT32_MAX;
+    batch.max_version = 0;
+    batch.uniform_time = true;
+    for (const Entry& e : *rows) {
+      batch.min_version = std::min(batch.min_version, e.time.version);
+      batch.max_version = std::max(batch.max_version, e.time.version);
+      if (!(e.time == rows->front().time)) batch.uniform_time = false;
+    }
+    total_entries_ += rows->size();
+    peak_entries_ = std::max(peak_entries_, total_entries_);
+    batch.shared = std::move(rows);
+    spine_.push_back(std::move(batch));
+    CheckSpineInvariants();
+  }
+
+  /// A consolidated snapshot of the full history: every entry (spine +
+  /// tail), sorted by EntryLess, equal (key, value, time) triples merged,
+  /// zero diffs dropped. Pure — the trace and its accounting are untouched.
+  std::shared_ptr<const std::vector<Entry>> ExportConsolidated() const {
+    auto out = std::make_shared<std::vector<Entry>>();
+    out->reserve(total_entries_);
+    for (const SpineBatch& batch : spine_) {
+      const std::vector<Entry>& rows = batch.rows();
+      out->insert(out->end(), rows.begin(), rows.end());
+    }
+    out->insert(out->end(), tail_.begin(), tail_.end());
+    std::sort(out->begin(), out->end(), EntryLess);
+    size_t w = 0;
+    for (size_t i = 0; i < out->size();) {
+      size_t j = i;
+      Diff total = 0;
+      while (j < out->size() && (*out)[j].key == (*out)[i].key &&
+             (*out)[j].value == (*out)[i].value &&
+             (*out)[j].time == (*out)[i].time) {
+        total += (*out)[j].diff;
+        ++j;
+      }
+      if (total != 0) {
+        (*out)[w] = (*out)[i];
+        (*out)[w].diff = total;
+        ++w;
+      }
+      i = j;
+    }
+    out->resize(w);
+    return out;
+  }
+
  private:
   // Tail seal threshold: bounds the linear tail scan every probe pays and
   // the batch size below which sorting is pointless.
@@ -388,12 +447,30 @@ class Trace {
 
   struct SpineBatch {
     std::vector<Entry> entries;  // sorted by (key, value, lex time)
+    // Alternative shared storage: a batch seeded from the process-level
+    // arrangement cache (SeedShared) aliases the immutable cached snapshot
+    // instead of owning a copy. At most one of shared/entries is populated.
+    std::shared_ptr<const std::vector<Entry>> shared;
     uint32_t min_version = 0;    // minimum version in `entries`
     uint32_t max_version = 0;    // maximum version in `entries`
     // True when every entry carries one identical Time — the usual shape
     // after a full compaction rewrote the batch to the sealed frontier.
     // Probes then test the time once per key range instead of per entry.
     bool uniform_time = false;
+
+    const std::vector<Entry>& rows() const {
+      return shared ? *shared : entries;
+    }
+    // Copy-on-write: mutating paths (rewrites, merges) first take ownership.
+    // Seeded traces receive no inserts and stay at the sealed frontier, so
+    // in practice this never fires for them — it is the safety net that
+    // keeps the cache decoupled from spine maintenance.
+    void Materialize() {
+      if (shared) {
+        entries = *shared;
+        shared.reset();
+      }
+    }
   };
 
   // Merges the whole spine into one batch rewritten to the sealed frontier.
@@ -411,7 +488,7 @@ class Trace {
     }
     if (!spine_.empty()) {
       Rewrite(&spine_.front());
-      if (spine_.front().entries.empty()) spine_.clear();
+      if (spine_.front().rows().empty()) spine_.clear();
     }
     SpineCompactionNanos()->Observe(
         static_cast<uint64_t>(compaction_timer.Nanos()));
@@ -479,20 +556,20 @@ class Trace {
   static std::pair<typename std::vector<Entry>::const_iterator,
                    typename std::vector<Entry>::const_iterator>
   KeyRange(const SpineBatch& batch, const K& key) {
+    const std::vector<Entry>& rows = batch.rows();
     // Sorted batch: front/back bound the key space, cutting most probes
     // before the binary search.
-    if (batch.entries.empty() || key < batch.entries.front().key ||
-        batch.entries.back().key < key) {
-      return {batch.entries.end(), batch.entries.end()};
+    if (rows.empty() || key < rows.front().key || rows.back().key < key) {
+      return {rows.end(), rows.end()};
     }
     auto lo = std::lower_bound(
-        batch.entries.begin(), batch.entries.end(), key,
+        rows.begin(), rows.end(), key,
         [](const Entry& e, const K& k) { return e.key < k; });
     // Seek the end of the key's run: a few linear steps cover the common
     // short history; long (skewed) runs switch to exponential + binary
     // search so the seek is O(log run) instead of O(run).
     auto hi = lo;
-    auto end = batch.entries.end();
+    auto end = rows.end();
     for (int i = 0; i < 8; ++i) {
       if (hi == end || !(hi->key == key)) return {lo, hi};
       ++hi;
@@ -558,8 +635,8 @@ class Trace {
     // Geometric invariant: each batch at least twice the size of the next
     // younger one, restored by merging from the young end.
     while (spine_.size() >= 2 &&
-           spine_[spine_.size() - 2].entries.size() <
-               2 * spine_.back().entries.size()) {
+           spine_[spine_.size() - 2].rows().size() <
+               2 * spine_.back().rows().size()) {
       SpineBatch b = std::move(spine_.back());
       spine_.pop_back();
       SpineBatch a = std::move(spine_.back());
@@ -582,6 +659,7 @@ class Trace {
   // resealing a quiescent spine is O(n) instead of O(n log n).
   void Rewrite(SpineBatch* batch) {
     if (batch->min_version >= sealed_version_) return;
+    batch->Materialize();
     if (batch->min_version == batch->max_version) {
       for (Entry& e : batch->entries) e.time.version = sealed_version_;
       batch->min_version = batch->max_version = sealed_version_;
@@ -621,6 +699,8 @@ class Trace {
 
   SpineBatch MergeBatches(SpineBatch&& a, SpineBatch&& b) {
     ++num_merges_;
+    a.Materialize();
+    b.Materialize();
     Rewrite(&a);
     Rewrite(&b);
     SpineBatch merged;

@@ -31,48 +31,10 @@ namespace {
 /// few milliseconds while a run is recording; Perfetto handles the rest.
 constexpr size_t kTracezEventsPerThread = 256;
 
-/// Upper bound on the request head we are willing to buffer. Status-page
-/// GETs are a few hundred bytes; anything larger is not our client.
-constexpr size_t kMaxRequestBytes = 8192;
-
-const char* ReasonPhrase(int code) {
-  switch (code) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 503: return "Service Unavailable";
-    default: return "Internal Server Error";
-  }
-}
-
-void WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-#ifdef MSG_NOSIGNAL
-                       MSG_NOSIGNAL
-#else
-                       0
-#endif
-    );
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;  // client went away; nothing useful to do
-    }
-    sent += static_cast<size_t>(n);
-  }
-}
-
-std::string RenderResponse(const HttpResponse& response) {
-  std::string out = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
-                    ReasonPhrase(response.status_code) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  return out;
-}
+/// Cap on requests served over one keep-alive connection before the server
+/// closes it — a backstop against a client holding the single serve thread
+/// forever.
+constexpr int kMaxRequestsPerConnection = 100;
 
 }  // namespace
 
@@ -263,64 +225,31 @@ void StatusServer::ServeLoop() {
 }
 
 void StatusServer::ServeConnection(int fd) {
-  std::string request;
-  char buf[2048];
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < kMaxRequestBytes) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (request.empty()) return;  // client closed without sending anything
-      break;
+  std::string buffer;
+  for (int served = 0; served < kMaxRequestsPerConnection; ++served) {
+    http::ReadResult in = http::ReadRequest(fd, &buffer);
+    if (in.kind == http::ReadResult::Kind::kClosed) return;
+    if (in.kind == http::ReadResult::Kind::kError) {
+      http::WriteAll(fd, http::RenderResponse(in.error, /*keep_alive=*/false));
+      return;
     }
-    request.append(buf, static_cast<size_t>(n));
+    const http::Request& request = in.request;
+    HttpResponse response;
+    if (request.method != "GET" && request.method != "HEAD") {
+      response.status_code = 405;
+      response.body = "only GET is supported\n";
+    } else {
+      response = Dispatch(request.path);
+    }
+    const bool keep_alive =
+        request.keep_alive && served + 1 < kMaxRequestsPerConnection;
+    std::string wire = http::RenderResponse(response, keep_alive);
+    // HEAD: same headers as GET — Content-Length advertises the GET body —
+    // but no body bytes on the wire (RFC 7231 §4.3.2).
+    if (request.method == "HEAD") wire.resize(wire.find("\r\n\r\n") + 4);
+    http::WriteAll(fd, wire);
+    if (!keep_alive) return;
   }
-
-  // A head that hit the size cap without terminating is rejected outright —
-  // parsing a prefix of a request line of unknown total length risks
-  // dispatching a truncated target.
-  if (request.size() >= kMaxRequestBytes &&
-      request.find("\r\n\r\n") == std::string::npos) {
-    HttpResponse r;
-    r.status_code = 400;
-    r.body = "request head too large\n";
-    WriteAll(fd, RenderResponse(r));
-    return;
-  }
-
-  // Request line: METHOD SP target SP version CRLF.
-  size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) line_end = request.size();
-  std::string line = request.substr(0, line_end);
-  size_t sp1 = line.find(' ');
-  size_t sp2 = sp1 == std::string::npos ? std::string::npos
-                                        : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    HttpResponse r;
-    r.status_code = 400;
-    r.body = "malformed request line\n";
-    WriteAll(fd, RenderResponse(r));
-    return;
-  }
-  std::string method = line.substr(0, sp1);
-  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (method != "GET" && method != "HEAD") {
-    HttpResponse r;
-    r.status_code = 405;
-    r.body = "only GET is supported\n";
-    WriteAll(fd, RenderResponse(r));
-    return;
-  }
-  // Drop any query string; handlers are parameterless views.
-  size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
-
-  HttpResponse response = Dispatch(target);
-  std::string wire = RenderResponse(response);
-  // HEAD: same headers as GET — Content-Length advertises the GET body —
-  // but no body bytes on the wire (RFC 7231 §4.3.2).
-  if (method == "HEAD") wire.resize(wire.find("\r\n\r\n") + 4);
-  WriteAll(fd, wire);
 }
 
 HttpResponse StatusServer::Dispatch(const std::string& path) const {

@@ -41,15 +41,9 @@
 #include <thread>
 
 #include "common/status.h"
+#include "server/http.h"
 
 namespace gs::server {
-
-/// What a handler returns: the response body plus its media type.
-struct HttpResponse {
-  std::string body;
-  std::string content_type = "text/plain; charset=utf-8";
-  int status_code = 200;
-};
 
 /// A status server bound to one port. Typically accessed through the
 /// process-wide instance (StatusServer::Global()), which the api layer
@@ -88,9 +82,16 @@ class StatusServer {
   /// without 5-second waits.
   void set_read_timeout_ms(int ms) { read_timeout_ms_ = ms; }
 
-  /// Serves one request/response exchange on an already-accepted connection
-  /// (exposed for tests; the serve loop uses it internally).
+  /// Serves an already-accepted connection until the client closes, the
+  /// exchange turns `Connection: close`, or a protocol error ends it
+  /// (exposed for tests; the serve loop uses it internally). Pipelined
+  /// requests on one connection are served in order.
   void ServeConnection(int fd);
+
+  /// Routes a path to its registered handler ("/" renders the index, an
+  /// unknown path a 404). Public so the query-serving front end can mount
+  /// this registry's pages on its own listener.
+  HttpResponse Dispatch(const std::string& path) const;
 
   /// The process-wide server used by GRAPHSURGE_STATUS_PORT and the api
   /// layer. Never destroyed.
@@ -104,7 +105,6 @@ class StatusServer {
 
  private:
   void ServeLoop();
-  HttpResponse Dispatch(const std::string& path) const;
   HttpResponse IndexPage() const;
 
   void RegisterBuiltins();

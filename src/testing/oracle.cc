@@ -1,5 +1,10 @@
 #include "testing/oracle.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -12,6 +17,7 @@
 #include "differential/fuzz_hooks.h"
 #include "graph/mutation.h"
 #include "gvdl/predicate.h"
+#include "server/query_server.h"
 #include "testing/fuzz_program.h"
 #include "testing/generators.h"
 #include "views/collection.h"
@@ -206,6 +212,174 @@ Status MutateMode(const FuzzCase& c, const gvdl::ViewCollectionDef& def,
   return Status::Ok();
 }
 
+/// One blocking HTTP POST over loopback with Connection: close; returns
+/// the response body or an error naming the non-200 status. The serve mode
+/// deliberately speaks raw sockets — the point is to exercise the wire
+/// path, not an in-process shortcut.
+StatusOr<std::string> ServePost(uint16_t port, const std::string& path,
+                                const std::string& body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("serve: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal("serve: connect() failed");
+  }
+  const std::string request =
+      "POST " + path + " HTTP/1.1\r\nHost: fuzz\r\n"
+      "Content-Type: application/json\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t header_end = raw.find("\r\n\r\n");
+  if (raw.rfind("HTTP/1.1 ", 0) != 0 || header_end == std::string::npos) {
+    return Status::Internal("serve: malformed response to " + path);
+  }
+  const int code = std::atoi(raw.c_str() + 9);
+  std::string reply = raw.substr(header_end + 4);
+  if (code != 200) {
+    return Status::Internal("serve: " + path + " answered " +
+                            std::to_string(code) + ": " + reply);
+  }
+  return reply;
+}
+
+/// Pulls every {"view": ..., "values": {...}} pair out of a GET RESULTS
+/// body (the server renders integers only, so flat scanning suffices).
+bool ParseServeResults(const std::string& body,
+                       std::map<std::string, ResultMap>* out) {
+  size_t pos = 0;
+  for (;;) {
+    size_t v = body.find("{\"view\": \"", pos);
+    if (v == std::string::npos) return true;
+    v += sizeof("{\"view\": \"") - 1;
+    size_t vend = body.find('"', v);
+    if (vend == std::string::npos) return false;
+    const std::string name = body.substr(v, vend - v);
+    size_t open = body.find("\"values\": {", vend);
+    if (open == std::string::npos) return false;
+    size_t p = open + sizeof("\"values\": {") - 1;
+    ResultMap m;
+    while (p < body.size() && body[p] != '}') {
+      if (body[p] == ',' || body[p] == ' ') {
+        ++p;
+        continue;
+      }
+      if (body[p] != '"') return false;
+      char* end = nullptr;
+      const uint64_t key = std::strtoull(body.c_str() + p + 1, &end, 10);
+      p = static_cast<size_t>(end - body.c_str());
+      if (p >= body.size() || body[p] != '"') return false;
+      ++p;  // closing key quote
+      if (p >= body.size() || body[p] != ':') return false;
+      const int64_t value =
+          std::strtoll(body.c_str() + p + 1, &end, 10);
+      p = static_cast<size_t>(end - body.c_str());
+      m[key] = value;
+    }
+    if (p >= body.size()) return false;
+    (*out)[name] = std::move(m);
+    pos = p;
+  }
+}
+
+/// serve: the HTTP query front end as an independent execution path. The
+/// case's collection definition and a RUN statement travel over a real
+/// loopback socket to a server/query_server.h instance hosting the case's
+/// graph; the parsed GET RESULTS must match the golden run per view
+/// definition. Named algorithms only — random DAGs have no statement form.
+Status ServeMode(const FuzzCase& c, const gvdl::ViewCollectionDef& def,
+                 const std::vector<ResultMap>& ref_by_def, int weight_column,
+                 std::ostringstream& out) {
+  std::string spec;
+  switch (c.program.algo) {
+    case Algo::kWcc:
+      spec = "wcc";
+      break;
+    case Algo::kBfs:
+      spec = "bfs(" + std::to_string(c.program.param) + ")";
+      break;
+    case Algo::kBellmanFord:
+      spec = "bellman-ford(" + std::to_string(c.program.param) + ")";
+      break;
+    case Algo::kPageRank:
+      spec = "pagerank(" + std::to_string(c.program.param) + ")";
+      break;
+    case Algo::kRandom:
+      return Status::Ok();
+  }
+
+  server::QueryServerOptions sopts;
+  sopts.num_threads = 2;
+  server::QueryServer server(sopts);
+  {
+    GS_ASSIGN_OR_RETURN(PropertyGraph graph, BuildGraph(c));
+    GS_RETURN_IF_ERROR(server.AddGraph(def.on, std::move(graph)));
+  }
+  GS_RETURN_IF_ERROR(server.Start(0));
+
+  const std::string session = "fuzz-" + std::to_string(c.case_seed);
+  auto query = [&](const std::string& statement) -> StatusOr<std::string> {
+    // Generated predicates use single-quoted string literals and an
+    // ASCII alphabet without '"' or '\', so no JSON escaping is needed.
+    return ServePost(server.port(), "/query",
+                     "{\"session\": \"" + session + "\", \"statement\": \"" +
+                         statement + "\"}");
+  };
+
+  std::string create = "create view collection " + def.name + " on " + def.on;
+  for (size_t i = 0; i < c.predicates.size(); ++i) {
+    create += (i == 0 ? " [" : ", [");
+    create += "v" + std::to_string(i) + ": " + c.predicates[i] + "]";
+  }
+  GS_RETURN_IF_ERROR(query(create).status());
+
+  std::string run = "run " + spec + " on " + def.name;
+  if (weight_column >= 0) {
+    run += " weight " + std::to_string(weight_column);
+  }
+  GS_RETURN_IF_ERROR(query(run).status());
+
+  GS_ASSIGN_OR_RETURN(std::string results_body, query("get results"));
+  std::map<std::string, ResultMap> served;
+  if (!ParseServeResults(results_body, &served)) {
+    return Status::Internal("serve: unparseable results body: " +
+                            results_body);
+  }
+  if (served.size() != def.views.size()) {
+    return Status::Internal(
+        "serve: expected " + std::to_string(def.views.size()) +
+        " views, got " + std::to_string(served.size()));
+  }
+  std::vector<ResultMap> got_by_def(def.views.size());
+  for (size_t i = 0; i < def.views.size(); ++i) {
+    auto it = served.find("v" + std::to_string(i));
+    if (it == served.end()) {
+      return Status::Internal("serve: missing view v" + std::to_string(i) +
+                              " in results");
+    }
+    got_by_def[i] = std::move(it->second);
+  }
+  out << "  serve:";
+  for (const ResultMap& m : got_by_def) out << " " << HashResults(m);
+  out << "\n";
+  return CompareResults("serve", ref_by_def, got_by_def);
+}
+
 }  // namespace
 
 uint64_t HashResults(const ResultMap& results) {
@@ -375,6 +549,23 @@ Status RunOracle(const FuzzCase& c, std::string* log) {
     for (const ResultMap& m : expected) out << " " << HashResults(m);
     out << "\n";
     GS_RETURN_IF_ERROR(finish(CompareResults("reference", expected, *ref)));
+    out.str("");
+  }
+
+  // serve: the same collection and run through the HTTP front end over a
+  // real loopback socket — named algorithms only.
+  if (c.program.algo != Algo::kRandom) {
+    std::vector<ResultMap> ref_by_def(def.views.size());
+    for (size_t t = 0; t < collection.num_views(); ++t) {
+      ref_by_def[collection.order[t]] = (*ref)[t];
+    }
+    Status serve = ServeMode(c, def, ref_by_def, weight_column, out);
+    if (!serve.ok()) return finish(serve);
+    Status gauges = CheckArrangementGaugesZero();
+    if (!gauges.ok()) {
+      return finish(Status::Internal("mode serve: " + gauges.message()));
+    }
+    *log += out.str();
     out.str("");
   }
 

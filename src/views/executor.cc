@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace_event.h"
+#include "differential/arrcache.h"
 #include "views/engine.h"
 
 namespace gs::views {
@@ -279,12 +280,28 @@ StatusOr<ExecutionResult> RunOnCollection(
 StatusOr<analytics::ResultMap> RunOnGraph(
     const analytics::Computation& computation, const PropertyGraph& graph,
     const ExecutionOptions& options) {
-  Engine engine(computation, options.dataflow);
+  // Single-version runs qualify for the process-level arrangement cache:
+  // one transaction per run, builder or reader role decided by Begin. The
+  // tag captures everything that shapes the dataflow and its arrangement
+  // contents beyond the graph itself (the scope covers the graph).
+  dd::DataflowOptions dopts = options.dataflow;
+  std::shared_ptr<dd::ArrCacheTxn> txn;
+  if (!options.arrangement_cache_scope.empty()) {
+    const std::string tag = computation.cache_tag() + "/w" +
+                            std::to_string(dopts.num_workers) + "/c" +
+                            std::to_string(options.weight_column) + "/a" +
+                            (dopts.use_arrangements ? "1" : "0");
+    txn = dd::ArrangementCache::Global().Begin(
+        options.arrangement_cache_scope, tag);
+    dopts.arrcache = txn;
+  }
+  Engine engine(computation, dopts);
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
     if (!graph.edge_alive(e)) continue;
     engine.Send(graph.ResolveWeighted(e, options.weight_column), 1);
   }
   GS_RETURN_IF_ERROR(engine.Step());
+  if (txn != nullptr) txn->Commit();
   analytics::ResultMap m;
   for (const auto& u : engine.AccumulatedAt(0)) {
     if (u.diff != 1) {

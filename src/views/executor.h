@@ -30,6 +30,13 @@ struct ExecutionOptions {
   differential::DataflowOptions dataflow;
   /// Keep each view's full result (tests and examples; memory-heavy).
   bool capture_results = false;
+  /// Non-empty → RunOnGraph shares arrangements through the process-level
+  /// arrangement cache (differential/arrcache.h) under this scope. The
+  /// scope must identify the graph *content* uniquely process-wide —
+  /// api::Graphsurge uses "gs<instance>/<graph>@<epoch>" so mutations and
+  /// same-named graphs in other instances never alias. Collection runs
+  /// (multi-version) never use the cache regardless of this field.
+  std::string arrangement_cache_scope;
 };
 
 struct ViewRunStats {

@@ -30,6 +30,7 @@
 #include "differential/differential.h"
 #include "graph/generators.h"
 #include "json_lite.h"
+#include "test_util.h"
 
 namespace gs {
 namespace {
@@ -39,55 +40,12 @@ using differential::Arranged;
 using differential::DataflowOptions;
 using differential::Input;
 using differential::ShardedDataflow;
+using testutil::ExpectHttpConformance;
+using testutil::HttpFetch;
+using testutil::HttpGet;
+using testutil::HttpPipeline;
+using testutil::HttpReply;
 using IntPair = std::pair<int64_t, int64_t>;
-
-struct HttpReply {
-  int status_code = 0;
-  std::string body;
-  std::string raw;
-};
-
-/// One request, read to EOF (the server always closes the connection).
-HttpReply HttpFetch(uint16_t port, const std::string& request) {
-  HttpReply reply;
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return reply;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return reply;
-  }
-  size_t sent = 0;
-  while (sent < request.size()) {
-    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
-  }
-  char buf[4096];
-  for (;;) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    reply.raw.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  if (reply.raw.rfind("HTTP/1.1 ", 0) == 0 && reply.raw.size() >= 12) {
-    reply.status_code = std::atoi(reply.raw.c_str() + 9);
-  }
-  size_t header_end = reply.raw.find("\r\n\r\n");
-  if (header_end != std::string::npos) {
-    reply.body = reply.raw.substr(header_end + 4);
-  }
-  return reply;
-}
-
-HttpReply HttpGet(uint16_t port, const std::string& path) {
-  return HttpFetch(port, "GET " + path +
-                             " HTTP/1.1\r\nHost: localhost\r\n"
-                             "Connection: close\r\n\r\n");
-}
 
 json_lite::Value ParseJsonOrFail(const std::string& text) {
   json_lite::Value value;
@@ -233,6 +191,28 @@ TEST_F(StatusServerTest, NonGetIs405) {
 
 TEST_F(StatusServerTest, MalformedRequestIs400) {
   EXPECT_EQ(HttpFetch(server_.port(), "not-http\r\n\r\n").status_code, 400);
+}
+
+TEST_F(StatusServerTest, ProtocolConformance) {
+  // The shared HTTP/1.1 conformance suite (tests/test_util.h): pipelining,
+  // Content-Length framing rejections, chunked rejection, malformed lines.
+  ExpectHttpConformance(server_.port());
+}
+
+TEST_F(StatusServerTest, PipelinedRequestsAnswerInOrder) {
+  // Distinct paths prove ordering, not just counting: the index, a
+  // 404, and /healthz, all on one connection.
+  std::vector<HttpReply> replies = HttpPipeline(
+      server_.port(),
+      {"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+       "GET /nonexistent HTTP/1.1\r\nHost: x\r\n\r\n",
+       "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"});
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].status_code, 200);
+  EXPECT_NE(replies[0].body.find("/healthz"), std::string::npos);
+  EXPECT_EQ(replies[1].status_code, 404);
+  EXPECT_EQ(replies[2].status_code, 200);
+  EXPECT_EQ(replies[2].body, "ok\n");
 }
 
 TEST_F(StatusServerTest, HeadOmitsBody) {

@@ -1,11 +1,20 @@
 // Shared helpers for tests: driving a Computation over a sequence of edge
-// difference batches and converting captured outputs to plain maps.
+// difference batches, converting captured outputs to plain maps, and
+// raw-socket HTTP clients for exercising the embedded servers exactly as a
+// network peer would (no client library smoothing over protocol edges).
 #ifndef GRAPHSURGE_TESTS_TEST_UTIL_H_
 #define GRAPHSURGE_TESTS_TEST_UTIL_H_
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "algorithms/computation.h"
@@ -93,6 +102,191 @@ inline WeightedEdge RandomEdge(Rng& rng, uint64_t n, int64_t max_weight = 9) {
   uint64_t dst = rng.Index(n);
   if (src == dst) dst = (dst + 1) % n;
   return WeightedEdge{src, dst, rng.Uniform(1, max_weight)};
+}
+
+// --- Raw-socket HTTP client ------------------------------------------------
+// Shared by every server test (status server, watchdog endpoints, query
+// server): one implementation of "speak bytes at a loopback port" so
+// protocol-conformance expectations are identical across suites.
+
+struct HttpReply {
+  int status_code = 0;
+  std::string body;
+  std::string raw;  // status line + headers + body as received
+};
+
+/// Connects to 127.0.0.1:`port` and sends `request` verbatim. Returns the
+/// connected socket, or -1.
+inline int HttpConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+inline void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+inline std::string RecvToEof(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+/// Splits one HTTP response off the front of `stream` (using its
+/// Content-Length), filling `reply`. Returns false when the stream does
+/// not hold a complete response.
+inline bool PopHttpReply(std::string* stream, HttpReply* reply) {
+  size_t header_end = stream->find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  const std::string head = stream->substr(0, header_end + 4);
+  size_t body_len = 0;
+  size_t cl = head.find("Content-Length: ");
+  if (cl != std::string::npos) {
+    body_len = static_cast<size_t>(
+        std::atoll(head.c_str() + cl + sizeof("Content-Length: ") - 1));
+  }
+  if (stream->size() < header_end + 4 + body_len) return false;
+  reply->raw = stream->substr(0, header_end + 4 + body_len);
+  reply->body = stream->substr(header_end + 4, body_len);
+  if (reply->raw.rfind("HTTP/1.1 ", 0) == 0 && reply->raw.size() >= 12) {
+    reply->status_code = std::atoi(reply->raw.c_str() + 9);
+  }
+  stream->erase(0, header_end + 4 + body_len);
+  return true;
+}
+
+/// One request, read to EOF (for `Connection: close` exchanges and raw
+/// protocol-violation probes).
+inline HttpReply HttpFetch(uint16_t port, const std::string& request) {
+  HttpReply reply;
+  int fd = HttpConnect(port);
+  if (fd < 0) return reply;
+  SendAll(fd, request);
+  reply.raw = RecvToEof(fd);
+  ::close(fd);
+  size_t header_end = reply.raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    reply.body = reply.raw.substr(header_end + 4);
+  }
+  if (reply.raw.rfind("HTTP/1.1 ", 0) == 0 && reply.raw.size() >= 12) {
+    reply.status_code = std::atoi(reply.raw.c_str() + 9);
+  }
+  return reply;
+}
+
+inline HttpReply HttpGet(uint16_t port, const std::string& path) {
+  return HttpFetch(port, "GET " + path +
+                             " HTTP/1.1\r\nHost: localhost\r\n"
+                             "Connection: close\r\n\r\n");
+}
+
+inline HttpReply HttpPost(uint16_t port, const std::string& path,
+                          const std::string& body,
+                          const std::string& content_type =
+                              "application/json") {
+  return HttpFetch(port, "POST " + path +
+                             " HTTP/1.1\r\nHost: localhost\r\n"
+                             "Content-Type: " + content_type +
+                             "\r\nContent-Length: " +
+                             std::to_string(body.size()) +
+                             "\r\nConnection: close\r\n\r\n" + body);
+}
+
+/// Sends every request in one burst on one connection (HTTP/1.1
+/// pipelining; the last request should say `Connection: close`) and parses
+/// the responses back out in order.
+inline std::vector<HttpReply> HttpPipeline(
+    uint16_t port, const std::vector<std::string>& requests) {
+  std::vector<HttpReply> replies;
+  int fd = HttpConnect(port);
+  if (fd < 0) return replies;
+  std::string burst;
+  for (const std::string& r : requests) burst += r;
+  SendAll(fd, burst);
+  std::string stream = RecvToEof(fd);
+  ::close(fd);
+  HttpReply reply;
+  while (PopHttpReply(&stream, &reply)) {
+    replies.push_back(reply);
+    reply = HttpReply();
+  }
+  return replies;
+}
+
+/// HTTP/1.1 conformance expectations shared by every listener built on
+/// server/http.h (status server and query server): pipelining, body
+/// framing rejections, and malformed-input handling must behave
+/// identically regardless of which endpoint set is mounted. `port` must
+/// serve /healthz with 200 "ok\n".
+inline void ExpectHttpConformance(uint16_t port) {
+  // Pipelined requests on one connection are answered in order; the
+  // connection disposition follows the client's headers.
+  const std::string keep = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  const std::string last =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  std::vector<HttpReply> replies = HttpPipeline(port, {keep, keep, last});
+  ASSERT_EQ(replies.size(), 3u);
+  for (const HttpReply& reply : replies) {
+    EXPECT_EQ(reply.status_code, 200);
+    EXPECT_EQ(reply.body, "ok\n");
+  }
+  EXPECT_NE(replies[0].raw.find("Connection: keep-alive"),
+            std::string::npos);
+  EXPECT_NE(replies[2].raw.find("Connection: close"), std::string::npos);
+
+  // POST without Content-Length: the one body framing we speak is
+  // Content-Length, so its absence is 411, not a hang waiting for EOF.
+  EXPECT_EQ(HttpFetch(port,
+                      "POST /query HTTP/1.1\r\nHost: x\r\n"
+                      "Connection: close\r\n\r\n")
+                .status_code,
+            411);
+
+  // A Content-Length beyond the body cap is refused before any body byte
+  // is read.
+  EXPECT_EQ(HttpFetch(port,
+                      "POST /query HTTP/1.1\r\nHost: x\r\n"
+                      "Content-Length: 1048577\r\n"
+                      "Connection: close\r\n\r\nx")
+                .status_code,
+            413);
+
+  // A non-numeric Content-Length is malformed framing.
+  EXPECT_EQ(HttpFetch(port,
+                      "POST /query HTTP/1.1\r\nHost: x\r\n"
+                      "Content-Length: banana\r\n"
+                      "Connection: close\r\n\r\n")
+                .status_code,
+            400);
+
+  // Chunked bodies (any Transfer-Encoding) are rejected, not misparsed.
+  EXPECT_EQ(HttpFetch(port,
+                      "POST /query HTTP/1.1\r\nHost: x\r\n"
+                      "Transfer-Encoding: chunked\r\n"
+                      "Connection: close\r\n\r\n0\r\n\r\n")
+                .status_code,
+            501);
+
+  // Garbage request line.
+  EXPECT_EQ(HttpFetch(port, "not-http\r\n\r\n").status_code, 400);
 }
 
 }  // namespace gs::testutil

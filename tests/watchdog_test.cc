@@ -32,6 +32,7 @@
 #include "graph/mutation.h"
 #include "json_lite.h"
 #include "server/status_server.h"
+#include "test_util.h"
 #include "views/collection.h"
 #include "views/executor.h"
 #include "views/live.h"
@@ -44,51 +45,9 @@ using differential::Arranged;
 using differential::DataflowOptions;
 using differential::Input;
 using differential::ShardedDataflow;
+using testutil::HttpGet;
+using testutil::HttpReply;
 using IntPair = std::pair<int64_t, int64_t>;
-
-struct HttpReply {
-  int status_code = 0;
-  std::string body;
-};
-
-HttpReply HttpGet(uint16_t port, const std::string& path) {
-  HttpReply reply;
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return reply;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return reply;
-  }
-  std::string request = "GET " + path +
-                        " HTTP/1.1\r\nHost: localhost\r\n"
-                        "Connection: close\r\n\r\n";
-  size_t sent = 0;
-  while (sent < request.size()) {
-    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
-  }
-  std::string raw;
-  char buf[4096];
-  for (;;) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    raw.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  if (raw.rfind("HTTP/1.1 ", 0) == 0 && raw.size() >= 12) {
-    reply.status_code = std::atoi(raw.c_str() + 9);
-  }
-  size_t header_end = raw.find("\r\n\r\n");
-  if (header_end != std::string::npos) {
-    reply.body = raw.substr(header_end + 4);
-  }
-  return reply;
-}
 
 json_lite::Value ParseJsonOrFail(const std::string& text) {
   json_lite::Value value;
